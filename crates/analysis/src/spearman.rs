@@ -1,0 +1,149 @@
+//! Spearman rank correlation (Figure 8).
+
+/// Average ranks (ties share the mean rank), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Mean of ranks i+1 ..= j+1.
+        let rank = (i + j + 2) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            out[idx] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman's rank correlation coefficient of two equal-length samples.
+///
+/// Returns 0 when either input is constant (no rank variation) or the
+/// inputs are shorter than 2.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Pearson correlation of two equal-length slices; 0 when degenerate.
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx < 1e-12 || vy < 1e-12 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// A labelled symmetric correlation matrix.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CorrelationMatrix {
+    /// Metric labels, in row/column order.
+    pub labels: Vec<String>,
+    /// Row-major coefficients.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl CorrelationMatrix {
+    /// Computes the pairwise Spearman matrix over named columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when columns have unequal lengths.
+    pub fn compute(columns: &[(String, Vec<f64>)]) -> Self {
+        let labels: Vec<String> = columns.iter().map(|(l, _)| l.clone()).collect();
+        let k = columns.len();
+        let mut values = vec![vec![0.0; k]; k];
+        for i in 0..k {
+            values[i][i] = 1.0;
+            for j in i + 1..k {
+                let r = spearman(&columns[i].1, &columns[j].1);
+                values[i][j] = r;
+                values[j][i] = r;
+            }
+        }
+        CorrelationMatrix { labels, values }
+    }
+
+    /// Coefficient by label pair.
+    pub fn get(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.labels.iter().position(|l| l == a)?;
+        let j = self.labels.iter().position(|l| l == b)?;
+        Some(self.values[i][j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_relationships() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect(); // monotone, nonlinear
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((spearman(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_data_is_near_zero() {
+        let x: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let y: Vec<f64> = (0..1000).map(|i| ((i * 104729) % 1000) as f64).collect();
+        assert!(spearman(&x, &y).abs() < 0.1);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn constant_input_yields_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let cols = vec![
+            ("a".to_string(), vec![1.0, 2.0, 3.0, 4.0]),
+            ("b".to_string(), vec![2.0, 4.0, 6.0, 8.0]),
+            ("c".to_string(), vec![4.0, 3.0, 2.0, 1.0]),
+        ];
+        let m = CorrelationMatrix::compute(&cols);
+        for i in 0..3 {
+            assert_eq!(m.values[i][i], 1.0);
+            for j in 0..3 {
+                assert_eq!(m.values[i][j], m.values[j][i]);
+            }
+        }
+        assert!((m.get("a", "b").unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.get("a", "c").unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(m.get("a", "zzz"), None);
+    }
+}

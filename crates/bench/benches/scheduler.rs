@@ -1,0 +1,79 @@
+//! Criterion benches for the scheduler: single-placement latency (the
+//! §6.2 note that "the VM scheduler must be optimized for high
+//! throughput" given bursty arrivals) and short end-to-end simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rc_scheduler::{
+    simulate, NoSource, OracleSource, PolicyKind, Scheduler, SchedulerConfig, SimConfig,
+    VmRequest,
+};
+use rc_trace::{Trace, TraceConfig};
+use rc_types::time::Timestamp;
+
+fn requests() -> Vec<VmRequest> {
+    let trace = Trace::generate(&TraceConfig {
+        target_vms: 6_000,
+        n_subscriptions: 250,
+        days: 20,
+        ..TraceConfig::small()
+    });
+    VmRequest::stream(&trace, Timestamp::ZERO, Timestamp::from_days(20), 16)
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let reqs = requests();
+
+    c.bench_function("schedule_one_vm_880_servers", |b| {
+        let mut scheduler = Scheduler::new(
+            880,
+            16.0,
+            112.0,
+            SchedulerConfig::new(PolicyKind::RcInformedSoft),
+            Box::new(OracleSource),
+        );
+        // Pre-load some occupancy so eligibility checks do real work.
+        for r in reqs.iter().take(2_000) {
+            let _ = scheduler.schedule(r);
+        }
+        let mut i = 2_000usize;
+        b.iter(|| {
+            let r = &reqs[i % reqs.len()];
+            i += 1;
+            if let Some(p) = scheduler.schedule(r) {
+                scheduler.complete(r, p);
+            }
+        })
+    });
+
+    let mut group = c.benchmark_group("simulate_20d");
+    group.sample_size(10);
+    for policy in [PolicyKind::Baseline, PolicyKind::RcInformedSoft] {
+        group.bench_function(policy.label(), |b| {
+            let n = rc_scheduler::suggest_server_count(&reqs, 16.0, 1.0);
+            b.iter(|| {
+                let config = SimConfig {
+                    n_servers: n,
+                    cores_per_server: 16.0,
+                    memory_per_server_gb: 112.0,
+                    scheduler: SchedulerConfig::new(policy),
+                    util_shift: 0.0,
+                    tick_stride: 12,
+                };
+                let source: Box<dyn rc_scheduler::P95Source> = if policy.uses_predictions() {
+                    Box::new(OracleSource)
+                } else {
+                    Box::new(NoSource)
+                };
+                simulate(&reqs, &config, source, (Timestamp::ZERO, Timestamp::from_days(20)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_scheduler
+}
+criterion_main!(benches);

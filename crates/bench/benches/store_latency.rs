@@ -1,0 +1,31 @@
+//! Criterion benches for the simulated store: raw in-process operations
+//! and the latency-model sampling that reproduces §6.1's 2.9 / 5.6 ms
+//! quantiles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rc_store::{LatencyModel, Store};
+
+fn bench_store(c: &mut Criterion) {
+    let store = Store::in_memory();
+    let record = vec![0u8; 850];
+    store.put("features/0", record.clone().into()).unwrap();
+
+    c.bench_function("store_get_latest_850B", |b| {
+        b.iter(|| store.get_latest("features/0").unwrap())
+    });
+
+    c.bench_function("store_put_850B", |b| {
+        b.iter(|| store.put("features/bench", record.clone().into()).unwrap())
+    });
+
+    c.bench_function("latency_model_sample", |b| {
+        let model = LatencyModel::paper_store();
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| std::hint::black_box(model.sample_us(&mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! §6.1 cache statistics: result-cache hit rates, hits per model
+//! execution, cache footprint, and simulated store latencies.
+
+use rc_bench::{experiment_pipeline, experiment_trace, percentile_sorted};
+use rc_core::{labels::vm_inputs, ClientConfig, RcClient};
+use rc_store::{LatencyModel, Store};
+use rc_types::PredictionMetric;
+
+fn main() {
+    let trace = experiment_trace();
+    let output = experiment_pipeline(&trace);
+    let store = Store::in_memory();
+    output.publish(&store, 0.5).expect("publish");
+
+    println!("Section 6.1 cache statistics");
+    rc_bench::rule(72);
+    // Replay the *test month's* prediction workload per metric: the
+    // scheduler asks once per VM, and identical (subscription, size, day)
+    // requests hit the result cache.
+    let test_start = trace.config.days as u64 * 2 / 3;
+    for metric in PredictionMetric::ALL {
+        let client = RcClient::new(store.clone(), ClientConfig::default());
+        assert!(client.initialize());
+        let mut requests = 0u64;
+        for id in trace.vm_ids() {
+            let vm = trace.vm(id);
+            if vm.created.day_index() < test_start {
+                continue;
+            }
+            let _ = client.predict_single(metric.model_name(), &vm_inputs(&trace, id));
+            requests += 1;
+        }
+        println!(
+            "{:<24} requests {:>8}  hit-rate {:>6.1}%  hits/execution {:>6.1}  cache entries {:>7}",
+            metric.label(),
+            requests,
+            client.result_cache_hit_rate() * 100.0,
+            client.hits_per_execution(),
+            client.result_cache_len()
+        );
+    }
+    rc_bench::rule(72);
+    println!("paper: an entry is accessed 18-68 times after its model execution, cache <= ~25 MB");
+    println!();
+
+    // Store latency with the paper's quantiles (pull-path cost).
+    let lat_store = Store::with_latency(Some(LatencyModel::paper_store()));
+    lat_store.put("features/0", vec![0u8; 850].into()).unwrap();
+    let mut samples = Vec::with_capacity(2_000);
+    for _ in 0..2_000 {
+        let started = std::time::Instant::now();
+        let _ = lat_store.get_latest("features/0").unwrap();
+        samples.push(started.elapsed().as_nanos() as f64 / 1_000.0);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "simulated store GET (850 B record): median {:.2} ms, p99 {:.2} ms (paper: 2.9 / 5.6 ms)",
+        percentile_sorted(&samples, 0.5) / 1_000.0,
+        percentile_sorted(&samples, 0.99) / 1_000.0
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 1: CDFs of average and P95-of-max CPU utilization, split by
+//! first-party / third-party / all VMs.
+
+use rc_analysis::utilization_cdfs;
+use rc_bench::experiment_trace;
+
+fn main() {
+    let trace = experiment_trace();
+    let cdfs = utilization_cdfs(&trace);
+    let xs: Vec<f64> = (0..=20).map(|i| i as f64 * 0.05).collect();
+
+    println!("Figure 1: CDF of CPU utilization (fraction of VMs below X)");
+    println!(
+        "{:>6} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "util", "avg:1st", "avg:3rd", "avg:all", "p95:1st", "p95:3rd", "p95:all"
+    );
+    rc_bench::rule(72);
+    for &x in &xs {
+        println!(
+            "{:>5.0}% | {:>9.3} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} {:>9.3}",
+            x * 100.0,
+            cdfs.avg.first.fraction_below(x),
+            cdfs.avg.third.fraction_below(x),
+            cdfs.avg.all.fraction_below(x),
+            cdfs.p95_max.first.fraction_below(x),
+            cdfs.p95_max.third.fraction_below(x),
+            cdfs.p95_max.all.fraction_below(x),
+        );
+    }
+    rc_bench::rule(72);
+    println!(
+        "paper anchors: 60% of VMs below 20% avg (ours: {}); 40% below 50% P95 (ours: {})",
+        rc_bench::pct(cdfs.avg.all.fraction_below(0.20)),
+        rc_bench::pct(cdfs.p95_max.all.fraction_below(0.50)),
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 2: number of virtual CPU cores per VM (stacked shares).
+
+use rc_analysis::cores_breakdown;
+use rc_bench::{experiment_trace, pct};
+
+fn main() {
+    let trace = experiment_trace();
+    let b = cores_breakdown(&trace);
+    println!("Figure 2: virtual CPU cores per VM (share of VMs)");
+    println!("{:>8} | {:>10} {:>10} {:>10}", "cores", "first", "third", "all");
+    rc_bench::rule(46);
+    for (i, label) in b.labels.iter().enumerate() {
+        println!(
+            "{:>8} | {:>10} {:>10} {:>10}",
+            label,
+            pct(b.first[i]),
+            pct(b.third[i]),
+            pct(b.all[i])
+        );
+    }
+    rc_bench::rule(46);
+    println!(
+        "paper anchor: ~80% of VMs need 1-2 cores (ours: {})",
+        pct(b.all[0] + b.all[1])
+    );
+}

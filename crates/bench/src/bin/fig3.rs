@@ -1,0 +1,26 @@
+//! Figure 3: memory per VM in GBytes (stacked shares).
+
+use rc_analysis::memory_breakdown;
+use rc_bench::{experiment_trace, pct};
+
+fn main() {
+    let trace = experiment_trace();
+    let b = memory_breakdown(&trace);
+    println!("Figure 3: memory per VM in GB (share of VMs)");
+    println!("{:>8} | {:>10} {:>10} {:>10}", "GB", "first", "third", "all");
+    rc_bench::rule(46);
+    for (i, label) in b.labels.iter().enumerate() {
+        println!(
+            "{:>8} | {:>10} {:>10} {:>10}",
+            label,
+            pct(b.first[i]),
+            pct(b.third[i]),
+            pct(b.all[i])
+        );
+    }
+    rc_bench::rule(46);
+    println!(
+        "paper anchor: ~70% of VMs need <4 GB (ours: {})",
+        pct(b.all[0] + b.all[1] + b.all[2])
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 4: CDF of the maximum number of VMs per deployment (using the
+//! paper's day-grouped redefinition of "deployment").
+
+use rc_analysis::deployment_size_cdfs;
+use rc_bench::experiment_trace;
+
+fn main() {
+    let trace = experiment_trace();
+    let cdfs = deployment_size_cdfs(&trace);
+    let xs = [1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
+    println!("Figure 4: CDF of max VMs per deployment");
+    println!("{:>8} | {:>9} {:>9} {:>9}", "size", "first", "third", "all");
+    rc_bench::rule(44);
+    for &x in &xs {
+        println!(
+            "{:>8} | {:>9.3} {:>9.3} {:>9.3}",
+            x,
+            cdfs.first.fraction_below(x),
+            cdfs.third.fraction_below(x),
+            cdfs.all.fraction_below(x)
+        );
+    }
+    rc_bench::rule(44);
+    println!(
+        "paper anchors: ~40% single-VM (ours: {}), ~80% at most 5 VMs (ours: {})",
+        rc_bench::pct(cdfs.all.fraction_below(1.0)),
+        rc_bench::pct(cdfs.all.fraction_below(5.0)),
+    );
+}

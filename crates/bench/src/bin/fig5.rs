@@ -1,0 +1,36 @@
+//! Figure 5: CDF of VM lifetime (fully-observed VMs).
+
+use rc_analysis::lifetime_cdfs;
+use rc_bench::experiment_trace;
+
+fn main() {
+    let trace = experiment_trace();
+    let cdfs = lifetime_cdfs(&trace);
+    let xs_hours = [
+        0.083, 0.25, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0, 48.0, 96.0, 168.0, 336.0, 720.0, 2160.0,
+    ];
+    println!("Figure 5: CDF of VM lifetime");
+    println!("{:>10} | {:>9} {:>9} {:>9}", "lifetime", "first", "third", "all");
+    rc_bench::rule(46);
+    for &h in &xs_hours {
+        let label = if h < 1.0 {
+            format!("{:.0} min", h * 60.0)
+        } else if h < 48.0 {
+            format!("{h:.0} h")
+        } else {
+            format!("{:.0} d", h / 24.0)
+        };
+        println!(
+            "{:>10} | {:>9.3} {:>9.3} {:>9.3}",
+            label,
+            cdfs.first.fraction_below(h),
+            cdfs.third.fraction_below(h),
+            cdfs.all.fraction_below(h)
+        );
+    }
+    rc_bench::rule(46);
+    println!(
+        "paper anchor: >90% of lifetimes end below 1 day (ours: {})",
+        rc_bench::pct(cdfs.all.fraction_below(24.0))
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 6: workload classes and their share of core-hours.
+
+use rc_analysis::class_core_hours;
+use rc_bench::{experiment_trace, pct};
+
+fn main() {
+    let trace = experiment_trace();
+    eprintln!("[rc-bench] running FFT classification over long-lived VMs...");
+    let shares = class_core_hours(&trace);
+    println!("Figure 6: share of core-hours per workload class");
+    println!(
+        "{:>18} | {:>10} {:>10} {:>10}",
+        "class", "total", "first", "third"
+    );
+    rc_bench::rule(56);
+    type Getter = fn(&rc_analysis::ClassShares) -> f64;
+    let rows: [(&str, Getter); 3] = [
+        ("delay-insensitive", |s| s.delay_insensitive),
+        ("interactive", |s| s.interactive),
+        ("unknown", |s| s.unknown),
+    ];
+    for (label, f) in rows {
+        println!(
+            "{:>18} | {:>10} {:>10} {:>10}",
+            label,
+            pct(f(&shares.total)),
+            pct(f(&shares.first)),
+            pct(f(&shares.third))
+        );
+    }
+    rc_bench::rule(56);
+    println!("paper anchors: delay-insensitive ~68%, interactive ~28%, unknown ~4-6%");
+}

@@ -1,0 +1,35 @@
+//! Figure 7: VM arrivals per hour at one region over one week.
+
+use rc_analysis::arrivals_per_hour;
+use rc_bench::experiment_trace;
+use rc_types::vm::RegionId;
+
+fn main() {
+    let trace = experiment_trace();
+    // The trace epoch is a Wednesday; day 12 is a Monday.
+    let series = arrivals_per_hour(&trace, RegionId(0), 12);
+    println!("Figure 7: arrivals per hour, region 0, week from day {}", series.start_day);
+    let days = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+    let max = *series.per_hour.iter().max().unwrap_or(&1) as f64;
+    for (d, name) in days.iter().enumerate() {
+        for block in 0..4 {
+            let lo = d * 24 + block * 6;
+            let total: u64 = series.per_hour[lo..lo + 6].iter().sum();
+            let bar_len = ((total as f64 / (6.0 * max)) * 50.0).round() as usize;
+            println!(
+                "{name} {:02}:00-{:02}:59 | {:>5} {}",
+                block * 6,
+                block * 6 + 5,
+                total,
+                "#".repeat(bar_len)
+            );
+        }
+    }
+    let weekday: u64 = series.per_hour[..120].iter().sum();
+    let weekend: u64 = series.per_hour[120..].iter().sum();
+    println!(
+        "weekday rate {:.0}/day vs weekend rate {:.0}/day (paper: lower weekend load)",
+        weekday as f64 / 5.0,
+        weekend as f64 / 2.0
+    );
+}

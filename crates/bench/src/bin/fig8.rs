@@ -1,0 +1,41 @@
+//! Figure 8: Spearman correlations between the §3 metrics.
+
+use rc_analysis::metric_correlations;
+use rc_bench::experiment_trace;
+use rc_types::vm::Party;
+
+fn print_matrix(m: &rc_analysis::CorrelationMatrix) {
+    print!("{:>12}", "");
+    for l in &m.labels {
+        print!(" {l:>10}");
+    }
+    println!();
+    for (i, l) in m.labels.iter().enumerate() {
+        print!("{l:>12}");
+        for j in 0..m.labels.len() {
+            print!(" {:>10.2}", m.values[i][j]);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let trace = experiment_trace();
+    eprintln!("[rc-bench] computing correlations (FFT classification per long-lived VM)...");
+    println!("Figure 8: Spearman correlations, entire platform (classified VMs)");
+    let all = metric_correlations(&trace, None);
+    print_matrix(&all);
+    println!();
+    println!("First-party only:");
+    print_matrix(&metric_correlations(&trace, Some(Party::First)));
+    println!();
+    println!("Third-party only:");
+    print_matrix(&metric_correlations(&trace, Some(Party::Third)));
+    println!();
+    println!(
+        "paper anchors: avg-p95 strongly positive (ours {:.2}); cores-memory strongly positive (ours {:.2}); lifetime-cores ~0 (ours {:.2})",
+        all.get("avg util", "p95 util").unwrap(),
+        all.get("cores", "memory").unwrap(),
+        all.get("lifetime", "cores").unwrap()
+    );
+}

@@ -1,0 +1,24 @@
+//! §6.2 sensitivity to MAX_OVERSUB: 125% / 120% / 115% for
+//! RC-informed-soft, against Baseline.
+
+use rc_bench::scheduler_harness::{print_row, Harness, Variant};
+
+fn main() {
+    let harness = Harness::build(rc_bench::experiment_trace());
+    println!(
+        "Section 6.2: sensitivity to MAX_OVERSUB ({} arrivals, {} servers)",
+        harness.requests.len(),
+        harness.n_servers
+    );
+    rc_bench::rule(120);
+    let baseline = harness.run(Variant::Baseline, 1.25, 1.0);
+    print_row(&baseline);
+    for max_oversub in [1.25, 1.20, 1.15] {
+        let mut report = harness.run(Variant::RcInformedSoft, max_oversub, 1.0);
+        report.policy = format!("RC-soft @ {:.0}%", max_oversub * 100.0);
+        print_row(&report);
+    }
+    rc_bench::rule(120);
+    println!("paper shape: lowering MAX_OVERSUB raises failures (still far below Baseline at 115%)");
+    println!("  and lowers >100% readings (125% -> 77 readings, 115% -> 22 readings).");
+}

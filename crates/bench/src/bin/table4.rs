@@ -1,0 +1,57 @@
+//! Table 4: prediction quality — accuracy, per-bucket share / precision /
+//! recall, and the confidence-thresholded P^theta / R^theta.
+
+use rc_bench::{experiment_pipeline, experiment_trace};
+
+fn main() {
+    let trace = experiment_trace();
+    let output = experiment_pipeline(&trace);
+    println!("Table 4: RC's prediction quality (theta = 0.6)");
+    println!(
+        "{:<22} {:>5} | {}| {:>5} {:>5}",
+        "Metric",
+        "Acc.",
+        (1..=4).map(|i| format!("{:>5}B{i} {:>5} {:>5} ", "%", "P", "R")).collect::<String>(),
+        "P^th",
+        "R^th"
+    );
+    rc_bench::rule(110);
+    for report in &output.reports {
+        let mut row = format!("{:<22} {:>5.2} |", report.metric.label(), report.accuracy);
+        for i in 0..4 {
+            if let Some(b) = report.buckets.get(i) {
+                row += &format!(
+                    " {:>4.0}% {:>5.2} {:>5.2} ",
+                    b.share * 100.0,
+                    b.precision,
+                    b.recall
+                );
+            } else {
+                row += &format!(" {:>4} {:>5} {:>5} ", "NA", "NA", "NA");
+            }
+        }
+        row += &format!("| {:>5.2} {:>5.2}", report.p_theta, report.r_theta);
+        println!("{row}");
+    }
+    rc_bench::rule(110);
+    println!("paper accuracies: avg .81, p95 .83, deploy-vms .83, deploy-cores .86, lifetime .79, class .90");
+    println!();
+    println!("Most important attributes per model (paper: per-bucket history dominates):");
+    for report in &output.reports {
+        println!(
+            "  {:<22} {}",
+            report.metric.label(),
+            report.top_features.iter().take(5).cloned().collect::<Vec<_>>().join(", ")
+        );
+    }
+    println!();
+    println!(
+        "train/test sizes: {}",
+        output
+            .reports
+            .iter()
+            .map(|r| format!("{}={}k/{}k", r.metric.model_name(), r.n_train / 1000, r.n_test.max(1000) / 1000))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+}

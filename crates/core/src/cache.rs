@@ -1,0 +1,306 @@
+//! Client-side caches: results, models, feature data, and the local disk
+//! cache (§4.2, "Cache management").
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::time::{Duration as StdDuration, SystemTime};
+
+use rc_types::vm::SubscriptionId;
+
+use crate::features::SubscriptionFeatures;
+use crate::prediction::Prediction;
+
+/// The result cache: a capacity-bounded hash table keyed by the hash of
+/// `(model name, client inputs)`. Each entry stores "only the
+/// corresponding prediction value and score" (§4.2).
+#[derive(Debug)]
+pub struct ResultCache {
+    map: HashMap<u64, Prediction>,
+    /// Insertion order for FIFO eviction once the capacity is reached.
+    order: VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "result cache needs capacity");
+        ResultCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            order: VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks a key up, recording hit/miss statistics.
+    pub fn get(&mut self, key: u64) -> Option<Prediction> {
+        match self.map.get(&key) {
+            Some(p) => {
+                self.hits += 1;
+                Some(*p)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a prediction, evicting the oldest entry when full.
+    pub fn insert(&mut self, key: u64, prediction: Prediction) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            while let Some(old) = self.order.pop_front() {
+                if self.map.remove(&old).is_some() {
+                    self.evictions += 1;
+                    break;
+                }
+            }
+        }
+        if self.map.insert(key, prediction).is_none() {
+            self.order.push_back(key);
+        }
+    }
+
+    /// Empties the cache (statistics are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit rate over all lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// In-memory feature-data cache with the store version it was loaded at.
+#[derive(Debug, Default, Clone)]
+pub struct FeatureCache {
+    records: HashMap<SubscriptionId, SubscriptionFeatures>,
+    /// Store version of the last refresh (0 = never loaded).
+    pub version: u64,
+}
+
+impl FeatureCache {
+    /// Looks up a subscription's record.
+    pub fn get(&self, sub: SubscriptionId) -> Option<&SubscriptionFeatures> {
+        self.records.get(&sub)
+    }
+
+    /// Replaces the whole cache (a push-mode refresh).
+    pub fn replace(&mut self, records: HashMap<SubscriptionId, SubscriptionFeatures>, version: u64) {
+        self.records = records;
+        self.version = version;
+    }
+
+    /// Inserts one record (a pull-mode fill).
+    pub fn insert(&mut self, record: SubscriptionFeatures) {
+        self.records.insert(record.subscription, record);
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are cached.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Clears all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.version = 0;
+    }
+
+    /// Read-only view of all records (used when persisting to disk).
+    pub fn records(&self) -> &HashMap<SubscriptionId, SubscriptionFeatures> {
+        &self.records
+    }
+}
+
+/// The local disk cache. RC "stores the content of the model and feature
+/// data caches in the local file system" and consults it only when the
+/// store is unavailable, ignoring it once expired (§4.2).
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+    expiry: StdDuration,
+}
+
+impl DiskCache {
+    /// Creates a disk cache rooted at `dir` with the given expiry.
+    ///
+    /// The directory is created on first write.
+    pub fn new(dir: PathBuf, expiry: StdDuration) -> Self {
+        DiskCache { dir, expiry }
+    }
+
+    fn path_for(&self, kind: &str, name: &str) -> PathBuf {
+        // Keys contain '/' (e.g. "model/VM_P95UTIL"); flatten for the fs.
+        let safe: String = name.chars().map(|c| if c == '/' { '_' } else { c }).collect();
+        self.dir.join(format!("{kind}_{safe}.bin"))
+    }
+
+    /// Persists a record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, kind: &str, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        std::fs::write(self.path_for(kind, name), bytes)
+    }
+
+    /// Loads a record if present *and* younger than the expiry.
+    pub fn load_if_fresh(&self, kind: &str, name: &str) -> Option<Vec<u8>> {
+        let path = self.path_for(kind, name);
+        let meta = std::fs::metadata(&path).ok()?;
+        let age = SystemTime::now().duration_since(meta.modified().ok()?).ok()?;
+        if age > self.expiry {
+            return None;
+        }
+        std::fs::read(&path).ok()
+    }
+
+    /// Names of all persisted records of a kind (fresh or not).
+    pub fn list(&self, kind: &str) -> Vec<String> {
+        let prefix = format!("{kind}_");
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = dir
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let fname = e.file_name().into_string().ok()?;
+                let stem = fname.strip_suffix(".bin")?;
+                stem.strip_prefix(&prefix).map(|s| s.to_string())
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Removes every record.
+    pub fn flush(&self) {
+        if let Ok(dir) = std::fs::read_dir(&self.dir) {
+            for entry in dir.filter_map(|e| e.ok()) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(v: usize) -> Prediction {
+        Prediction { value: v, score: 0.9 }
+    }
+
+    #[test]
+    fn result_cache_hits_and_misses() {
+        let mut c = ResultCache::new(8);
+        assert_eq!(c.get(1), None);
+        c.insert(1, pred(2));
+        assert_eq!(c.get(1).unwrap().value, 2);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_cache_evicts_fifo() {
+        let mut c = ResultCache::new(3);
+        for k in 0..3 {
+            c.insert(k, pred(k as usize));
+        }
+        c.insert(99, pred(99));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.get(0), None, "oldest entry evicted");
+        assert!(c.get(99).is_some());
+    }
+
+    #[test]
+    fn result_cache_reinsert_does_not_grow() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, pred(1));
+        c.insert(1, pred(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1).unwrap().value, 2);
+    }
+
+    #[test]
+    fn feature_cache_basics() {
+        let mut f = FeatureCache::default();
+        assert!(f.is_empty());
+        f.insert(SubscriptionFeatures::new(SubscriptionId(7)));
+        assert_eq!(f.len(), 1);
+        assert!(f.get(SubscriptionId(7)).is_some());
+        assert!(f.get(SubscriptionId(8)).is_none());
+        f.clear();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn disk_cache_round_trip_and_expiry() {
+        let dir = std::env::temp_dir().join(format!("rc_disk_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(dir.clone(), StdDuration::from_secs(3_600));
+        cache.save("model", "model/VM_P95UTIL", b"abc").unwrap();
+        assert_eq!(cache.load_if_fresh("model", "model/VM_P95UTIL").unwrap(), b"abc");
+        assert_eq!(cache.list("model"), vec!["model_VM_P95UTIL".to_string()]);
+
+        // An expired cache must be ignored.
+        let strict = DiskCache::new(dir.clone(), StdDuration::ZERO);
+        std::thread::sleep(StdDuration::from_millis(15));
+        assert_eq!(strict.load_if_fresh("model", "model/VM_P95UTIL"), None);
+
+        cache.flush();
+        assert_eq!(cache.load_if_fresh("model", "model/VM_P95UTIL"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

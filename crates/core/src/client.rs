@@ -1,0 +1,592 @@
+//! The client library — the paper's "client DLL" (§4.2, Table 2).
+//!
+//! A single, general, thread-safe library through which every resource
+//! manager consumes predictions. It caches prediction results, models, and
+//! feature data in memory; mirrors models and feature data to a local disk
+//! cache; and supports both caching modes:
+//!
+//! - **push** (the production default): `initialize` /
+//!   `force_reload_cache` load *everything* from the store, and
+//!   predictions never touch the store or the disk on the request path.
+//! - **pull**: a result-cache miss returns the no-prediction flag
+//!   immediately while a background worker fetches the model/feature data
+//!   and executes the model, so a later identical request hits the cache.
+//!
+//! When the store is unavailable, loads fall back to the disk cache
+//! unless it has expired — the two cases §4.2 enumerates.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use parking_lot::{Mutex, RwLock};
+
+use rc_store::Store;
+use rc_types::vm::SubscriptionId;
+
+use crate::cache::{DiskCache, FeatureCache, ResultCache};
+use crate::features::SubscriptionFeatures;
+use crate::inputs::ClientInputs;
+use crate::models::{feature_store_key, TrainedModel};
+use crate::prediction::{Prediction, PredictionResponse};
+
+/// Caching mode (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// RC pushes models and feature data; loads happen at initialize /
+    /// reload time and the predict path never blocks on the store.
+    Push,
+    /// Models and feature data are fetched on demand in the background; a
+    /// result-cache miss answers no-prediction.
+    Pull,
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Push or pull caching.
+    pub mode: CacheMode,
+    /// Result-cache capacity in entries.
+    pub result_cache_capacity: usize,
+    /// Directory for the local disk cache; `None` disables it.
+    pub disk_cache_dir: Option<std::path::PathBuf>,
+    /// Expiry of disk-cache contents.
+    pub disk_cache_expiry: StdDuration,
+    /// Push-mode background refresh interval: when set, a watcher thread
+    /// polls the store's versions and reloads the caches whenever RC
+    /// publishes new models or feature data ("RC periodically produces new
+    /// models and feature data ... and pushes them in the background to
+    /// the caches in the client DLL", §4.2). `None` disables the watcher;
+    /// `force_reload_cache` still refreshes on demand.
+    pub auto_refresh_interval: Option<StdDuration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            mode: CacheMode::Push,
+            result_cache_capacity: 1 << 20,
+            disk_cache_dir: None,
+            disk_cache_expiry: StdDuration::from_secs(24 * 3600),
+            auto_refresh_interval: None,
+        }
+    }
+}
+
+/// State shared between the client facade and the pull worker.
+struct Shared {
+    store: Store,
+    config: ClientConfig,
+    models: RwLock<HashMap<String, Arc<TrainedModel>>>,
+    features: RwLock<FeatureCache>,
+    results: Mutex<ResultCache>,
+    in_flight: Mutex<HashSet<u64>>,
+    initialized: AtomicBool,
+    shutdown: AtomicBool,
+    /// FNV fingerprint over (key, version) pairs at the last load; the
+    /// push watcher reloads when the store's fingerprint changes.
+    store_fingerprint: AtomicU64,
+    refreshes: AtomicU64,
+    model_execs: AtomicU64,
+    no_predictions: AtomicU64,
+    disk: Option<DiskCache>,
+}
+
+/// The Resource Central client.
+///
+/// Cheap to clone; clones share caches and the background worker.
+#[derive(Clone)]
+pub struct RcClient {
+    shared: Arc<Shared>,
+    pull_tx: Option<crossbeam_channel_shim::Sender<(String, ClientInputs)>>,
+}
+
+/// Minimal mpsc shim so the pull worker needs no extra dependency: a
+/// mutex-guarded queue drained by the worker thread.
+mod crossbeam_channel_shim {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<(VecDeque<T>, bool)>,
+        ready: Condvar,
+    }
+
+    /// Sending half.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues one item.
+        pub fn send(&self, item: T) {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            q.0.push_back(item);
+            self.0.ready.notify_one();
+        }
+
+        /// Closes the channel, waking the receiver.
+        pub fn close(&self) {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            q.1 = true;
+            self.0.ready.notify_all();
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next item; `None` once closed and drained.
+        pub fn recv(&self) -> Option<T> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = q.0.pop_front() {
+                    return Some(item);
+                }
+                if q.1 {
+                    return None;
+                }
+                q = self.0.ready.wait(q).expect("channel wait");
+            }
+        }
+    }
+}
+
+impl RcClient {
+    /// Creates a client bound to a store. Call
+    /// [`RcClient::initialize`] before requesting predictions.
+    pub fn new(store: Store, config: ClientConfig) -> Self {
+        let disk = config
+            .disk_cache_dir
+            .clone()
+            .map(|dir| DiskCache::new(dir, config.disk_cache_expiry));
+        let shared = Arc::new(Shared {
+            store,
+            results: Mutex::new(ResultCache::new(config.result_cache_capacity)),
+            config,
+            models: RwLock::new(HashMap::new()),
+            features: RwLock::new(FeatureCache::default()),
+            in_flight: Mutex::new(HashSet::new()),
+            initialized: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            store_fingerprint: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+            model_execs: AtomicU64::new(0),
+            no_predictions: AtomicU64::new(0),
+            disk,
+        });
+
+        let pull_tx = if shared.config.mode == CacheMode::Pull {
+            let (tx, rx) = crossbeam_channel_shim::unbounded();
+            let worker_shared = shared.clone();
+            std::thread::Builder::new()
+                .name("rc-pull-worker".into())
+                .spawn(move || pull_worker(worker_shared, rx))
+                .expect("spawn pull worker");
+            Some(tx)
+        } else {
+            None
+        };
+
+        if let Some(interval) = shared.config.auto_refresh_interval {
+            let watcher_shared = shared.clone();
+            std::thread::Builder::new()
+                .name("rc-push-watcher".into())
+                .spawn(move || push_watcher(watcher_shared, interval))
+                .expect("spawn push watcher");
+        }
+
+        RcClient { shared, pull_tx }
+    }
+
+    /// Table 2: `initialize`. Loads models (and, in push mode, all feature
+    /// data) from the store, falling back to a fresh disk cache when the
+    /// store is unavailable. Returns `true` when at least one model is
+    /// ready to serve.
+    pub fn initialize(&self) -> bool {
+        let loaded = self.load_from_store() || self.load_from_disk();
+        self.shared.initialized.store(loaded, Ordering::SeqCst);
+        loaded
+    }
+
+    fn load_from_store(&self) -> bool {
+        load_from_store_shared(&self.shared)
+    }
+}
+
+/// Loads models (and, in push mode, all feature data) from the store into
+/// the shared caches. Free function so the push watcher can call it
+/// without constructing a facade.
+fn load_from_store_shared(shared: &Shared) -> bool {
+    {
+        let store = &shared.store;
+        if !store.is_available() {
+            return false;
+        }
+        let keys = store.keys();
+        let mut models = HashMap::new();
+        for key in keys.iter().filter(|k| k.starts_with("model/")) {
+            if let Ok(rec) = store.get_latest(key) {
+                if let Ok(model) = rc_ml::from_bytes::<TrainedModel>(&rec.data) {
+                    let name = key.trim_start_matches("model/").to_string();
+                    if let Some(disk) = &shared.disk {
+                        let _ = disk.save("model", key, &rec.data);
+                    }
+                    models.insert(name, Arc::new(model));
+                }
+            }
+        }
+        if models.is_empty() {
+            return false;
+        }
+        let mut features = HashMap::new();
+        let mut version = 0;
+        if shared.config.mode == CacheMode::Push {
+            for key in keys.iter().filter(|k| k.starts_with("features/")) {
+                if let Ok(rec) = store.get_latest(key) {
+                    if let Ok(f) = serde_json::from_slice::<SubscriptionFeatures>(&rec.data) {
+                        version = version.max(rec.version);
+                        features.insert(f.subscription, f);
+                    }
+                }
+            }
+            if let Some(disk) = &shared.disk {
+                if let Ok(blob) = serde_json::to_vec(&features.values().collect::<Vec<_>>()) {
+                    let _ = disk.save("features", "all", &blob);
+                }
+            }
+        }
+        *shared.models.write() = models;
+        if shared.config.mode == CacheMode::Push {
+            shared.features.write().replace(features, version);
+        }
+        shared
+            .store_fingerprint
+            .store(store_fingerprint(store), Ordering::SeqCst);
+        true
+    }
+}
+
+impl RcClient {
+    fn load_from_disk(&self) -> bool {
+        let Some(disk) = &self.shared.disk else {
+            return false;
+        };
+        let mut models = HashMap::new();
+        for stem in disk.list("model") {
+            // Stems look like "model_VM_P95UTIL" (slashes flattened).
+            if let Some(bytes) = disk.load_if_fresh("model", &stem.replace('_', "/")) {
+                if let Ok(model) = rc_ml::from_bytes::<TrainedModel>(&bytes) {
+                    models.insert(model.spec.metric.model_name().to_string(), Arc::new(model));
+                }
+            }
+        }
+        // The flattening above is lossy for names with underscores; retry
+        // with the literal stem (covers "model_model_VM_P95UTIL.bin").
+        if models.is_empty() {
+            for stem in disk.list("model") {
+                if let Some(bytes) = disk.load_if_fresh("model", &stem) {
+                    if let Ok(model) = rc_ml::from_bytes::<TrainedModel>(&bytes) {
+                        models
+                            .insert(model.spec.metric.model_name().to_string(), Arc::new(model));
+                    }
+                }
+            }
+        }
+        if models.is_empty() {
+            return false;
+        }
+        let mut features = HashMap::new();
+        if let Some(blob) = disk.load_if_fresh("features", "all") {
+            if let Ok(records) = serde_json::from_slice::<Vec<SubscriptionFeatures>>(&blob) {
+                for f in records {
+                    features.insert(f.subscription, f);
+                }
+            }
+        }
+        *self.shared.models.write() = models;
+        self.shared.features.write().replace(features, 0);
+        true
+    }
+
+    /// Table 2: `get_available_models`.
+    pub fn get_available_models(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shared.models.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Table 2: `predict_single`.
+    pub fn predict_single(&self, model_name: &str, inputs: &ClientInputs) -> PredictionResponse {
+        if !self.shared.initialized.load(Ordering::SeqCst) {
+            return self.no_prediction();
+        }
+        let key = inputs.cache_key(model_name);
+        if let Some(hit) = self.shared.results.lock().get(key) {
+            return PredictionResponse::Predicted(hit);
+        }
+        match self.shared.config.mode {
+            CacheMode::Push => match self.execute(model_name, inputs) {
+                Some(prediction) => {
+                    self.shared.results.lock().insert(key, prediction);
+                    PredictionResponse::Predicted(prediction)
+                }
+                None => self.no_prediction(),
+            },
+            CacheMode::Pull => {
+                // Answer no-prediction now; fill the cache in the
+                // background so the next identical request hits.
+                let mut in_flight = self.shared.in_flight.lock();
+                if in_flight.insert(key) {
+                    if let Some(tx) = &self.pull_tx {
+                        tx.send((model_name.to_string(), *inputs));
+                    }
+                }
+                self.no_prediction()
+            }
+        }
+    }
+
+    /// Table 2: `predict_many`.
+    pub fn predict_many(
+        &self,
+        model_name: &str,
+        inputs: &[ClientInputs],
+    ) -> Vec<PredictionResponse> {
+        inputs.iter().map(|i| self.predict_single(model_name, i)).collect()
+    }
+
+    /// Table 2: `force_reload_cache` — refreshes memory and disk caches
+    /// from the store.
+    pub fn force_reload_cache(&self) {
+        if self.load_from_store() {
+            self.shared.results.lock().clear();
+            self.shared.initialized.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Table 2: `flush_cache` — drops memory and disk caches.
+    pub fn flush_cache(&self) {
+        self.shared.models.write().clear();
+        self.shared.features.write().clear();
+        self.shared.results.lock().clear();
+        if let Some(disk) = &self.shared.disk {
+            disk.flush();
+        }
+        self.shared.initialized.store(false, Ordering::SeqCst);
+    }
+
+    /// Executes a model synchronously against cached feature data.
+    fn execute(&self, model_name: &str, inputs: &ClientInputs) -> Option<Prediction> {
+        let model = self.shared.models.read().get(model_name).cloned()?;
+        let features = {
+            let cache = self.shared.features.read();
+            let sub = cache.get(inputs.subscription)?;
+            model.spec.features(inputs, sub)
+        };
+        self.shared.model_execs.fetch_add(1, Ordering::Relaxed);
+        let (value, score) = rc_ml::Classifier::predict(model.as_ref(), &features);
+        Some(Prediction { value, score })
+    }
+
+    fn no_prediction(&self) -> PredictionResponse {
+        self.shared.no_predictions.fetch_add(1, Ordering::Relaxed);
+        PredictionResponse::NoPrediction
+    }
+
+    /// Result-cache hit rate so far.
+    pub fn result_cache_hit_rate(&self) -> f64 {
+        self.shared.results.lock().hit_rate()
+    }
+
+    /// Result-cache entry count.
+    pub fn result_cache_len(&self) -> usize {
+        self.shared.results.lock().len()
+    }
+
+    /// Model executions so far (each one is a result-cache fill).
+    pub fn model_exec_count(&self) -> u64 {
+        self.shared.model_execs.load(Ordering::Relaxed)
+    }
+
+    /// Result-cache hits per model execution — the §6.1 reuse statistic
+    /// ("an entry is accessed between 18 and 68 times ... after the
+    /// corresponding model execution").
+    pub fn hits_per_execution(&self) -> f64 {
+        let execs = self.model_exec_count();
+        if execs == 0 {
+            return 0.0;
+        }
+        self.shared.results.lock().hits() as f64 / execs as f64
+    }
+
+    /// Drops only the result cache, keeping models and feature data.
+    ///
+    /// Useful when the client knows its inputs' behaviour changed (and for
+    /// benchmarking the model-execution path).
+    pub fn clear_result_cache(&self) {
+        self.shared.results.lock().clear();
+    }
+
+    /// No-prediction replies so far.
+    pub fn no_prediction_count(&self) -> u64 {
+        self.shared.no_predictions.load(Ordering::Relaxed)
+    }
+
+    /// Background cache refreshes performed by the push watcher.
+    pub fn background_refresh_count(&self) -> u64 {
+        self.shared.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the pull worker has drained its queue (test helper).
+    pub fn drain_pull_queue(&self) {
+        loop {
+            if self.shared.in_flight.lock().is_empty() {
+                return;
+            }
+            std::thread::sleep(StdDuration::from_millis(1));
+        }
+    }
+}
+
+impl Drop for RcClient {
+    fn drop(&mut self) {
+        // Count facade-external references: the pull worker and the push
+        // watcher each hold one Arc. When only background threads remain,
+        // shut them down.
+        let background = usize::from(self.pull_tx.is_some())
+            + usize::from(self.shared.config.auto_refresh_interval.is_some());
+        if Arc::strong_count(&self.shared) <= 1 + background {
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            if let Some(tx) = &self.pull_tx {
+                tx.close();
+            }
+        }
+    }
+}
+
+/// FNV fingerprint over every (key, latest version) pair in the store.
+fn store_fingerprint(store: &Store) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for key in store.keys() {
+        for b in key.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(PRIME);
+        }
+        let v = store.latest_version(&key).unwrap_or(0);
+        for b in v.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// The push watcher: polls the store's version fingerprint and refreshes
+/// the caches when RC publishes something new.
+fn push_watcher(shared: Arc<Shared>, interval: StdDuration) {
+    let step = StdDuration::from_millis(20).min(interval);
+    let mut elapsed = StdDuration::ZERO;
+    loop {
+        std::thread::sleep(step);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        elapsed += step;
+        if elapsed < interval {
+            continue;
+        }
+        elapsed = StdDuration::ZERO;
+        if !shared.initialized.load(Ordering::SeqCst) || !shared.store.is_available() {
+            continue;
+        }
+        let current = store_fingerprint(&shared.store);
+        if current != shared.store_fingerprint.load(Ordering::SeqCst)
+            && load_from_store_shared(&shared)
+        {
+            shared.results.lock().clear();
+            shared.refreshes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The pull-mode background worker: fetches model/feature data, executes
+/// the model, and fills the result cache.
+fn pull_worker(
+    shared: Arc<Shared>,
+    rx: crossbeam_channel_shim::Receiver<(String, ClientInputs)>,
+) {
+    while let Some((model_name, inputs)) = rx.recv() {
+        let key = inputs.cache_key(&model_name);
+        // Ensure the model is cached.
+        let model = {
+            let cached = shared.models.read().get(&model_name).cloned();
+            match cached {
+                Some(m) => Some(m),
+                None => fetch_model(&shared, &model_name),
+            }
+        };
+        // Ensure the subscription's feature data is cached.
+        let have_features = {
+            if shared.features.read().get(inputs.subscription).is_some() {
+                true
+            } else {
+                fetch_features(&shared, inputs.subscription)
+            }
+        };
+        if let (Some(model), true) = (model, have_features) {
+            let features = {
+                let cache = shared.features.read();
+                cache
+                    .get(inputs.subscription)
+                    .map(|sub| model.spec.features(&inputs, sub))
+            };
+            if let Some(features) = features {
+                shared.model_execs.fetch_add(1, Ordering::Relaxed);
+                let (value, score) = rc_ml::Classifier::predict(model.as_ref(), &features);
+                shared.results.lock().insert(key, Prediction { value, score });
+            }
+        }
+        shared.in_flight.lock().remove(&key);
+    }
+}
+
+/// Fetches and caches a model from the store (or fresh disk cache).
+fn fetch_model(shared: &Arc<Shared>, model_name: &str) -> Option<Arc<TrainedModel>> {
+    let key = format!("model/{model_name}");
+    let bytes = match shared.store.get_latest(&key) {
+        Ok(rec) => Some(rec.data.to_vec()),
+        Err(_) => shared.disk.as_ref().and_then(|d| d.load_if_fresh("model", &key)),
+    }?;
+    let model = Arc::new(rc_ml::from_bytes::<TrainedModel>(&bytes).ok()?);
+    shared.models.write().insert(model_name.to_string(), model.clone());
+    Some(model)
+}
+
+/// Fetches and caches one subscription's feature data.
+fn fetch_features(shared: &Arc<Shared>, sub: SubscriptionId) -> bool {
+    let key = feature_store_key(sub);
+    let Ok(rec) = shared.store.get_latest(&key) else {
+        return false;
+    };
+    let Ok(features) = serde_json::from_slice::<SubscriptionFeatures>(&rec.data) else {
+        return false;
+    };
+    shared.features.write().insert(features);
+    true
+}

@@ -1,0 +1,259 @@
+//! Label extraction: turning raw telemetry into training examples.
+//!
+//! This is the "data extraction, cleanup, aggregation" front of the
+//! offline workflow (§4.2). Every VM yields observed buckets for the
+//! utilization and lifetime metrics; VMs alive for at least three days
+//! also get an FFT workload-class label (§3.6); every deployment yields
+//! max-size labels.
+
+use rc_ml::fft::{detect_diurnal_periodicity, PeriodicityConfig};
+use rc_types::buckets::{
+    Bucketizer, DeploymentSizeBucketizer, LifetimeBucketizer, UtilizationBucketizer,
+};
+use rc_types::time::Duration;
+use rc_types::vm::{OsType, VmId};
+use rc_trace::Trace;
+
+use crate::features::{DeploymentObservation, VmObservation};
+use crate::inputs::ClientInputs;
+
+/// Days of telemetry required before the FFT classifier will label a VM.
+pub const CLASSIFY_MIN_DAYS: f64 = 3.0;
+
+/// Maximum days of telemetry fed to the FFT (longer series are truncated;
+/// 6 days is plenty to resolve a diurnal peak).
+pub const CLASSIFY_MAX_DAYS: f64 = 6.0;
+
+/// One labelled VM example.
+#[derive(Debug, Clone)]
+pub struct LabeledVm {
+    /// The VM this example describes.
+    pub vm_id: VmId,
+    /// Client inputs as the scheduler would have seen them at creation.
+    pub inputs: ClientInputs,
+    /// Observed behaviour (the labels).
+    pub obs: VmObservation,
+    /// Completion time in seconds (when the observation becomes usable as
+    /// history).
+    pub completed_secs: u64,
+}
+
+/// One labelled deployment example.
+#[derive(Debug, Clone)]
+pub struct LabeledDeployment {
+    /// Client inputs at deployment-creation time. The deployment-size
+    /// models must predict the eventual size, so `deployment_size_hint`
+    /// is fixed at 1 here (using the real size would leak the label).
+    pub inputs: ClientInputs,
+    /// Observed size buckets.
+    pub obs: DeploymentObservation,
+    /// Time at which the deployment's maximum size is known.
+    pub completed_secs: u64,
+}
+
+/// Extracts labelled VM examples, sorted by creation time.
+///
+/// `max_util_samples` bounds the telemetry read per VM when summarizing
+/// utilization (long-lived VMs are strided).
+pub fn label_vms(trace: &Trace, max_util_samples: usize) -> Vec<LabeledVm> {
+    let util_b = UtilizationBucketizer;
+    let life_b = LifetimeBucketizer;
+    let fft_cfg = PeriodicityConfig::default();
+    let mut out = Vec::with_capacity(trace.n_vms());
+    for id in trace.vm_ids() {
+        let vm = trace.vm(id);
+        // VMs shorter than one telemetry interval still get labelled:
+        // `vm_util_summary` falls back to the model's targets when the
+        // slot range is empty (a sub-5-minute VM has one partial reading
+        // in production; its parameters are the best estimate of it).
+        let (avg, p95) = trace.vm_util_summary(id, max_util_samples);
+        let lifetime = vm.lifetime();
+        let class = classify_vm(trace, id, lifetime, &fft_cfg);
+        let inputs = vm_inputs(trace, id);
+        out.push(LabeledVm {
+            vm_id: id,
+            inputs,
+            obs: VmObservation {
+                created_secs: vm.created.as_secs(),
+                avg_bucket: util_b.bucket(&avg),
+                p95_bucket: util_b.bucket(&p95),
+                lifetime_bucket: life_b.bucket(&lifetime),
+                class,
+                cores: vm.sku.cores,
+                memory_gb: vm.sku.memory_gb,
+                os_windows: vm.os == OsType::Windows,
+                avg_util: avg,
+                p95_util: p95,
+                lifetime_secs: lifetime.as_secs(),
+            },
+            completed_secs: vm.deleted.as_secs(),
+        });
+    }
+    out
+}
+
+/// Runs the FFT periodicity analysis on a VM's average-utilization series.
+///
+/// Returns `Some(0)` for delay-insensitive, `Some(1)` for interactive,
+/// `None` ("Unknown") when the VM lived less than [`CLASSIFY_MIN_DAYS`]
+/// inside the observation window.
+pub fn classify_vm(
+    trace: &Trace,
+    id: VmId,
+    lifetime: Duration,
+    cfg: &PeriodicityConfig,
+) -> Option<usize> {
+    if lifetime.as_days_f64() < CLASSIFY_MIN_DAYS {
+        return None;
+    }
+    let (first_slot, last_slot) = trace.vm_slots(id);
+    let observed_days = (last_slot - first_slot) as f64 * 300.0 / 86_400.0;
+    if observed_days < CLASSIFY_MIN_DAYS {
+        return None;
+    }
+    let max_slots = (CLASSIFY_MAX_DAYS * 288.0) as u64;
+    let last = last_slot.min(first_slot + max_slots);
+    let series = trace.util_params(id).avg_series(first_slot, last);
+    let result = detect_diurnal_periodicity(&series, cfg);
+    if !result.enough_data {
+        return None;
+    }
+    Some(usize::from(result.periodic))
+}
+
+/// The client inputs a scheduler would pass when placing this VM.
+pub fn vm_inputs(trace: &Trace, id: VmId) -> ClientInputs {
+    let vm = trace.vm(id);
+    let sub = trace.subscription_of(id);
+    let dep = &trace.deployments[vm.deployment.0 as usize];
+    ClientInputs {
+        subscription: vm.subscription,
+        party: vm.party,
+        role: vm.role,
+        prod: vm.prod,
+        os: vm.os,
+        sku_index: vm.sku.catalog_index(),
+        deployment_time: vm.created,
+        // The scheduler knows the requested deployment size when placing
+        // VMs (the deployment request names its VMs).
+        deployment_size_hint: dep.n_vms,
+        service: sub.service,
+    }
+}
+
+/// Extracts labelled deployment examples, sorted by creation time.
+pub fn label_deployments(trace: &Trace) -> Vec<LabeledDeployment> {
+    let size_b = DeploymentSizeBucketizer;
+    let mut out: Vec<LabeledDeployment> = trace
+        .deployments
+        .iter()
+        .map(|dep| {
+            let sub = &trace.subscriptions[dep.subscription.0 as usize];
+            let inputs = ClientInputs {
+                subscription: dep.subscription,
+                party: sub.party,
+                role: sub.primary_role,
+                prod: sub.prod,
+                os: sub.os,
+                sku_index: sub.primary_sku,
+                deployment_time: dep.created,
+                deployment_size_hint: 1,
+                service: sub.service,
+            };
+            LabeledDeployment {
+                inputs,
+                obs: DeploymentObservation {
+                    created_secs: dep.created.as_secs(),
+                    vms_bucket: size_b.bucket(&(dep.n_vms as u64)),
+                    cores_bucket: size_b.bucket(&(dep.n_cores as u64)),
+                    n_vms: dep.n_vms as u64,
+                },
+                // The deployment's maximum size is known once its growth
+                // window (one day) has passed.
+                completed_secs: dep.created.as_secs() + 86_400,
+            }
+        })
+        .collect();
+    out.sort_by_key(|d| d.obs.created_secs);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_trace::TraceConfig;
+
+    fn trace() -> Trace {
+        Trace::generate(&TraceConfig {
+            target_vms: 4_000,
+            n_subscriptions: 200,
+            days: 25,
+            ..TraceConfig::small()
+        })
+    }
+
+    #[test]
+    fn labels_cover_nearly_all_vms() {
+        let t = trace();
+        let labels = label_vms(&t, 200);
+        assert_eq!(labels.len(), t.n_vms(), "every VM gets a label");
+        for w in labels.windows(2) {
+            assert!(w[0].obs.created_secs <= w[1].obs.created_secs);
+        }
+    }
+
+    #[test]
+    fn observed_buckets_are_consistent() {
+        let t = trace();
+        for l in label_vms(&t, 200).iter().take(500) {
+            assert!(l.obs.p95_bucket >= l.obs.avg_bucket, "p95 >= avg bucket");
+            assert!(l.obs.avg_bucket < 4 && l.obs.lifetime_bucket < 4);
+            assert!(l.completed_secs >= l.obs.created_secs);
+        }
+    }
+
+    #[test]
+    fn short_vms_are_unclassified() {
+        let t = trace();
+        for l in label_vms(&t, 200) {
+            if (l.obs.lifetime_secs as f64) < CLASSIFY_MIN_DAYS * 86_400.0 {
+                assert_eq!(l.obs.class, None);
+            }
+        }
+    }
+
+    #[test]
+    fn interactive_intent_mostly_matches_fft_labels() {
+        // The FFT classifier should recover the generator's intent for
+        // long-running VMs (validating §3.6's methodology end to end).
+        let t = trace();
+        let labels = label_vms(&t, 200);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for l in &labels {
+            if let Some(class) = l.obs.class {
+                let intent = usize::from(t.interactive_intent[l.vm_id.0 as usize]);
+                total += 1;
+                if class == intent {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(total > 20, "need some classified VMs, got {total}");
+        assert!(
+            agree as f64 / total as f64 > 0.85,
+            "FFT agrees with intent on {agree}/{total}"
+        );
+    }
+
+    #[test]
+    fn deployment_labels_match_records() {
+        let t = trace();
+        let labels = label_deployments(&t);
+        assert_eq!(labels.len(), t.deployments.len());
+        for l in labels.iter().take(300) {
+            assert_eq!(l.inputs.deployment_size_hint, 1, "no label leakage");
+            assert!(l.obs.vms_bucket < 4 && l.obs.cores_bucket < 4);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Model evaluation: confusion matrices and Table 4's quality measures.
+//!
+//! Table 4 reports, per metric: overall accuracy; per-bucket true share,
+//! precision and recall; and `P^theta` / `R^theta` — precision and coverage
+//! when the client discards predictions whose best confidence score falls
+//! below a threshold (the paper uses theta = 0.6). We define:
+//!
+//! - `P^theta`: fraction of *retained* predictions that are correct
+//!   (micro-averaged precision of the confident predictions), and
+//! - `R^theta`: fraction of all test samples that still receive a
+//!   prediction (coverage) — "without substantially hurting recall" in the
+//!   paper's phrasing means this stays high as theta rises.
+
+use serde::{Deserialize, Serialize};
+
+/// A square confusion matrix over `n_classes` classes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    /// Row-major counts: `counts[truth * n_classes + predicted]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_classes == 0`.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        ConfusionMatrix { n_classes, counts: vec![0; n_classes * n_classes] }
+    }
+
+    /// Records one (truth, prediction) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.n_classes && predicted < self.n_classes);
+        self.counts[truth * self.n_classes + predicted] += 1;
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total number of recorded pairs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count at (truth, predicted).
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.n_classes + predicted]
+    }
+
+    /// Overall accuracy. Returns 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n_classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Fraction of samples whose true class is `c` (Table 4's "%" column).
+    pub fn true_share(&self, c: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let row: u64 = (0..self.n_classes).map(|p| self.count(c, p)).sum();
+        row as f64 / total as f64
+    }
+
+    /// Precision for class `c`: true positives / predicted positives.
+    ///
+    /// Returns 0 when the class is never predicted.
+    pub fn precision(&self, c: usize) -> f64 {
+        let predicted: u64 = (0..self.n_classes).map(|t| self.count(t, c)).sum();
+        if predicted == 0 {
+            return 0.0;
+        }
+        self.count(c, c) as f64 / predicted as f64
+    }
+
+    /// Recall for class `c`: true positives / actual positives.
+    ///
+    /// Returns 0 when the class never occurs.
+    pub fn recall(&self, c: usize) -> f64 {
+        let actual: u64 = (0..self.n_classes).map(|p| self.count(c, p)).sum();
+        if actual == 0 {
+            return 0.0;
+        }
+        self.count(c, c) as f64 / actual as f64
+    }
+
+    /// Merges another matrix into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n_classes, other.n_classes);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Accumulates the confidence-thresholded quality measures of Table 4.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThresholdedEval {
+    /// Confidence threshold theta.
+    pub theta: f64,
+    /// Samples seen.
+    pub total: u64,
+    /// Samples whose best score reached theta (predictions retained).
+    pub retained: u64,
+    /// Retained samples predicted correctly.
+    pub retained_correct: u64,
+}
+
+impl ThresholdedEval {
+    /// Creates an accumulator with the given threshold.
+    pub fn new(theta: f64) -> Self {
+        ThresholdedEval { theta, ..Default::default() }
+    }
+
+    /// Records one prediction with its confidence score.
+    pub fn record(&mut self, truth: usize, predicted: usize, score: f64) {
+        self.total += 1;
+        if score >= self.theta {
+            self.retained += 1;
+            if truth == predicted {
+                self.retained_correct += 1;
+            }
+        }
+    }
+
+    /// `P^theta`: precision of the retained predictions.
+    ///
+    /// Returns 0 when nothing was retained.
+    pub fn precision(&self) -> f64 {
+        if self.retained == 0 {
+            return 0.0;
+        }
+        self.retained_correct as f64 / self.retained as f64
+    }
+
+    /// `R^theta`: coverage — fraction of samples that keep a prediction.
+    ///
+    /// Returns 0 when no samples were seen.
+    pub fn recall(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.retained as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(3);
+        // truth 0: 8 correct, 2 predicted as 1.
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        // truth 1: 5 correct, 5 predicted as 2.
+        for _ in 0..5 {
+            m.record(1, 1);
+        }
+        for _ in 0..5 {
+            m.record(1, 2);
+        }
+        // truth 2: 10 correct.
+        for _ in 0..10 {
+            m.record(2, 2);
+        }
+        m
+    }
+
+    #[test]
+    fn accuracy_and_shares() {
+        let m = sample_matrix();
+        assert_eq!(m.total(), 30);
+        assert!((m.accuracy() - 23.0 / 30.0).abs() < 1e-12);
+        assert!((m.true_share(0) - 10.0 / 30.0).abs() < 1e-12);
+        assert!((m.true_share(2) - 10.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_and_recall() {
+        let m = sample_matrix();
+        assert!((m.precision(0) - 1.0).abs() < 1e-12); // 8 / 8
+        assert!((m.recall(0) - 0.8).abs() < 1e-12); // 8 / 10
+        assert!((m.precision(1) - 5.0 / 7.0).abs() < 1e-12); // 5 / (2+5)
+        assert!((m.recall(1) - 0.5).abs() < 1e-12);
+        assert!((m.precision(2) - 10.0 / 15.0).abs() < 1e-12);
+        assert!((m.recall(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_yields_zero_not_nan() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 0);
+        assert_eq!(m.precision(1), 0.0);
+        assert_eq!(m.recall(1), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = sample_matrix();
+        let b = sample_matrix();
+        a.merge(&b);
+        assert_eq!(a.total(), 60);
+        assert_eq!(a.count(2, 2), 20);
+    }
+
+    #[test]
+    fn thresholded_eval_filters_low_confidence() {
+        let mut e = ThresholdedEval::new(0.6);
+        e.record(0, 0, 0.9); // retained, correct
+        e.record(0, 1, 0.8); // retained, wrong
+        e.record(1, 1, 0.3); // dropped
+        e.record(1, 0, 0.5); // dropped
+        assert_eq!(e.total, 4);
+        assert_eq!(e.retained, 2);
+        assert!((e.precision() - 0.5).abs() < 1e-12);
+        assert!((e.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thresholded_eval_empty_is_zero() {
+        let e = ThresholdedEval::new(0.6);
+        assert_eq!(e.precision(), 0.0);
+        assert_eq!(e.recall(), 0.0);
+    }
+}

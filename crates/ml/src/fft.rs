@@ -1,0 +1,342 @@
+//! Fast Fourier Transform and diurnal periodicity detection (§3.6).
+//!
+//! The paper classifies a VM as *potentially interactive* when its average
+//! CPU utilization time series shows periodic behaviour at the diurnal
+//! scale, detected with an FFT over (at least) 3 days of 5-minute samples.
+//! [`detect_diurnal_periodicity`] reproduces that analysis: detrend the
+//! series, transform, and compare the spectral power near the 24-hour
+//! frequency (and its first harmonic) against the typical off-peak power.
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number, minimal and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Builds a complex number from its parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude `re^2 + im^2`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// Set `inverse` for the inverse transform; the inverse is scaled by `1/n`
+/// so that a forward+inverse round trip is the identity.
+///
+/// # Panics
+///
+/// Panics when `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            x.re *= inv_n;
+            x.im *= inv_n;
+        }
+    }
+}
+
+/// Power spectrum of a real series, padded with its mean to the next power
+/// of two. Returns one power value per non-negative frequency bin
+/// (`0..=n/2`) along with the padded length `n`.
+pub fn power_spectrum(series: &[f64]) -> (Vec<f64>, usize) {
+    let n = series.len().next_power_of_two().max(2);
+    let mean = if series.is_empty() {
+        0.0
+    } else {
+        series.iter().sum::<f64>() / series.len() as f64
+    };
+    let mut buf: Vec<Complex> = series
+        .iter()
+        .map(|&v| Complex::new(v - mean, 0.0))
+        .chain(std::iter::repeat(Complex::new(0.0, 0.0)))
+        .take(n)
+        .collect();
+    fft_in_place(&mut buf, false);
+    let spectrum = buf[..=n / 2].iter().map(|c| c.norm_sq()).collect();
+    (spectrum, n)
+}
+
+/// Configuration for the diurnal periodicity detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeriodicityConfig {
+    /// Seconds between consecutive samples (the paper's telemetry uses 300).
+    pub sample_interval_secs: f64,
+    /// The target period in seconds (diurnal = 86 400).
+    pub target_period_secs: f64,
+    /// Relative half-width of the accepted frequency band around the target
+    /// (0.25 accepts periods within ±25% of 24 h).
+    pub band_tolerance: f64,
+    /// How many times the median spectral power the diurnal band must reach
+    /// to be called periodic.
+    pub power_ratio_threshold: f64,
+    /// Minimum series length in *target periods* (the paper requires 3 days
+    /// for a reliable diurnal pattern).
+    pub min_periods: f64,
+    /// Also credit the first harmonic (12 h) band, which strengthens
+    /// detection of asymmetric day/night shapes.
+    pub use_first_harmonic: bool,
+}
+
+impl Default for PeriodicityConfig {
+    fn default() -> Self {
+        PeriodicityConfig {
+            sample_interval_secs: 300.0,
+            target_period_secs: 86_400.0,
+            band_tolerance: 0.25,
+            power_ratio_threshold: 8.0,
+            min_periods: 3.0,
+            use_first_harmonic: true,
+        }
+    }
+}
+
+/// Outcome of a periodicity test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicityResult {
+    /// True when the series shows significant power at the target period.
+    pub periodic: bool,
+    /// Ratio of peak band power to median spectral power (the test statistic).
+    pub power_ratio: f64,
+    /// True when the series was long enough to test at all.
+    pub enough_data: bool,
+}
+
+/// Tests a utilization time series for diurnal periodicity.
+///
+/// Returns `enough_data == false` (and `periodic == false`) when the series
+/// spans fewer than `config.min_periods` target periods — these VMs fall in
+/// the paper's "Unknown" class.
+pub fn detect_diurnal_periodicity(series: &[f64], config: &PeriodicityConfig) -> PeriodicityResult {
+    let span_secs = series.len() as f64 * config.sample_interval_secs;
+    if span_secs < config.min_periods * config.target_period_secs || series.len() < 8 {
+        return PeriodicityResult { periodic: false, power_ratio: 0.0, enough_data: false };
+    }
+    let (spectrum, n) = power_spectrum(series);
+    // Frequency of bin k is k / (n * dt) cycles per second.
+    let bin_freq = 1.0 / (n as f64 * config.sample_interval_secs);
+    let target_freq = 1.0 / config.target_period_secs;
+
+    let band_power = |center_freq: f64| -> f64 {
+        let lo = center_freq * (1.0 - config.band_tolerance);
+        let hi = center_freq * (1.0 + config.band_tolerance);
+        let k_lo = ((lo / bin_freq).floor().max(1.0)) as usize;
+        let k_hi = ((hi / bin_freq).ceil() as usize).min(spectrum.len() - 1);
+        spectrum[k_lo..=k_hi.max(k_lo)]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    };
+
+    let mut peak = band_power(target_freq);
+    if config.use_first_harmonic {
+        peak = peak.max(band_power(2.0 * target_freq));
+    }
+
+    // Median of the strictly positive-frequency spectrum as the noise floor.
+    let mut sorted: Vec<f64> = spectrum[1..].to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite power"));
+    let median = sorted[sorted.len() / 2].max(1e-12);
+
+    let power_ratio = peak / median;
+    PeriodicityResult {
+        periodic: power_ratio >= config.power_ratio_threshold,
+        power_ratio,
+        enough_data: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let input: Vec<f64> = vec![1.0, 2.0, 0.5, -1.0, 0.0, 3.0, -2.0, 0.25];
+        let mut data: Vec<Complex> = input.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_in_place(&mut data, false);
+        let n = input.len();
+        for (k, got) in data.iter().enumerate() {
+            let mut expect = Complex::default();
+            for (t, &x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                expect = expect + Complex::new(x * ang.cos(), x * ang.sin());
+            }
+            assert!((got.re - expect.re).abs() < 1e-9, "bin {k}");
+            assert!((got.im - expect.im).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn fft_inverse_round_trip() {
+        let mut data: Vec<Complex> =
+            (0..64).map(|i| Complex::new((i as f64 * 0.7).sin(), 0.0)).collect();
+        let orig = data.clone();
+        fft_in_place(&mut data, false);
+        fft_in_place(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!(a.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::default(); 6];
+        fft_in_place(&mut data, false);
+    }
+
+    /// A synthetic diurnal series: 5-minute samples over `days` days.
+    fn diurnal_series(days: usize, amplitude: f64, noise: f64) -> Vec<f64> {
+        let samples = days * 288;
+        let mut state = 1234u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        (0..samples)
+            .map(|i| {
+                let hours = i as f64 * 300.0 / 3600.0;
+                let phase = 2.0 * std::f64::consts::PI * hours / 24.0;
+                0.4 + amplitude * phase.sin() + noise * next()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_diurnal_signal() {
+        let series = diurnal_series(4, 0.25, 0.05);
+        let r = detect_diurnal_periodicity(&series, &PeriodicityConfig::default());
+        assert!(r.enough_data);
+        assert!(r.periodic, "ratio = {}", r.power_ratio);
+    }
+
+    #[test]
+    fn rejects_flat_noise() {
+        let series = diurnal_series(4, 0.0, 0.05);
+        let r = detect_diurnal_periodicity(&series, &PeriodicityConfig::default());
+        assert!(r.enough_data);
+        assert!(!r.periodic, "ratio = {}", r.power_ratio);
+    }
+
+    #[test]
+    fn short_series_is_unknown() {
+        let series = diurnal_series(2, 0.25, 0.05);
+        let r = detect_diurnal_periodicity(&series, &PeriodicityConfig::default());
+        assert!(!r.enough_data);
+        assert!(!r.periodic);
+    }
+
+    #[test]
+    fn detects_asymmetric_daily_pattern_via_harmonic() {
+        // A spiky "business hours" square-ish wave has strong harmonics.
+        let samples = 4 * 288;
+        let series: Vec<f64> = (0..samples)
+            .map(|i| {
+                let hour = (i as f64 * 300.0 / 3600.0) % 24.0;
+                if (9.0..17.0).contains(&hour) {
+                    0.8
+                } else {
+                    0.1
+                }
+            })
+            .collect();
+        let r = detect_diurnal_periodicity(&series, &PeriodicityConfig::default());
+        assert!(r.periodic, "ratio = {}", r.power_ratio);
+    }
+
+    #[test]
+    fn power_spectrum_peak_at_known_frequency() {
+        // 128 samples, period 16 => frequency bin 8.
+        let series: Vec<f64> = (0..128)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 16.0).cos())
+            .collect();
+        let (spec, n) = power_spectrum(&series);
+        assert_eq!(n, 128);
+        let peak_bin = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak_bin, 8);
+    }
+}

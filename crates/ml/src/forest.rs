@@ -1,0 +1,236 @@
+//! Bagged random forests over [`DecisionTree`]s.
+//!
+//! Each member tree trains on a bootstrap resample of the rows and examines
+//! a random subset of features at every split (`sqrt(n_features)` by
+//! default, the standard Breiman setting). Member training is embarrassingly
+//! parallel and uses crossbeam scoped threads.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::BinnedDataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+
+/// Hyperparameters for a [`RandomForest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of member trees.
+    pub n_trees: usize,
+    /// Settings for each member tree. `features_per_split = None` here means
+    /// "use `sqrt(n_features)`" (unlike a bare tree, where it means "all").
+    pub tree: TreeConfig,
+    /// Fraction of the training set drawn (with replacement) per tree.
+    pub bootstrap_fraction: f64,
+    /// Number of worker threads; `0` picks the available parallelism.
+    pub n_threads: usize,
+    /// Master RNG seed; member seeds derive deterministically from it.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 48,
+            tree: TreeConfig { max_depth: 14, ..TreeConfig::default() },
+            bootstrap_fraction: 1.0,
+            n_threads: 0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A trained random forest classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Trains a forest on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty or `config.n_trees == 0`.
+    pub fn fit(data: &BinnedDataset<'_>, config: &RandomForestConfig) -> Self {
+        assert!(config.n_trees > 0, "a forest needs at least one tree");
+        let n = data.source().len();
+        assert!(n > 0, "cannot fit a forest on zero rows");
+        let n_classes = data.source().n_classes();
+        let n_features = data.source().n_features();
+        let per_split = config
+            .tree
+            .features_per_split
+            .unwrap_or_else(|| (n_features as f64).sqrt().ceil() as usize)
+            .max(1);
+        let sample = ((n as f64) * config.bootstrap_fraction).round().max(1.0) as usize;
+
+        let n_threads = if config.n_threads == 0 {
+            std::thread::available_parallelism().map_or(4, |p| p.get())
+        } else {
+            config.n_threads
+        };
+        let n_threads = n_threads.min(config.n_trees).max(1);
+
+        let mut trees: Vec<Option<DecisionTree>> = vec![None; config.n_trees];
+        let chunk = config.n_trees.div_ceil(n_threads);
+        crossbeam::thread::scope(|scope| {
+            for (t, slot_chunk) in trees.chunks_mut(chunk).enumerate() {
+                let base = t * chunk;
+                let tree_cfg = &config.tree;
+                scope.spawn(move |_| {
+                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                        let k = base + off;
+                        let seed = config
+                            .seed
+                            .wrapping_mul(0x9e3779b97f4a7c15)
+                            .wrapping_add(k as u64);
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let indices: Vec<u32> =
+                            (0..sample).map(|_| rng.gen_range(0..n) as u32).collect();
+                        let cfg = TreeConfig {
+                            features_per_split: Some(per_split),
+                            seed: seed ^ 0xabcd_1234,
+                            ..tree_cfg.clone()
+                        };
+                        *slot = Some(DecisionTree::fit_on(data, &indices, &cfg));
+                    }
+                });
+            }
+        })
+        .expect("forest worker panicked");
+
+        RandomForest {
+            trees: trees.into_iter().map(|t| t.expect("tree trained")).collect(),
+            n_classes,
+        }
+    }
+
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Mean per-feature gini gain across members (unnormalized importance).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        if self.trees.is_empty() {
+            return Vec::new();
+        }
+        let nf = self.trees[0].feature_gain().len();
+        let mut acc = vec![0.0; nf];
+        for t in &self.trees {
+            for (a, g) in acc.iter_mut().zip(t.feature_gain()) {
+                *a += g;
+            }
+        }
+        let n = self.trees.len() as f64;
+        acc.iter_mut().for_each(|a| *a /= n);
+        acc
+    }
+}
+
+impl Classifier for RandomForest {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.n_classes];
+        for t in &self.trees {
+            for (a, p) in acc.iter_mut().zip(t.predict_proba(features)) {
+                *a += p;
+            }
+        }
+        let n = self.trees.len() as f64;
+        acc.iter_mut().for_each(|a| *a /= n);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    /// Four-class dataset: class = 2*(x0>0) + (x1>0), with noise features.
+    fn quadrants(n: usize) -> Dataset {
+        let mut d = Dataset::new(4, 4);
+        let mut state = 7u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        for _ in 0..n {
+            let x0 = next() * 2.0;
+            let x1 = next() * 2.0;
+            let c = 2 * usize::from(x0 > 0.0) + usize::from(x1 > 0.0);
+            d.push(&[x0, x1, next(), next()], c);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_quadrants() {
+        let d = quadrants(800);
+        let b = BinnedDataset::build(&d);
+        let cfg = RandomForestConfig { n_trees: 24, ..RandomForestConfig::default() };
+        let f = RandomForest::fit(&b, &cfg);
+        let correct = (0..d.len())
+            .filter(|&i| f.predict(d.row(i)).0 == d.label(i))
+            .count();
+        assert!(correct as f64 / d.len() as f64 > 0.93, "got {correct}/800");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = quadrants(200);
+        let b = BinnedDataset::build(&d);
+        let cfg = RandomForestConfig { n_trees: 8, n_threads: 2, ..RandomForestConfig::default() };
+        let f1 = RandomForest::fit(&b, &cfg);
+        let f2 = RandomForest::fit(&b, &cfg);
+        for i in 0..d.len() {
+            assert_eq!(f1.predict_proba(d.row(i)), f2.predict_proba(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn probabilities_average_to_simplex() {
+        let d = quadrants(300);
+        let b = BinnedDataset::build(&d);
+        let cfg = RandomForestConfig { n_trees: 8, ..RandomForestConfig::default() };
+        let f = RandomForest::fit(&b, &cfg);
+        for i in (0..d.len()).step_by(17) {
+            let p = f.predict_proba(d.row(i));
+            // Leaf probabilities are stored as f32, so tolerate rounding.
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn importance_finds_informative_features() {
+        let d = quadrants(600);
+        let b = BinnedDataset::build(&d);
+        let cfg = RandomForestConfig { n_trees: 16, ..RandomForestConfig::default() };
+        let f = RandomForest::fit(&b, &cfg);
+        let imp = f.feature_importance();
+        assert!(imp[0] > imp[2] && imp[0] > imp[3]);
+        assert!(imp[1] > imp[2] && imp[1] > imp[3]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = quadrants(200);
+        let b = BinnedDataset::build(&d);
+        let cfg = RandomForestConfig { n_trees: 4, ..RandomForestConfig::default() };
+        let f = RandomForest::fit(&b, &cfg);
+        let back: RandomForest = crate::from_bytes(&crate::to_bytes(&f)).unwrap();
+        assert_eq!(back.n_trees(), 4);
+        for i in 0..d.len() {
+            assert_eq!(f.predict(d.row(i)).0, back.predict(d.row(i)).0);
+        }
+    }
+}

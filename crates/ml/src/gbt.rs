@@ -1,0 +1,387 @@
+//! Extreme gradient boosting trees with softmax multi-class loss.
+//!
+//! This is the XGBoost formulation: each boosting round fits one regression
+//! tree per class to the first/second-order gradients of the softmax
+//! cross-entropy, split gain is the regularized second-order score
+//! `1/2 (G_L^2/(H_L+lambda) + G_R^2/(H_R+lambda) - G^2/(H+lambda)) - gamma`,
+//! and leaf values are the Newton step `-G / (H + lambda)` scaled by the
+//! learning rate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{BinnedDataset, MAX_BINS};
+use crate::Classifier;
+
+/// Hyperparameters for [`GradientBoosting`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GradientBoostingConfig {
+    /// Number of boosting rounds (trees per class).
+    pub n_rounds: usize,
+    /// Maximum depth of each regression tree.
+    pub max_depth: usize,
+    /// Shrinkage applied to every leaf value.
+    pub learning_rate: f64,
+    /// L2 regularization on leaf values (XGBoost's lambda).
+    pub lambda: f64,
+    /// Minimum gain required to split (XGBoost's gamma).
+    pub gamma: f64,
+    /// Minimum hessian mass in a child (XGBoost's min_child_weight).
+    pub min_child_weight: f64,
+}
+
+impl Default for GradientBoostingConfig {
+    fn default() -> Self {
+        GradientBoostingConfig {
+            n_rounds: 40,
+            max_depth: 6,
+            learning_rate: 0.2,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+        }
+    }
+}
+
+/// One node of a regression tree in the boosted ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum RegNode {
+    /// Terminal node carrying the (already shrunk) score contribution.
+    Leaf { value: f64 },
+    /// Internal node: rows with `features[feature] <= threshold` go left.
+    Split { feature: u32, threshold: f64, left: u32, right: u32 },
+}
+
+/// A regression tree fit to gradients, arena-allocated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RegTree {
+    nodes: Vec<RegNode>,
+}
+
+impl RegTree {
+    /// Raw score contribution for one feature row.
+    fn score(&self, features: &[f64]) -> f64 {
+        let mut id = 0u32;
+        loop {
+            match &self.nodes[id as usize] {
+                RegNode::Leaf { value } => return *value,
+                RegNode::Split { feature, threshold, left, right } => {
+                    id = if features[*feature as usize] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Scratch state for growing one regression tree.
+struct RegGrower<'a, 'b> {
+    data: &'a BinnedDataset<'b>,
+    grad: &'a [f64],
+    hess: &'a [f64],
+    config: &'a GradientBoostingConfig,
+    nodes: Vec<RegNode>,
+    feature_gain: Vec<f64>,
+}
+
+impl RegGrower<'_, '_> {
+    fn grow(&mut self, indices: &mut [u32], depth: usize) -> u32 {
+        let (g, h): (f64, f64) = indices.iter().fold((0.0, 0.0), |(g, h), &i| {
+            (g + self.grad[i as usize], h + self.hess[i as usize])
+        });
+        if depth < self.config.max_depth && indices.len() >= 2 {
+            if let Some((feature, bin, gain)) = self.best_split(indices, g, h) {
+                self.feature_gain[feature] += gain;
+                let threshold = self.data.threshold(feature, bin);
+                let mut mid = 0;
+                for i in 0..indices.len() {
+                    if self.data.code(indices[i] as usize, feature) <= bin {
+                        indices.swap(i, mid);
+                        mid += 1;
+                    }
+                }
+                let id = self.nodes.len() as u32;
+                self.nodes.push(RegNode::Leaf { value: 0.0 });
+                let (li, ri) = indices.split_at_mut(mid);
+                let left = self.grow(li, depth + 1);
+                let right = self.grow(ri, depth + 1);
+                self.nodes[id as usize] =
+                    RegNode::Split { feature: feature as u32, threshold, left, right };
+                return id;
+            }
+        }
+        let value = -g / (h + self.config.lambda) * self.config.learning_rate;
+        let id = self.nodes.len() as u32;
+        self.nodes.push(RegNode::Leaf { value });
+        id
+    }
+
+    /// Best (feature, bin, gain) under the second-order gain criterion.
+    fn best_split(&self, indices: &[u32], g_total: f64, h_total: f64) -> Option<(usize, usize, f64)> {
+        let nf = self.data.source().n_features();
+        let parent_score = g_total * g_total / (h_total + self.config.lambda);
+        let mut best: Option<(usize, usize, f64)> = None;
+        let mut gh = [(0.0f64, 0.0f64); MAX_BINS];
+        for f in 0..nf {
+            let n_bins = self.data.n_bins(f);
+            if n_bins < 2 {
+                continue;
+            }
+            gh[..n_bins].fill((0.0, 0.0));
+            for &i in indices {
+                let b = self.data.code(i as usize, f);
+                let e = &mut gh[b];
+                e.0 += self.grad[i as usize];
+                e.1 += self.hess[i as usize];
+            }
+            let (mut gl, mut hl) = (0.0, 0.0);
+            for (b, &(bg, bh)) in gh.iter().enumerate().take(n_bins - 1) {
+                gl += bg;
+                hl += bh;
+                let gr = g_total - gl;
+                let hr = h_total - hl;
+                if hl < self.config.min_child_weight || hr < self.config.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5
+                    * (gl * gl / (hl + self.config.lambda)
+                        + gr * gr / (hr + self.config.lambda)
+                        - parent_score)
+                    - self.config.gamma;
+                if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, b, gain));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// A trained gradient-boosted multi-class classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GradientBoosting {
+    /// `rounds x n_classes` regression trees, row-major by round.
+    trees: Vec<RegTree>,
+    n_classes: usize,
+    /// Per-class prior log-odds used as the initial score.
+    base_score: Vec<f64>,
+    /// Accumulated split gain per feature.
+    feature_gain: Vec<f64>,
+}
+
+impl GradientBoosting {
+    /// Trains a boosted ensemble on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty or the config requests zero rounds.
+    pub fn fit(data: &BinnedDataset<'_>, config: &GradientBoostingConfig) -> Self {
+        assert!(config.n_rounds > 0, "boosting needs at least one round");
+        let n = data.source().len();
+        assert!(n > 0, "cannot fit on zero rows");
+        let k = data.source().n_classes();
+        let nf = data.source().n_features();
+
+        // Prior log-probabilities keep early rounds sane for skewed classes.
+        let dist = data.source().class_distribution();
+        let base_score: Vec<f64> =
+            dist.iter().map(|&p| (p.max(1e-6)).ln()).collect();
+
+        // scores[i * k + c] = current raw score of row i for class c.
+        let mut scores = vec![0.0f64; n * k];
+        for row in scores.chunks_mut(k) {
+            row.copy_from_slice(&base_score);
+        }
+
+        let mut trees = Vec::with_capacity(config.n_rounds * k);
+        let mut feature_gain = vec![0.0; nf];
+        let mut grad = vec![0.0f64; n];
+        let mut hess = vec![0.0f64; n];
+        let mut probs = vec![0.0f64; k];
+        let mut all: Vec<u32> = (0..n as u32).collect();
+
+        for _round in 0..config.n_rounds {
+            for c in 0..k {
+                // Softmax gradients for class c.
+                for i in 0..n {
+                    softmax_into(&scores[i * k..(i + 1) * k], &mut probs);
+                    let p = probs[c];
+                    let y = f64::from(data.source().label(i) == c);
+                    grad[i] = p - y;
+                    hess[i] = (p * (1.0 - p)).max(1e-12);
+                }
+                let mut grower = RegGrower {
+                    data,
+                    grad: &grad,
+                    hess: &hess,
+                    config,
+                    nodes: Vec::new(),
+                    feature_gain: vec![0.0; nf],
+                };
+                grower.grow(&mut all, 0);
+                for (a, g) in feature_gain.iter_mut().zip(&grower.feature_gain) {
+                    *a += g;
+                }
+                let tree = RegTree { nodes: grower.nodes };
+                for i in 0..n {
+                    scores[i * k + c] += tree.score(data.source().row(i));
+                }
+                trees.push(tree);
+            }
+        }
+
+        GradientBoosting { trees, n_classes: k, base_score, feature_gain }
+    }
+
+    /// Number of regression trees in the ensemble (rounds × classes).
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Accumulated split gain per feature (unnormalized importance).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.feature_gain
+    }
+}
+
+impl Classifier for GradientBoosting {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let k = self.n_classes;
+        let mut scores = self.base_score.clone();
+        for (t, tree) in self.trees.iter().enumerate() {
+            scores[t % k] += tree.score(features);
+        }
+        let mut probs = vec![0.0; k];
+        softmax_into(&scores, &mut probs);
+        probs
+    }
+}
+
+/// Writes `softmax(scores)` into `out`.
+fn softmax_into(scores: &[f64], out: &mut [f64]) {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for (o, &s) in out.iter_mut().zip(scores) {
+        let e = (s - max).exp();
+        *o = e;
+        sum += e;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn spiralish(n: usize) -> Dataset {
+        // Three classes separated by thresholds on x0 with a noisy channel.
+        let mut d = Dataset::new(3, 3);
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        for _ in 0..n {
+            let x = next() * 3.0;
+            let c = if x < -0.5 {
+                0
+            } else if x < 0.5 {
+                1
+            } else {
+                2
+            };
+            d.push(&[x + next() * 0.1, next(), next()], c);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_thresholds() {
+        let d = spiralish(600);
+        let b = BinnedDataset::build(&d);
+        let g = GradientBoosting::fit(&b, &GradientBoostingConfig::default());
+        let correct = (0..d.len())
+            .filter(|&i| g.predict(d.row(i)).0 == d.label(i))
+            .count();
+        assert!(correct as f64 / d.len() as f64 > 0.95, "got {correct}/600");
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let mut out = [0.0; 3];
+        softmax_into(&[1.0, 2.0, 3.0], &mut out);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out[2] > out[1] && out[1] > out[0]);
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let mut out = [0.0; 2];
+        softmax_into(&[1000.0, -1000.0], &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!(out[1] >= 0.0);
+    }
+
+    #[test]
+    fn skewed_classes_get_prior() {
+        // 99:1 class skew; base score should favor the majority class on
+        // uninformative inputs.
+        let mut d = Dataset::new(1, 2);
+        for i in 0..500 {
+            d.push(&[0.0], usize::from(i % 100 == 0));
+        }
+        let b = BinnedDataset::build(&d);
+        let cfg = GradientBoostingConfig { n_rounds: 3, ..Default::default() };
+        let g = GradientBoosting::fit(&b, &cfg);
+        let p = g.predict_proba(&[0.0]);
+        assert!(p[0] > 0.9, "majority prior should dominate: {p:?}");
+    }
+
+    #[test]
+    fn probabilities_on_simplex() {
+        let d = spiralish(200);
+        let b = BinnedDataset::build(&d);
+        let g = GradientBoosting::fit(
+            &b,
+            &GradientBoostingConfig { n_rounds: 10, ..Default::default() },
+        );
+        for i in (0..d.len()).step_by(11) {
+            let p = g.predict_proba(d.row(i));
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = spiralish(200);
+        let b = BinnedDataset::build(&d);
+        let g = GradientBoosting::fit(
+            &b,
+            &GradientBoostingConfig { n_rounds: 5, ..Default::default() },
+        );
+        let back: GradientBoosting = crate::from_bytes(&crate::to_bytes(&g)).unwrap();
+        for i in 0..d.len() {
+            assert_eq!(g.predict(d.row(i)).0, back.predict(d.row(i)).0);
+        }
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_train_accuracy() {
+        let d = spiralish(400);
+        let b = BinnedDataset::build(&d);
+        let acc = |rounds| {
+            let g = GradientBoosting::fit(
+                &b,
+                &GradientBoostingConfig { n_rounds: rounds, ..Default::default() },
+            );
+            (0..d.len()).filter(|&i| g.predict(d.row(i)).0 == d.label(i)).count()
+        };
+        assert!(acc(30) >= acc(2));
+    }
+}

@@ -1,0 +1,90 @@
+//! From-scratch machine learning for the Resource Central reproduction.
+//!
+//! Table 1 of the paper names three modeling approaches: Random Forests
+//! (utilization metrics), Extreme Gradient Boosting Trees (deployment size,
+//! lifetime, workload class), and the Fast Fourier Transform (periodicity
+//! labelling for the workload class). Rust's ML ecosystem is thin, so this
+//! crate implements all three, plus the shared machinery they need:
+//!
+//! - [`dataset`]: feature matrices with quantile binning for fast splits.
+//! - [`tree`]: CART classification trees (gini impurity).
+//! - [`forest`]: bagged random forests with per-split feature subsampling,
+//!   trained in parallel with crossbeam scoped threads.
+//! - [`gbt`]: second-order gradient boosting with softmax multi-class loss
+//!   (the XGBoost formulation: leaf value = -G / (H + lambda)).
+//! - [`fft`]: an iterative radix-2 FFT and a diurnal periodicity detector.
+//! - [`eval`]: confusion matrices, accuracy, precision/recall, and the
+//!   confidence-thresholded P-theta / R-theta of Table 4.
+//!
+//! All models implement [`Classifier`], predict class probabilities, and
+//! serialize with serde so the client library can cache them and account
+//! for their size (Table 1's "model size" column).
+
+pub mod dataset;
+pub mod eval;
+pub mod fft;
+pub mod forest;
+pub mod gbt;
+pub mod tree;
+
+pub use dataset::{BinnedDataset, Dataset};
+pub use eval::{ConfusionMatrix, ThresholdedEval};
+pub use fft::{detect_diurnal_periodicity, fft_in_place, Complex, PeriodicityConfig};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use gbt::{GradientBoosting, GradientBoostingConfig};
+pub use tree::{DecisionTree, TreeConfig};
+
+use serde::{de::DeserializeOwned, Serialize};
+
+/// A trained multi-class classifier producing per-class probabilities.
+pub trait Classifier {
+    /// Number of classes the model distinguishes.
+    fn n_classes(&self) -> usize;
+
+    /// Class-probability vector for one feature row.
+    ///
+    /// The returned vector has length [`Classifier::n_classes`], every entry
+    /// lies in `[0, 1]`, and the entries sum to 1 (up to rounding).
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64>;
+
+    /// Most likely class and its probability (the "confidence score" the
+    /// Resource Central client exposes to callers).
+    fn predict(&self, features: &[f64]) -> (usize, f64) {
+        let probs = self.predict_proba(features);
+        let (mut best, mut best_p) = (0, f64::NEG_INFINITY);
+        for (i, &p) in probs.iter().enumerate() {
+            if p > best_p {
+                best = i;
+                best_p = p;
+            }
+        }
+        (best, best_p)
+    }
+}
+
+/// Size in bytes of a model's serialized form.
+///
+/// Used to populate Table 1's "model size" column and to account for client
+/// cache footprints.
+///
+/// # Panics
+///
+/// Panics if the model fails to serialize, which only happens for
+/// non-finite floats; trained models never contain them.
+pub fn serialized_size<M: Serialize>(model: &M) -> usize {
+    serde_json::to_vec(model).expect("model serialization").len()
+}
+
+/// Deserializes a model from bytes fetched from the store.
+pub fn from_bytes<M: DeserializeOwned>(bytes: &[u8]) -> Result<M, serde_json::Error> {
+    serde_json::from_slice(bytes)
+}
+
+/// Serializes a model to bytes for publication to the store.
+///
+/// # Panics
+///
+/// Panics if the model fails to serialize (non-finite floats only).
+pub fn to_bytes<M: Serialize>(model: &M) -> Vec<u8> {
+    serde_json::to_vec(model).expect("model serialization")
+}

@@ -1,0 +1,378 @@
+//! CART classification trees with gini impurity and histogram split search.
+//!
+//! Trees grow depth-first over a [`BinnedDataset`]: at every node the
+//! per-(bin, class) histogram of each candidate feature is scanned once to
+//! find the split with the best gini gain. Feature subsampling per split is
+//! supported so [`crate::forest::RandomForest`] can decorrelate its members.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::BinnedDataset;
+use crate::Classifier;
+
+/// Hyperparameters for growing a [`DecisionTree`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of features examined per split; `None` examines all.
+    pub features_per_split: Option<usize>,
+    /// Minimum gini gain for a split to be accepted.
+    pub min_gain: f64,
+    /// RNG seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_leaf: 2,
+            min_samples_split: 4,
+            features_per_split: None,
+            min_gain: 1e-9,
+            seed: 0,
+        }
+    }
+}
+
+/// One node of a tree, stored in an arena indexed by `u32`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    /// Terminal node carrying the class distribution of its training rows.
+    Leaf { probs: Vec<f32> },
+    /// Internal node: rows with `features[feature] <= threshold` go left.
+    Split { feature: u32, threshold: f64, left: u32, right: u32 },
+}
+
+/// A trained CART classification tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+    n_features: usize,
+    /// Total gini gain contributed by each feature, for importance reports.
+    feature_gain: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Grows a tree on all rows of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty.
+    pub fn fit(data: &BinnedDataset<'_>, config: &TreeConfig) -> Self {
+        let indices: Vec<u32> = (0..data.source().len() as u32).collect();
+        Self::fit_on(data, &indices, config)
+    }
+
+    /// Grows a tree on the given subset of row indices (used by bagging).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `indices` is empty.
+    pub fn fit_on(data: &BinnedDataset<'_>, indices: &[u32], config: &TreeConfig) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
+        let n_classes = data.source().n_classes();
+        let n_features = data.source().n_features();
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes,
+            n_features,
+            feature_gain: vec![0.0; n_features],
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut idx = indices.to_vec();
+        tree.grow(data, &mut idx, 0, config, &mut rng);
+        tree
+    }
+
+    /// Recursively grows the subtree for `indices`, returning its node id.
+    fn grow(
+        &mut self,
+        data: &BinnedDataset<'_>,
+        indices: &mut [u32],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> u32 {
+        let counts = self.class_counts(data, indices);
+        let total = indices.len();
+        let impurity = gini(&counts, total);
+        let stop = depth >= config.max_depth
+            || total < config.min_samples_split
+            || impurity <= 0.0;
+        if !stop {
+            if let Some(split) = self.best_split(data, indices, &counts, impurity, config, rng) {
+                let (feature, bin, gain) = split;
+                self.feature_gain[feature] += gain * total as f64;
+                let threshold = data.threshold(feature, bin);
+                // Partition in place: left = code <= bin.
+                let mut mid = 0;
+                for i in 0..indices.len() {
+                    if data.code(indices[i] as usize, feature) <= bin {
+                        indices.swap(i, mid);
+                        mid += 1;
+                    }
+                }
+                debug_assert!(mid > 0 && mid < indices.len());
+                // Reserve this node's slot before children are appended.
+                let id = self.nodes.len() as u32;
+                self.nodes.push(Node::Leaf { probs: Vec::new() });
+                let (left_idx, right_idx) = indices.split_at_mut(mid);
+                let left = self.grow(data, left_idx, depth + 1, config, rng);
+                let right = self.grow(data, right_idx, depth + 1, config, rng);
+                self.nodes[id as usize] =
+                    Node::Split { feature: feature as u32, threshold, left, right };
+                return id;
+            }
+        }
+        let probs = counts
+            .iter()
+            .map(|&c| (c as f64 / total as f64) as f32)
+            .collect();
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf { probs });
+        id
+    }
+
+    /// Class counts over the rows in `indices`.
+    fn class_counts(&self, data: &BinnedDataset<'_>, indices: &[u32]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &i in indices {
+            counts[data.source().label(i as usize)] += 1;
+        }
+        counts
+    }
+
+    /// Finds the (feature, bin, gain) with the best gini gain, or `None`
+    /// when no admissible split improves on `impurity`.
+    fn best_split(
+        &self,
+        data: &BinnedDataset<'_>,
+        indices: &[u32],
+        counts: &[usize],
+        impurity: f64,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Option<(usize, usize, f64)> {
+        let total = indices.len();
+        let mut candidates: Vec<usize> = (0..self.n_features).collect();
+        if let Some(k) = config.features_per_split {
+            candidates.shuffle(rng);
+            candidates.truncate(k.max(1).min(self.n_features));
+        }
+        let mut best: Option<(usize, usize, f64)> = None;
+        // Per-(bin, class) histogram, reused across features.
+        let mut hist = vec![0usize; crate::dataset::MAX_BINS * self.n_classes];
+        for &f in &candidates {
+            let n_bins = data.n_bins(f);
+            if n_bins < 2 {
+                continue;
+            }
+            hist[..n_bins * self.n_classes].fill(0);
+            for &i in indices {
+                let b = data.code(i as usize, f);
+                hist[b * self.n_classes + data.source().label(i as usize)] += 1;
+            }
+            // Scan split points: left = bins 0..=b.
+            let mut left_counts = vec![0usize; self.n_classes];
+            let mut left_total = 0usize;
+            for b in 0..n_bins - 1 {
+                for c in 0..self.n_classes {
+                    left_counts[c] += hist[b * self.n_classes + c];
+                }
+                left_total = left_counts.iter().sum();
+                let right_total = total - left_total;
+                if left_total < config.min_samples_leaf || right_total < config.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_counts: Vec<usize> = counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&t, &l)| t - l)
+                    .collect();
+                let w_left = left_total as f64 / total as f64;
+                let w_right = right_total as f64 / total as f64;
+                let gain = impurity
+                    - w_left * gini(&left_counts, left_total)
+                    - w_right * gini(&right_counts, right_total);
+                if gain > config.min_gain
+                    && best.is_none_or(|(_, _, g)| gain > g)
+                {
+                    best = Some((f, b, gain));
+                }
+            }
+            let _ = left_total;
+        }
+        best
+    }
+
+    /// Number of nodes in the tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], id: u32) -> usize {
+            match &nodes[id as usize] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+
+    /// Accumulated gini gain per feature (unnormalized importance).
+    pub fn feature_gain(&self) -> &[f64] {
+        &self.feature_gain
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let mut id = 0u32;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Leaf { probs } => {
+                    return probs.iter().map(|&p| p as f64).collect();
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    id = if features[*feature as usize] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Gini impurity of a class-count vector over `total` samples.
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    /// Two gaussian-ish blobs separable on feature 0.
+    fn blobs(n: usize) -> Dataset {
+        let mut d = Dataset::new(3, 2);
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        for i in 0..n {
+            let c = i % 2;
+            let x0 = c as f64 * 2.0 + next() * 0.8;
+            d.push(&[x0, next(), next()], c);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let d = blobs(400);
+        let b = BinnedDataset::build(&d);
+        let tree = DecisionTree::fit(&b, &TreeConfig::default());
+        let mut correct = 0;
+        for i in 0..d.len() {
+            if tree.predict(d.row(i)).0 == d.label(i) {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / d.len() as f64 > 0.95, "got {correct}/400");
+    }
+
+    #[test]
+    fn gini_basics() {
+        assert_eq!(gini(&[10, 0], 10), 0.0);
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[0, 0], 0), 0.0);
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let mut d = Dataset::new(1, 2);
+        for i in 0..20 {
+            d.push(&[i as f64], 0);
+        }
+        let b = BinnedDataset::build(&d);
+        let tree = DecisionTree::fit(&b, &TreeConfig::default());
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.depth(), 0);
+        let probs = tree.predict_proba(&[5.0]);
+        assert!((probs[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let d = blobs(400);
+        let b = BinnedDataset::build(&d);
+        let cfg = TreeConfig { max_depth: 2, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&b, &cfg);
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let d = blobs(200);
+        let b = BinnedDataset::build(&d);
+        let tree = DecisionTree::fit(&b, &TreeConfig::default());
+        for i in 0..d.len() {
+            let p = tree.predict_proba(d.row(i));
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn informative_feature_gets_the_gain() {
+        let d = blobs(400);
+        let b = BinnedDataset::build(&d);
+        let tree = DecisionTree::fit(&b, &TreeConfig::default());
+        let g = tree.feature_gain();
+        assert!(g[0] > g[1] && g[0] > g[2], "feature 0 should dominate: {g:?}");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let d = blobs(200);
+        let b = BinnedDataset::build(&d);
+        let tree = DecisionTree::fit(&b, &TreeConfig::default());
+        let bytes = crate::to_bytes(&tree);
+        let back: DecisionTree = crate::from_bytes(&bytes).unwrap();
+        for i in 0..d.len() {
+            assert_eq!(tree.predict(d.row(i)).0, back.predict(d.row(i)).0);
+        }
+    }
+}

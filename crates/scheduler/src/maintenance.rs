@@ -1,0 +1,214 @@
+//! Lifetime-aware server maintenance (§4.1).
+//!
+//! "When a server starts to misbehave, the health monitoring system can
+//! query RC for the expected lifetime of the VMs running on the server.
+//! It can thus determine when maintenance can be scheduled, and whether
+//! VMs need to be live-migrated to enable maintenance without
+//! unavailability."
+//!
+//! [`plan_maintenance`] turns per-VM lifetime predictions into a
+//! [`MaintenancePlan`]: either wait for the residents to drain by a
+//! bounded deadline, or name the VMs that must be live-migrated.
+
+use rc_core::{ClientInputs, PredictionResponse, RcClient};
+use rc_types::metrics::PredictionMetric;
+use rc_types::time::{Duration, Timestamp};
+use rc_types::vm::VmId;
+
+/// A resident VM as the health manager sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct ResidentVm {
+    /// The VM.
+    pub vm_id: VmId,
+    /// When it was created (lifetime predictions are creation-relative).
+    pub created: Timestamp,
+    /// Client inputs for prediction requests.
+    pub inputs: ClientInputs,
+}
+
+/// Why a VM was marked for migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationReason {
+    /// Predicted to outlive the maintenance deadline.
+    PredictedLongLived,
+    /// RC produced no confident prediction; planned conservatively.
+    NoConfidentPrediction,
+    /// Already past its predicted drain time (prediction was at creation;
+    /// the VM outlived its bucket's upper edge).
+    OutlivedPrediction,
+}
+
+/// The health manager's decision for one server.
+#[derive(Debug, Clone)]
+pub struct MaintenancePlan {
+    /// When the server is expected to be empty, if every VM drains.
+    pub drain_by: Option<Timestamp>,
+    /// VMs that must be live-migrated to meet the deadline.
+    pub migrations: Vec<(VmId, MigrationReason)>,
+    /// VMs predicted to drain on their own by the deadline.
+    pub drains: Vec<VmId>,
+}
+
+impl MaintenancePlan {
+    /// True when maintenance needs no live migration and no downtime.
+    pub fn is_migration_free(&self) -> bool {
+        self.migrations.is_empty()
+    }
+}
+
+/// Upper edge of lifetime bucket `b`, or `None` for the open-ended one.
+fn bucket_upper_edge(b: usize) -> Option<Duration> {
+    match b {
+        0 => Some(Duration::from_minutes(15)),
+        1 => Some(Duration::from_minutes(60)),
+        2 => Some(Duration::from_hours(24)),
+        _ => None,
+    }
+}
+
+/// Plans maintenance for a server's residents.
+///
+/// `now` is the decision time; `deadline` is the latest acceptable
+/// maintenance start; `theta` is the confidence floor below which a
+/// prediction is ignored (the §6.1 threshold is 0.6).
+pub fn plan_maintenance(
+    client: &RcClient,
+    residents: &[ResidentVm],
+    now: Timestamp,
+    deadline: Timestamp,
+    theta: f64,
+) -> MaintenancePlan {
+    let mut migrations = Vec::new();
+    let mut drains = Vec::new();
+    let mut latest_drain = now;
+    for vm in residents {
+        let response = client.predict_single(PredictionMetric::Lifetime.model_name(), &vm.inputs);
+        let confident = match response {
+            PredictionResponse::Predicted(p) if p.score >= theta => Some(p.value),
+            _ => None,
+        };
+        match confident {
+            None => migrations.push((vm.vm_id, MigrationReason::NoConfidentPrediction)),
+            Some(bucket) => match bucket_upper_edge(bucket) {
+                None => migrations.push((vm.vm_id, MigrationReason::PredictedLongLived)),
+                Some(edge) => {
+                    let drain_at = vm.created.plus(edge);
+                    if drain_at <= now {
+                        // The prediction's window already passed and the
+                        // VM is still here — do not trust it further.
+                        migrations.push((vm.vm_id, MigrationReason::OutlivedPrediction));
+                    } else if drain_at > deadline {
+                        migrations.push((vm.vm_id, MigrationReason::PredictedLongLived));
+                    } else {
+                        latest_drain = latest_drain.max(drain_at);
+                        drains.push(vm.vm_id);
+                    }
+                }
+            },
+        }
+    }
+    MaintenancePlan {
+        drain_by: if migrations.is_empty() && !drains.is_empty() {
+            Some(latest_drain)
+        } else if migrations.is_empty() {
+            Some(now)
+        } else {
+            None
+        },
+        migrations,
+        drains,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_core::{ClientConfig, PipelineConfig, RcClient};
+    use rc_store::Store;
+    use rc_trace::{Trace, TraceConfig};
+
+    fn world() -> (Trace, RcClient) {
+        let trace = Trace::generate(&TraceConfig {
+            target_vms: 5_000,
+            n_subscriptions: 200,
+            days: 24,
+            ..TraceConfig::small()
+        });
+        let output = rc_core::run_pipeline(&trace, &PipelineConfig::fast(24)).unwrap();
+        let store = Store::in_memory();
+        output.publish(&store, 0.5).unwrap();
+        let client = RcClient::new(store, ClientConfig::default());
+        assert!(client.initialize());
+        (trace, client)
+    }
+
+    fn residents(trace: &Trace, now: Timestamp, n: usize) -> Vec<ResidentVm> {
+        trace
+            .vm_ids()
+            .filter(|&id| trace.vm(id).alive_at(now))
+            .take(n)
+            .map(|id| ResidentVm {
+                vm_id: id,
+                created: trace.vm(id).created,
+                inputs: rc_core::labels::vm_inputs(trace, id),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_partitions_every_resident() {
+        let (trace, client) = world();
+        let now = Timestamp::from_days(20);
+        let vms = residents(&trace, now, 20);
+        assert!(!vms.is_empty());
+        let plan =
+            plan_maintenance(&client, &vms, now, now.plus(Duration::from_hours(24)), 0.6);
+        assert_eq!(plan.migrations.len() + plan.drains.len(), vms.len());
+        if plan.is_migration_free() {
+            assert!(plan.drain_by.is_some());
+        } else {
+            assert!(plan.drain_by.is_none());
+        }
+    }
+
+    #[test]
+    fn tight_deadline_forces_migrations() {
+        let (trace, client) = world();
+        let now = Timestamp::from_days(20);
+        let vms = residents(&trace, now, 20);
+        let tight = plan_maintenance(&client, &vms, now, now, 0.6);
+        let loose = plan_maintenance(&client, &vms, now, now.plus(Duration::from_days(2)), 0.6);
+        assert!(
+            tight.migrations.len() >= loose.migrations.len(),
+            "tight {} vs loose {}",
+            tight.migrations.len(),
+            loose.migrations.len()
+        );
+    }
+
+    #[test]
+    fn drain_by_never_exceeds_deadline() {
+        let (trace, client) = world();
+        let now = Timestamp::from_days(20);
+        let deadline = now.plus(Duration::from_hours(6));
+        let vms = residents(&trace, now, 30);
+        let plan = plan_maintenance(&client, &vms, now, deadline, 0.6);
+        if let Some(t) = plan.drain_by {
+            assert!(t <= deadline);
+            assert!(t >= now);
+        }
+    }
+
+    #[test]
+    fn impossible_theta_migrates_everything() {
+        let (trace, client) = world();
+        let now = Timestamp::from_days(20);
+        let vms = residents(&trace, now, 10);
+        let plan = plan_maintenance(&client, &vms, now, now.plus(Duration::from_days(1)), 1.1);
+        assert_eq!(plan.migrations.len(), vms.len());
+        assert!(plan
+            .migrations
+            .iter()
+            .all(|(_, r)| *r == MigrationReason::NoConfidentPrediction));
+    }
+}

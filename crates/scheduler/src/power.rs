@@ -1,0 +1,227 @@
+//! Class-aware power capping (§4.1).
+//!
+//! "During a power emergency (when the power draw is about to exceed a
+//! circuit breaker limit), the power capping system can query RC for
+//! predictions of VM workload interactivity, before apportioning the
+//! available power budget across servers. Ideally, VMs executing
+//! interactive workloads should receive all the power they may want, in
+//! detriment of VMs running batch and background tasks."
+//!
+//! [`apportion_power`] implements that policy: VMs *confidently* predicted
+//! delay-insensitive absorb the whole shortfall; everything else —
+//! confidently interactive or unclassifiable — keeps full power
+//! (mistaking delay-insensitive for interactive is the safe direction,
+//! §3.6).
+
+use rc_core::{ClientInputs, RcClient};
+use rc_types::metrics::PredictionMetric;
+use rc_types::vm::VmId;
+
+/// A VM under the capped breaker, with its full power draw in watts.
+#[derive(Debug, Clone, Copy)]
+pub struct PoweredVm {
+    /// The VM.
+    pub vm_id: VmId,
+    /// Full (uncapped) power draw.
+    pub full_watts: f64,
+    /// Client inputs for the class prediction.
+    pub inputs: ClientInputs,
+}
+
+/// One VM's power assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerAssignment {
+    /// The VM.
+    pub vm_id: VmId,
+    /// Granted power in watts.
+    pub granted_watts: f64,
+    /// True when the VM was treated as cappable (confident
+    /// delay-insensitive prediction).
+    pub cappable: bool,
+}
+
+/// The apportionment for a power emergency.
+#[derive(Debug, Clone)]
+pub struct PowerPlan {
+    /// Per-VM grants, in input order.
+    pub assignments: Vec<PowerAssignment>,
+    /// Fraction of full power granted to cappable (delay-insensitive) VMs.
+    pub cap_fraction: f64,
+    /// Watts the plan still exceeds the budget by (only non-zero when even
+    /// capping every delay-insensitive VM to zero cannot fit the budget —
+    /// the protected set alone violates the breaker).
+    pub shortfall_watts: f64,
+}
+
+impl PowerPlan {
+    /// Total granted watts.
+    pub fn total_granted(&self) -> f64 {
+        self.assignments.iter().map(|a| a.granted_watts).sum()
+    }
+}
+
+/// Apportions `budget_watts` across `vms` using workload-class
+/// predictions at confidence threshold `theta`.
+pub fn apportion_power(
+    client: &RcClient,
+    vms: &[PoweredVm],
+    budget_watts: f64,
+    theta: f64,
+) -> PowerPlan {
+    // Classify: cappable = confidently delay-insensitive (bucket 0).
+    let cappable: Vec<bool> = vms
+        .iter()
+        .map(|vm| {
+            client
+                .predict_single(PredictionMetric::WorkloadClass.model_name(), &vm.inputs)
+                .confident(theta)
+                .is_some_and(|p| p.value == 0)
+        })
+        .collect();
+    let protected_watts: f64 = vms
+        .iter()
+        .zip(&cappable)
+        .filter(|(_, &c)| !c)
+        .map(|(v, _)| v.full_watts)
+        .sum();
+    let cappable_watts: f64 = vms
+        .iter()
+        .zip(&cappable)
+        .filter(|(_, &c)| c)
+        .map(|(v, _)| v.full_watts)
+        .sum();
+
+    let remaining = budget_watts - protected_watts;
+    let cap_fraction = if cappable_watts <= 0.0 {
+        1.0
+    } else {
+        (remaining / cappable_watts).clamp(0.0, 1.0)
+    };
+    let shortfall_watts = (protected_watts - budget_watts).max(0.0);
+
+    let assignments = vms
+        .iter()
+        .zip(&cappable)
+        .map(|(vm, &c)| PowerAssignment {
+            vm_id: vm.vm_id,
+            granted_watts: if c { vm.full_watts * cap_fraction } else { vm.full_watts },
+            cappable: c,
+        })
+        .collect();
+    PowerPlan { assignments, cap_fraction, shortfall_watts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_core::{ClientConfig, PipelineConfig, RcClient};
+    use rc_store::Store;
+    use rc_trace::{Trace, TraceConfig};
+    use rc_types::time::Timestamp;
+
+    fn world() -> (Trace, RcClient) {
+        let trace = Trace::generate(&TraceConfig {
+            target_vms: 5_000,
+            n_subscriptions: 200,
+            days: 24,
+            ..TraceConfig::small()
+        });
+        let output = rc_core::run_pipeline(&trace, &PipelineConfig::fast(24)).unwrap();
+        let store = Store::in_memory();
+        output.publish(&store, 0.5).unwrap();
+        let client = RcClient::new(store, ClientConfig::default());
+        assert!(client.initialize());
+        (trace, client)
+    }
+
+    fn rack(trace: &Trace, n: usize) -> Vec<PoweredVm> {
+        let now = Timestamp::from_days(20);
+        trace
+            .vm_ids()
+            .filter(|&id| trace.vm(id).alive_at(now))
+            .step_by(7)
+            .take(n)
+            .map(|id| PoweredVm {
+                vm_id: id,
+                full_watts: trace.vm(id).sku.cores as f64 * 12.0,
+                inputs: rc_core::labels::vm_inputs(trace, id),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_fits_budget_when_feasible() {
+        let (trace, client) = world();
+        let vms = rack(&trace, 40);
+        let full: f64 = vms.iter().map(|v| v.full_watts).sum();
+        let plan = apportion_power(&client, &vms, full * 0.9, 0.6);
+        if plan.shortfall_watts == 0.0 {
+            assert!(plan.total_granted() <= full * 0.9 + 1e-6);
+        }
+        assert_eq!(plan.assignments.len(), vms.len());
+    }
+
+    #[test]
+    fn protected_vms_keep_full_power() {
+        let (trace, client) = world();
+        let vms = rack(&trace, 40);
+        let full: f64 = vms.iter().map(|v| v.full_watts).sum();
+        let plan = apportion_power(&client, &vms, full * 0.7, 0.6);
+        for (a, vm) in plan.assignments.iter().zip(&vms) {
+            if !a.cappable {
+                assert_eq!(a.granted_watts, vm.full_watts);
+            } else {
+                assert!(a.granted_watts <= vm.full_watts + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn generous_budget_caps_nothing() {
+        let (trace, client) = world();
+        let vms = rack(&trace, 20);
+        let full: f64 = vms.iter().map(|v| v.full_watts).sum();
+        let plan = apportion_power(&client, &vms, full * 1.5, 0.6);
+        assert_eq!(plan.cap_fraction, 1.0);
+        assert!((plan.total_granted() - full).abs() < 1e-9);
+        assert_eq!(plan.shortfall_watts, 0.0);
+    }
+
+    #[test]
+    fn impossible_budget_reports_shortfall() {
+        let (trace, client) = world();
+        let vms = rack(&trace, 20);
+        let plan = apportion_power(&client, &vms, 0.0, 0.6);
+        assert_eq!(plan.cap_fraction, 0.0);
+        assert!(plan.shortfall_watts >= 0.0);
+        // Delay-insensitive VMs are fully shed.
+        for a in plan.assignments.iter().filter(|a| a.cappable) {
+            assert_eq!(a.granted_watts, 0.0);
+        }
+    }
+
+    #[test]
+    fn class_aware_beats_uniform_capping_for_protected_vms() {
+        // Under uniform capping every VM runs at budget/full; under the
+        // class-aware plan protected VMs keep 100%.
+        let (trace, client) = world();
+        let vms = rack(&trace, 40);
+        let full: f64 = vms.iter().map(|v| v.full_watts).sum();
+        let plan = apportion_power(&client, &vms, full * 0.85, 0.6);
+        if plan.shortfall_watts == 0.0 {
+            let protected: Vec<_> =
+                plan.assignments.iter().filter(|a| !a.cappable).collect();
+            if !protected.is_empty() {
+                for a in protected {
+                    let uniform = vms
+                        .iter()
+                        .find(|v| v.vm_id == a.vm_id)
+                        .unwrap()
+                        .full_watts
+                        * 0.85;
+                    assert!(a.granted_watts > uniform);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Scheduling requests: one per VM arrival.
+
+use rc_core::ClientInputs;
+use rc_trace::{Trace, UtilParams};
+use rc_types::time::Timestamp;
+use rc_types::vm::{ProdTag, VmId};
+
+/// Everything the scheduler knows (and the simulator needs) about one VM
+/// arrival.
+#[derive(Debug, Clone, Copy)]
+pub struct VmRequest {
+    /// The VM being placed.
+    pub vm_id: VmId,
+    /// Requested cores (`V.alloc` in Algorithm 1).
+    pub cores: u32,
+    /// Requested memory in GB.
+    pub memory_gb: f64,
+    /// Production annotation (`V.type` in Algorithm 1).
+    pub prod: ProdTag,
+    /// Arrival time.
+    pub created: Timestamp,
+    /// Completion time.
+    pub deleted: Timestamp,
+    /// The utilization model driving the simulator's aggregation.
+    pub util: UtilParams,
+    /// Client inputs passed to Resource Central.
+    pub inputs: ClientInputs,
+    /// Oracle 95th-percentile utilization bucket (for the RC-soft-right /
+    /// RC-soft-wrong comparisons; the real policies never read it).
+    pub true_p95_bucket: usize,
+}
+
+impl VmRequest {
+    /// Builds the request stream for every VM created in
+    /// `[from, until)`, sorted by arrival time, skipping VMs too large for
+    /// `max_cores` (cluster selection would never send those here).
+    pub fn stream(trace: &Trace, from: Timestamp, until: Timestamp, max_cores: u32) -> Vec<VmRequest> {
+        Self::stream_filtered(trace, from, until, max_cores, None)
+    }
+
+    /// Like [`VmRequest::stream`], additionally dropping every VM of a
+    /// deployment whose total core request exceeds
+    /// `max_deployment_cores`.
+    ///
+    /// A deployment "needs to fit" within one cluster (§3); the cluster
+    /// selection system routes groups that cannot fit to larger clusters,
+    /// so a cluster-level simulation should never see them.
+    pub fn stream_filtered(
+        trace: &Trace,
+        from: Timestamp,
+        until: Timestamp,
+        max_cores: u32,
+        max_deployment_cores: Option<u32>,
+    ) -> Vec<VmRequest> {
+        use rc_types::buckets::{Bucketizer, UtilizationBucketizer};
+        let bucketizer = UtilizationBucketizer;
+        let mut out = Vec::new();
+        for id in trace.vm_ids() {
+            let vm = trace.vm(id);
+            if vm.created < from || vm.created >= until || vm.sku.cores > max_cores {
+                continue;
+            }
+            if let Some(cap) = max_deployment_cores {
+                if trace.deployments[vm.deployment.0 as usize].n_cores > cap {
+                    continue;
+                }
+            }
+            let (_, p95) = trace.vm_util_summary(id, 120);
+            out.push(VmRequest {
+                vm_id: id,
+                cores: vm.sku.cores,
+                memory_gb: vm.sku.memory_gb,
+                prod: vm.prod,
+                created: vm.created,
+                deleted: vm.deleted,
+                util: *trace.util_params(id),
+                inputs: rc_core::labels::vm_inputs(trace, id),
+                true_p95_bucket: bucketizer.bucket(&p95),
+            });
+        }
+        // `trace.vms` is creation-sorted already, but make it a guarantee.
+        out.sort_by_key(|r| (r.created, r.vm_id));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_trace::TraceConfig;
+
+    #[test]
+    fn stream_is_sorted_filtered_and_windowed() {
+        let trace = Trace::generate(&TraceConfig {
+            target_vms: 3_000,
+            n_subscriptions: 150,
+            days: 20,
+            ..TraceConfig::small()
+        });
+        let from = Timestamp::from_days(5);
+        let until = Timestamp::from_days(15);
+        let reqs = VmRequest::stream(&trace, from, until, 16);
+        assert!(!reqs.is_empty());
+        for r in &reqs {
+            assert!(r.created >= from && r.created < until);
+            assert!(r.cores <= 16);
+            assert!(r.deleted > r.created);
+        }
+        for w in reqs.windows(2) {
+            assert!(w[0].created <= w[1].created);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Server state and Algorithm 1's bookkeeping (PlaceVM / VMCompleted).
+
+use rc_types::vm::ProdTag;
+
+use crate::request::VmRequest;
+
+/// Logical server grouping under the oversubscription scheme (§5): empty
+/// servers take either kind of VM and are tagged by their first placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerKind {
+    /// No VMs placed; eligible for either group.
+    Empty,
+    /// Hosts only production workloads; never oversubscribed.
+    NonOversubscribable,
+    /// Hosts only non-production workloads; may be oversubscribed.
+    Oversubscribable,
+}
+
+/// One physical server.
+#[derive(Debug, Clone)]
+pub struct Server {
+    /// Physical core capacity (`SERVER_CAPACITY` in Algorithm 1).
+    pub capacity_cores: f64,
+    /// Physical memory capacity in GB.
+    pub capacity_memory_gb: f64,
+    /// Sum of resident VMs' core allocations (`c.alloc`).
+    pub alloc_cores: f64,
+    /// Sum of resident VMs' memory allocations.
+    pub alloc_memory_gb: f64,
+    /// Sum of resident VMs' predicted P95 utilizations in core units
+    /// (`c.util`); tracked only on oversubscribable servers.
+    pub predicted_util_cores: f64,
+    /// Current grouping.
+    pub kind: ServerKind,
+    /// Resident VM count.
+    pub n_vms: u32,
+}
+
+impl Server {
+    /// A new, empty server.
+    pub fn new(capacity_cores: f64, capacity_memory_gb: f64) -> Self {
+        Server {
+            capacity_cores,
+            capacity_memory_gb,
+            alloc_cores: 0.0,
+            alloc_memory_gb: 0.0,
+            predicted_util_cores: 0.0,
+            kind: ServerKind::Empty,
+            n_vms: 0,
+        }
+    }
+
+    /// True when no VMs are resident (`c.alloc == 0` in Algorithm 1).
+    pub fn is_empty(&self) -> bool {
+        self.n_vms == 0
+    }
+
+    /// Algorithm 1, `PlaceVM`: tags an empty server by the VM's type, then
+    /// adds the allocation (and predicted utilization when
+    /// oversubscribable).
+    pub fn place(&mut self, vm: &VmRequest, predicted_util_cores: f64) {
+        if self.is_empty() {
+            self.kind = match vm.prod {
+                ProdTag::Production => ServerKind::NonOversubscribable,
+                ProdTag::NonProduction => ServerKind::Oversubscribable,
+            };
+        }
+        self.alloc_cores += vm.cores as f64;
+        self.alloc_memory_gb += vm.memory_gb;
+        self.n_vms += 1;
+        if self.kind == ServerKind::Oversubscribable {
+            self.predicted_util_cores += predicted_util_cores;
+        }
+    }
+
+    /// Algorithm 1, `VMCompleted`: releases the allocation; an emptied
+    /// server reverts to [`ServerKind::Empty`].
+    pub fn complete(&mut self, vm: &VmRequest, predicted_util_cores: f64) {
+        debug_assert!(self.n_vms > 0, "completing a VM on an empty server");
+        self.alloc_cores = (self.alloc_cores - vm.cores as f64).max(0.0);
+        self.alloc_memory_gb = (self.alloc_memory_gb - vm.memory_gb).max(0.0);
+        if self.kind == ServerKind::Oversubscribable {
+            self.predicted_util_cores =
+                (self.predicted_util_cores - predicted_util_cores).max(0.0);
+        }
+        self.n_vms -= 1;
+        if self.n_vms == 0 {
+            self.kind = ServerKind::Empty;
+            self.alloc_cores = 0.0;
+            self.alloc_memory_gb = 0.0;
+            self.predicted_util_cores = 0.0;
+        }
+    }
+
+    /// Free physical memory.
+    pub fn free_memory_gb(&self) -> f64 {
+        self.capacity_memory_gb - self.alloc_memory_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_core::ClientInputs;
+    use rc_trace::UtilParams;
+    use rc_types::time::Timestamp;
+    use rc_types::vm::{OsType, Party, SubscriptionId, VmId, VmRole};
+
+    fn request(cores: u32, prod: ProdTag) -> VmRequest {
+        VmRequest {
+            vm_id: VmId(1),
+            cores,
+            memory_gb: 3.5,
+            prod,
+            created: Timestamp::ZERO,
+            deleted: Timestamp::from_hours(1),
+            util: UtilParams::creation_test(1),
+            inputs: ClientInputs {
+                subscription: SubscriptionId(0),
+                party: Party::First,
+                role: VmRole::Iaas,
+                prod,
+                os: OsType::Linux,
+                sku_index: 2,
+                deployment_time: Timestamp::ZERO,
+                deployment_size_hint: 1,
+                service: None,
+            },
+            true_p95_bucket: 3,
+        }
+    }
+
+    #[test]
+    fn first_placement_tags_the_server() {
+        let mut s = Server::new(16.0, 112.0);
+        assert_eq!(s.kind, ServerKind::Empty);
+        s.place(&request(2, ProdTag::NonProduction), 1.0);
+        assert_eq!(s.kind, ServerKind::Oversubscribable);
+        assert_eq!(s.alloc_cores, 2.0);
+        assert_eq!(s.predicted_util_cores, 1.0);
+
+        let mut p = Server::new(16.0, 112.0);
+        p.place(&request(2, ProdTag::Production), 1.0);
+        assert_eq!(p.kind, ServerKind::NonOversubscribable);
+        // Production servers don't track predicted utilization.
+        assert_eq!(p.predicted_util_cores, 0.0);
+    }
+
+    #[test]
+    fn place_and_complete_are_inverses() {
+        let mut s = Server::new(16.0, 112.0);
+        let vm = request(4, ProdTag::NonProduction);
+        s.place(&vm, 2.0);
+        s.place(&vm, 2.0);
+        s.complete(&vm, 2.0);
+        assert_eq!(s.alloc_cores, 4.0);
+        assert_eq!(s.predicted_util_cores, 2.0);
+        assert_eq!(s.n_vms, 1);
+        s.complete(&vm, 2.0);
+        assert!(s.is_empty());
+        assert_eq!(s.kind, ServerKind::Empty);
+        assert_eq!(s.alloc_cores, 0.0);
+    }
+
+    #[test]
+    fn emptied_server_takes_either_kind() {
+        let mut s = Server::new(16.0, 112.0);
+        let nonprod = request(2, ProdTag::NonProduction);
+        s.place(&nonprod, 1.0);
+        s.complete(&nonprod, 1.0);
+        let prod = request(2, ProdTag::Production);
+        s.place(&prod, 1.0);
+        assert_eq!(s.kind, ServerKind::NonOversubscribable);
+    }
+}

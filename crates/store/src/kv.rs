@@ -1,0 +1,292 @@
+//! The versioned key-value store.
+//!
+//! RC publishes models and feature data "with version numbers, to an
+//! existing highly available store" present in each datacenter (§4.2).
+//! This module provides that store's semantics in-process: versioned puts,
+//! latest-or-pinned gets, and an availability switch so tests and
+//! examples can exercise the client's degraded paths (disk cache,
+//! no-prediction).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::latency::LatencyModel;
+
+/// Errors returned by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store (or connectivity to it) is unavailable.
+    Unavailable,
+    /// No record exists for the key (or key/version pair).
+    NotFound,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Unavailable => write!(f, "store unavailable"),
+            StoreError::NotFound => write!(f, "record not found"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A versioned record.
+#[derive(Debug, Clone)]
+pub struct VersionedRecord {
+    /// Monotonically increasing version, starting at 1 per key.
+    pub version: u64,
+    /// Record payload.
+    pub data: Bytes,
+}
+
+/// Statistics counters for store accesses.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Successful GETs.
+    pub gets: AtomicU64,
+    /// Successful PUTs.
+    pub puts: AtomicU64,
+    /// GETs rejected because the store was unavailable.
+    pub unavailable_errors: AtomicU64,
+    /// Accumulated simulated latency in nanoseconds.
+    pub simulated_latency_ns: AtomicU64,
+}
+
+/// The simulated highly available store.
+///
+/// Cheap to clone (all state behind `Arc`), thread-safe, and optionally
+/// attaches a [`LatencyModel`]: when one is set, every access *spins* for a
+/// sampled latency so that client-side measurements (Figure 10, §6.1's
+/// pull-path numbers) see realistic store costs.
+#[derive(Clone)]
+pub struct Store {
+    inner: Arc<StoreInner>,
+}
+
+struct StoreInner {
+    records: RwLock<HashMap<String, Vec<VersionedRecord>>>,
+    available: AtomicBool,
+    latency: Option<LatencyModel>,
+    latency_rng: parking_lot::Mutex<StdRng>,
+    stats: StoreStats,
+}
+
+impl Store {
+    /// An always-fast in-process store (no simulated latency).
+    pub fn in_memory() -> Self {
+        Self::with_latency(None)
+    }
+
+    /// A store whose accesses cost a sampled latency.
+    pub fn with_latency(latency: Option<LatencyModel>) -> Self {
+        Store {
+            inner: Arc::new(StoreInner {
+                records: RwLock::new(HashMap::new()),
+                available: AtomicBool::new(true),
+                latency,
+                latency_rng: parking_lot::Mutex::new(StdRng::seed_from_u64(0x5709)),
+                stats: StoreStats::default(),
+            }),
+        }
+    }
+
+    /// Flips availability; an unavailable store fails every access.
+    pub fn set_available(&self, available: bool) {
+        self.inner.available.store(available, Ordering::SeqCst);
+    }
+
+    /// Whether the store currently accepts requests.
+    pub fn is_available(&self) -> bool {
+        self.inner.available.load(Ordering::SeqCst)
+    }
+
+    /// Spin for one sampled latency, if a model is attached.
+    fn pay_latency(&self) {
+        if let Some(model) = &self.inner.latency {
+            let d = {
+                let mut rng = self.inner.latency_rng.lock();
+                model.sample(&mut *rng)
+            };
+            self.inner
+                .stats
+                .simulated_latency_ns
+                .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+            let start = std::time::Instant::now();
+            while start.elapsed() < d {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Writes a new version of `key`, returning the assigned version.
+    pub fn put(&self, key: &str, data: Bytes) -> Result<u64, StoreError> {
+        if !self.is_available() {
+            self.inner.stats.unavailable_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Unavailable);
+        }
+        self.pay_latency();
+        let mut records = self.inner.records.write();
+        let versions = records.entry(key.to_owned()).or_default();
+        let version = versions.last().map_or(1, |r| r.version + 1);
+        versions.push(VersionedRecord { version, data });
+        self.inner.stats.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+
+    /// Reads the latest version of `key`.
+    pub fn get_latest(&self, key: &str) -> Result<VersionedRecord, StoreError> {
+        if !self.is_available() {
+            self.inner.stats.unavailable_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Unavailable);
+        }
+        self.pay_latency();
+        let records = self.inner.records.read();
+        let rec = records
+            .get(key)
+            .and_then(|v| v.last())
+            .cloned()
+            .ok_or(StoreError::NotFound)?;
+        self.inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+        Ok(rec)
+    }
+
+    /// Reads a specific version of `key`.
+    pub fn get_version(&self, key: &str, version: u64) -> Result<VersionedRecord, StoreError> {
+        if !self.is_available() {
+            self.inner.stats.unavailable_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Unavailable);
+        }
+        self.pay_latency();
+        let records = self.inner.records.read();
+        let rec = records
+            .get(key)
+            .and_then(|v| v.iter().find(|r| r.version == version))
+            .cloned()
+            .ok_or(StoreError::NotFound)?;
+        self.inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+        Ok(rec)
+    }
+
+    /// Latest version number of `key`, if any.
+    pub fn latest_version(&self, key: &str) -> Option<u64> {
+        self.inner.records.read().get(key).and_then(|v| v.last()).map(|r| r.version)
+    }
+
+    /// All keys with at least one version, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.inner.records.read().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Successful GET count.
+    pub fn get_count(&self) -> u64 {
+        self.inner.stats.gets.load(Ordering::Relaxed)
+    }
+
+    /// Successful PUT count.
+    pub fn put_count(&self) -> u64 {
+        self.inner.stats.puts.load(Ordering::Relaxed)
+    }
+
+    /// Count of accesses rejected while unavailable.
+    pub fn unavailable_count(&self) -> u64 {
+        self.inner.stats.unavailable_errors.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_monotonic_per_key() {
+        let store = Store::in_memory();
+        assert_eq!(store.put("a", Bytes::from_static(b"1")).unwrap(), 1);
+        assert_eq!(store.put("a", Bytes::from_static(b"2")).unwrap(), 2);
+        assert_eq!(store.put("b", Bytes::from_static(b"x")).unwrap(), 1);
+        assert_eq!(store.latest_version("a"), Some(2));
+        assert_eq!(store.latest_version("missing"), None);
+    }
+
+    #[test]
+    fn get_latest_and_pinned() {
+        let store = Store::in_memory();
+        store.put("k", Bytes::from_static(b"v1")).unwrap();
+        store.put("k", Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(store.get_latest("k").unwrap().data.as_ref(), b"v2");
+        assert_eq!(store.get_version("k", 1).unwrap().data.as_ref(), b"v1");
+        assert!(matches!(store.get_version("k", 9), Err(StoreError::NotFound)));
+        assert!(matches!(store.get_latest("nope"), Err(StoreError::NotFound)));
+    }
+
+    #[test]
+    fn unavailability_fails_everything() {
+        let store = Store::in_memory();
+        store.put("k", Bytes::from_static(b"v")).unwrap();
+        store.set_available(false);
+        assert!(matches!(store.get_latest("k"), Err(StoreError::Unavailable)));
+        assert!(matches!(store.put("k", Bytes::from_static(b"w")), Err(StoreError::Unavailable)));
+        assert!(store.unavailable_count() >= 2);
+        store.set_available(true);
+        assert!(store.get_latest("k").is_ok());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Store::in_memory();
+        let b = a.clone();
+        a.put("k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(b.get_latest("k").unwrap().data.as_ref(), b"v");
+    }
+
+    #[test]
+    fn concurrent_puts_get_distinct_versions() {
+        let store = Store::in_memory();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = store.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| s.put("k", Bytes::from_static(b"v")).unwrap()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 800, "versions must be unique");
+        assert_eq!(store.latest_version("k"), Some(800));
+    }
+
+    #[test]
+    fn latency_model_slows_accesses() {
+        let store =
+            Store::with_latency(Some(LatencyModel::from_quantiles(300.0, 600.0)));
+        store.put("k", Bytes::from_static(b"v")).unwrap();
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            store.get_latest("k").unwrap();
+        }
+        let elapsed = start.elapsed();
+        // 21 accesses at >=~0.3 ms median should take >= ~3 ms total.
+        assert!(elapsed.as_micros() > 3_000, "elapsed = {elapsed:?}");
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let store = Store::in_memory();
+        store.put("b", Bytes::new()).unwrap();
+        store.put("a", Bytes::new()).unwrap();
+        assert_eq!(store.keys(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Latency model for the remote store.
+//!
+//! §6.1 reports that the store RC uses has median / 99th-percentile GET
+//! latencies of 2.9 ms / 5.6 ms for an ~850-byte record (the per-
+//! subscription feature-data size). We model access latency as log-normal
+//! — the usual fit for storage-service latencies — with the two reported
+//! quantiles pinning its parameters.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// z-score of the 99th percentile of a standard normal.
+const Z99: f64 = 2.326_347_874_040_841;
+
+/// A log-normal latency model parameterized by two quantiles.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// ln of the median latency in microseconds.
+    mu: f64,
+    /// Log-space standard deviation.
+    sigma: f64,
+}
+
+impl LatencyModel {
+    /// Builds a model with the given median and p99, in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < median_us <= p99_us`.
+    pub fn from_quantiles(median_us: f64, p99_us: f64) -> Self {
+        assert!(median_us > 0.0 && p99_us >= median_us, "quantiles must be ordered");
+        LatencyModel {
+            mu: median_us.ln(),
+            sigma: (p99_us / median_us).ln() / Z99,
+        }
+    }
+
+    /// The paper's store: median 2.9 ms, p99 5.6 ms.
+    pub fn paper_store() -> Self {
+        Self::from_quantiles(2_900.0, 5_600.0)
+    }
+
+    /// Median latency in microseconds.
+    pub fn median_us(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// 99th-percentile latency in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        (self.mu + Z99 * self.sigma).exp()
+    }
+
+    /// Samples one latency in microseconds.
+    pub fn sample_us<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z: f64 = {
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// Samples one latency as a [`std::time::Duration`].
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> std::time::Duration {
+        std::time::Duration::from_nanos((self.sample_us(rng) * 1_000.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantiles_round_trip() {
+        let m = LatencyModel::from_quantiles(2_900.0, 5_600.0);
+        assert!((m.median_us() - 2_900.0).abs() < 1e-6);
+        assert!((m.p99_us() - 5_600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empirical_quantiles_match() {
+        let m = LatencyModel::paper_store();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut samples: Vec<f64> = (0..100_000).map(|_| m.sample_us(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let p99 = samples[(samples.len() as f64 * 0.99) as usize];
+        assert!((median - 2_900.0).abs() / 2_900.0 < 0.02, "median = {median}");
+        assert!((p99 - 5_600.0).abs() / 5_600.0 < 0.05, "p99 = {p99}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let m = LatencyModel::from_quantiles(10.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(m.sample_us(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantiles must be ordered")]
+    fn rejects_inverted_quantiles() {
+        LatencyModel::from_quantiles(100.0, 10.0);
+    }
+}

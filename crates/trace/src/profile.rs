@@ -1,0 +1,482 @@
+//! Latent behavioural profiles of subscriptions.
+//!
+//! §3 of the paper observes, for every metric, that "VMs from the same
+//! subscription tend to exhibit similar behaviors" (CoV below 1 for most
+//! subscriptions) — and §6.1 attributes prediction accuracy chiefly to
+//! per-subscription history features. The generator therefore samples a
+//! *subscription-level* center for each behaviour from the calibrated
+//! party-level mixtures, and individual VMs jitter around their
+//! subscription's center. Aggregate marginals then match the paper's
+//! figures while per-subscription consistency makes history predictive.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use rc_types::time::Timestamp;
+use rc_types::vm::{OsType, Party, ProdTag, RegionId, SubscriptionId, VmRole, VmType};
+
+use crate::calibration as cal;
+use crate::sampler::{log_uniform, weighted_choice, zipf};
+
+/// Service-name id 0 is reserved for the first-party VM-creation-test
+/// workload the paper calls out in §3.2.
+pub const CREATION_TEST_SERVICE: u8 = 0;
+
+/// The latent profile of one subscription.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubscriptionProfile {
+    /// Subscription identity.
+    pub id: SubscriptionId,
+    /// First- or third-party.
+    pub party: Party,
+    /// Role most of this subscription's VMs carry.
+    pub primary_role: VmRole,
+    /// True for the 96% of subscriptions that stick to one VM type.
+    pub single_type: bool,
+    /// Top first-party service id, or `None` ("unknown" service name).
+    pub service: Option<u8>,
+    /// Production annotation (subscription-level, as in §5).
+    pub prod: ProdTag,
+    /// Preferred guest OS.
+    pub os: OsType,
+    /// True for first-party VM-creation-test subscriptions.
+    pub is_creation_test: bool,
+    /// Subscription-level average-utilization bucket and center.
+    pub avg_util_bucket: usize,
+    /// Center of the per-VM average-utilization draw.
+    pub avg_util_center: f64,
+    /// Subscription-level P95-of-max bucket and center.
+    pub p95_bucket: usize,
+    /// Center of the per-VM P95 draw.
+    pub p95_center: f64,
+    /// Log-space sigma of per-VM utilization jitter (kept below ~0.35 so
+    /// most subscriptions have utilization CoV < 1, per §3.2).
+    pub util_sigma: f64,
+    /// True for the rare subscriptions dominated by interactive VMs.
+    pub interactive_dominant: bool,
+    /// Probability a VM of this subscription runs an interactive workload.
+    pub interactive_prob: f64,
+    /// Most likely lifetime bucket for this subscription's VMs.
+    pub lifetime_primary_bucket: usize,
+    /// Median lifetime (seconds) within the primary bucket.
+    pub lifetime_median_secs: f64,
+    /// Log-space sigma of per-VM lifetime jitter within the primary bucket.
+    pub lifetime_sigma: f64,
+    /// Most likely deployment-size bucket.
+    pub deploy_size_bucket: usize,
+    /// Mean VMs per deployment.
+    pub deploy_size_center: f64,
+    /// Primary/secondary SKU catalog indices.
+    pub primary_sku: usize,
+    /// Secondary SKU catalog index (used ~15% of the time).
+    pub secondary_sku: usize,
+    /// Region most deployments target.
+    pub home_region: RegionId,
+    /// First instant the subscription creates deployments.
+    pub active_from: Timestamp,
+    /// Last instant the subscription creates deployments.
+    pub active_until: Timestamp,
+    /// Deployments created per day while active (before global scaling).
+    pub deployment_rate_per_day: f64,
+}
+
+/// Per-(party, type) multiplier on the weight of the >24 h lifetime bucket.
+///
+/// §3.1 reports that third-party core-hours are 85% IaaS while first-party
+/// core-hours are 77% PaaS; long-lived VMs carry almost all core-hours
+/// (§3.5), so steering *who lives long* by (party, type) reproduces that
+/// split.
+fn long_bucket_boost(party: Party, vm_type: VmType) -> f64 {
+    match (party, vm_type) {
+        (Party::First, VmType::Iaas) => 0.55,
+        (Party::First, VmType::Paas) => 1.50,
+        (Party::Third, VmType::Iaas) => 1.85,
+        (Party::Third, VmType::Paas) => 0.45,
+    }
+}
+
+/// Removes the creation-test VMs' contribution from a first-party share
+/// vector.
+///
+/// The calibration targets are *overall* marginals, but creation-test VMs
+/// (≈15% of first-party VMs) are forced into bucket 0 of the utilization
+/// and lifetime metrics — so the non-test subscriptions must sample from
+/// shares with that mass taken back out of bucket 0, or bucket 0 ends up
+/// double-counted.
+fn non_test_adjusted(mut shares: [f64; 4], party: Party) -> [f64; 4] {
+    if party == Party::First {
+        shares[0] = (shares[0] - cal::FIRST_PARTY_CREATION_TEST_FRACTION).max(0.01);
+        let total: f64 = shares.iter().sum();
+        for s in shares.iter_mut() {
+            *s /= total;
+        }
+    }
+    shares
+}
+
+/// Sub-ranges used when drawing a subscription's utilization center inside
+/// a Table 3 bucket. Log-uniform draws inside bucket 0 reproduce Figure
+/// 1's steep low-utilization CDF (60% of VMs below 20% average).
+fn util_center_range(bucket: usize) -> (f64, f64) {
+    match bucket {
+        0 => (0.015, 0.22),
+        1 => (0.27, 0.48),
+        2 => (0.52, 0.73),
+        _ => (0.77, 0.97),
+    }
+}
+
+/// Knobs for sampling subscription profiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileConfig {
+    /// Length of the observation window in days.
+    pub days: u32,
+    /// Number of regions VMs may target.
+    pub n_regions: u16,
+    /// Fraction of first-party subscriptions that are creation-test fleets.
+    /// Their elevated arrival rate makes their VMs ~15% of first-party VMs.
+    pub creation_test_subscription_fraction: f64,
+    /// Probability a non-test first-party subscription is tagged
+    /// non-production (calibrated so ~71% of all VMs are production, the
+    /// §6.2 workload mix).
+    pub first_party_non_production_fraction: f64,
+    /// Fraction of subscriptions dominated by interactive workloads.
+    pub interactive_subscription_fraction: f64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            days: 90,
+            n_regions: 4,
+            creation_test_subscription_fraction: 0.08,
+            first_party_non_production_fraction: 0.235,
+            interactive_subscription_fraction: 0.022,
+        }
+    }
+}
+
+impl SubscriptionProfile {
+    /// Samples one subscription profile.
+    pub fn sample<R: Rng + ?Sized>(id: SubscriptionId, cfg: &ProfileConfig, rng: &mut R) -> Self {
+        let party = if rng.gen::<f64>() < cal::FIRST_PARTY_VM_FRACTION {
+            Party::First
+        } else {
+            Party::Third
+        };
+        let is_creation_test = party == Party::First
+            && rng.gen::<f64>() < cfg.creation_test_subscription_fraction;
+
+        let iaas_fraction = match party {
+            Party::First => cal::FIRST_PARTY_IAAS_FRACTION,
+            Party::Third => cal::THIRD_PARTY_IAAS_FRACTION,
+        };
+        let primary_role = if rng.gen::<f64>() < iaas_fraction {
+            VmRole::Iaas
+        } else {
+            // PaaS functional roles: web-heavy, worker-heavy mix.
+            let w = [0.35, 0.38, 0.10, 0.17];
+            match weighted_choice(rng, &w) {
+                0 => VmRole::PaasWebServer,
+                1 => VmRole::PaasWorker,
+                2 => VmRole::PaasCache,
+                _ => VmRole::PaasData,
+            }
+        };
+        let single_type = rng.gen::<f64>() < cal::SINGLE_TYPE_SUBSCRIPTION_FRACTION;
+
+        let service = if is_creation_test {
+            Some(CREATION_TEST_SERVICE)
+        } else if party == Party::First && rng.gen::<f64>() < 0.55 {
+            // Zipf over the named services, skipping the reserved id 0.
+            Some(zipf(rng, (cal::N_TOP_SERVICES - 1) as u64, 1.2) as u8)
+        } else {
+            None
+        };
+
+        let prod = if party == Party::Third {
+            ProdTag::Production
+        } else if is_creation_test
+            || rng.gen::<f64>() < cfg.first_party_non_production_fraction
+        {
+            ProdTag::NonProduction
+        } else {
+            ProdTag::Production
+        };
+
+        let os = match party {
+            Party::First => {
+                if rng.gen::<f64>() < 0.62 {
+                    OsType::Windows
+                } else {
+                    OsType::Linux
+                }
+            }
+            Party::Third => {
+                if rng.gen::<f64>() < 0.45 {
+                    OsType::Windows
+                } else {
+                    OsType::Linux
+                }
+            }
+        };
+
+        // Utilization centers.
+        let (avg_util_bucket, avg_util_center, p95_bucket, p95_center) = if is_creation_test {
+            (0, 0.01, 0, 0.03)
+        } else {
+            let avg_bucket =
+                weighted_choice(rng, &non_test_adjusted(cal::avg_util_bucket_shares(party), party));
+            let (lo, hi) = util_center_range(avg_bucket);
+            // Figure 1 pins two close anchors — 60% of VMs below 20% but
+            // 74% below 25% average utilization — so the lowest bucket
+            // needs a mass concentration just under its upper edge.
+            let avg_center = if avg_bucket == 0 {
+                if rng.gen::<f64>() < 0.72 {
+                    log_uniform(rng, 0.015, 0.19)
+                } else {
+                    0.19 + rng.gen::<f64>() * 0.045
+                }
+            } else {
+                log_uniform(rng, lo, hi)
+            };
+            // The (avg bucket 0, P95 bucket 0) cell also absorbs the
+            // creation-test mass; deflate it for non-test subscriptions.
+            let mut p95_row = cal::p95_given_avg(party)[avg_bucket];
+            if party == Party::First && avg_bucket == 0 {
+                let raw_b0 = cal::avg_util_bucket_shares(party)[0];
+                let joint00 =
+                    (raw_b0 * p95_row[0] - cal::FIRST_PARTY_CREATION_TEST_FRACTION).max(0.005);
+                p95_row[0] = joint00 / raw_b0;
+                let total: f64 = p95_row.iter().sum();
+                for p in p95_row.iter_mut() {
+                    *p /= total;
+                }
+            }
+            let p95_bucket = weighted_choice(rng, &p95_row);
+            let (plo, phi) = util_center_range(p95_bucket);
+            // Correlate the P95 center with the average's position inside
+            // its bucket (Figure 8: the two utilization metrics are
+            // strongly positively rank-correlated).
+            let lo_eff = if p95_bucket == avg_bucket { avg_center.max(plo) } else { plo };
+            let u = ((avg_center - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let mix = 0.65 * u + 0.35 * rng.gen::<f64>();
+            // Keep centers away from bucket edges so per-VM jitter rarely
+            // knocks the realized P95 out of the intended bucket.
+            let p95_center = lo_eff + (0.2 + 0.7 * mix) * (phi - lo_eff).max(0.0);
+            (avg_bucket, avg_center, p95_bucket, p95_center)
+        };
+        let util_sigma = (0.08 + rng.gen::<f64>() * 0.30).min(0.38);
+
+        let interactive_dominant =
+            !is_creation_test && rng.gen::<f64>() < cfg.interactive_subscription_fraction;
+        let interactive_prob = if interactive_dominant { 0.90 } else { 0.001 };
+
+        // Lifetime mixture: party shares, reweighted by (party, type) to
+        // steer core-hours, pinned long for interactive subscriptions.
+        let lifetime_primary_bucket = if is_creation_test {
+            0
+        } else if interactive_dominant {
+            3
+        } else {
+            let mut shares = non_test_adjusted(cal::lifetime_bucket_shares(party), party);
+            shares[3] *= long_bucket_boost(party, primary_role.vm_type());
+            weighted_choice(rng, &shares)
+        };
+        let bounds = &cal::LIFETIME_BUCKET_BOUNDS[lifetime_primary_bucket];
+        let lifetime_median_secs = if is_creation_test {
+            log_uniform(rng, 140.0, 420.0)
+        } else if lifetime_primary_bucket == 3 {
+            if interactive_dominant {
+                log_uniform(rng, 10.0 * 86_400.0, 40.0 * 86_400.0)
+            } else {
+                log_uniform(rng, 2.0 * 86_400.0, 14.0 * 86_400.0)
+            }
+        } else {
+            log_uniform(rng, bounds.lo_secs * 1.1, bounds.hi_secs * 0.9)
+        };
+        let lifetime_sigma = 0.15 + rng.gen::<f64>() * 0.25;
+
+        // Deployment sizing.
+        let deploy_size_bucket =
+            weighted_choice(rng, &cal::deployment_size_bucket_shares(party));
+        let deploy_size_center = match deploy_size_bucket {
+            0 => 1.0,
+            1 => log_uniform(rng, 2.0, 10.0),
+            2 => log_uniform(rng, 11.0, 100.0),
+            _ => log_uniform(rng, 101.0, 700.0),
+        };
+
+        // SKUs.
+        let weights = cal::sku_weights(party);
+        let primary_sku = weighted_choice(rng, &weights);
+        let secondary_sku = weighted_choice(rng, &weights);
+
+        let home_region = RegionId(rng.gen_range(0..cfg.n_regions.max(1)));
+
+        // Activity window: most subscriptions span the whole trace; some
+        // appear late or disappear early (those exercise the "recently
+        // created subscription" no-prediction path).
+        let window_secs = cfg.days as u64 * 86_400;
+        let roll: f64 = rng.gen();
+        let (active_from, active_until) = if roll < 0.70 {
+            (Timestamp::ZERO, Timestamp::from_secs(window_secs))
+        } else if roll < 0.85 {
+            let start = rng.gen_range(0..window_secs * 3 / 4);
+            (Timestamp::from_secs(start), Timestamp::from_secs(window_secs))
+        } else {
+            let end = rng.gen_range(window_secs / 4..window_secs);
+            (Timestamp::ZERO, Timestamp::from_secs(end))
+        };
+
+        // Busy-ness varies over orders of magnitude across subscriptions;
+        // creation-test fleets churn much faster. The division by
+        // sqrt(deployment size) tempers — without erasing — the dominance
+        // of large-deployment subscriptions over the VM population.
+        let base_rate = log_uniform(rng, 0.08, 5.0) / deploy_size_center.sqrt();
+        let deployment_rate_per_day = if is_creation_test {
+            base_rate * 2.0
+        } else if interactive_dominant {
+            // Interactive services deploy steadily; a narrow rate band
+            // keeps the (rare) interactive population from collapsing to
+            // one or two lucky subscriptions.
+            log_uniform(rng, 0.5, 2.5) / deploy_size_center.sqrt()
+        } else {
+            base_rate
+        };
+
+        SubscriptionProfile {
+            id,
+            party,
+            primary_role,
+            single_type,
+            service,
+            prod,
+            os,
+            is_creation_test,
+            avg_util_bucket,
+            avg_util_center,
+            p95_bucket,
+            p95_center,
+            util_sigma,
+            interactive_dominant,
+            interactive_prob,
+            lifetime_primary_bucket,
+            lifetime_median_secs,
+            lifetime_sigma,
+            deploy_size_bucket,
+            deploy_size_center,
+            primary_sku,
+            secondary_sku,
+            home_region,
+            active_from,
+            active_until,
+            deployment_rate_per_day,
+        }
+    }
+
+    /// Expected number of VMs this subscription creates over its activity
+    /// window, before global rate scaling.
+    pub fn expected_vms(&self) -> f64 {
+        let active_days = self.active_until.since(self.active_from).as_days_f64();
+        self.deployment_rate_per_day * active_days * self.deploy_size_center
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_many(n: usize) -> Vec<SubscriptionProfile> {
+        let cfg = ProfileConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n)
+            .map(|i| SubscriptionProfile::sample(SubscriptionId(i as u32), &cfg, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn party_mix_matches_calibration() {
+        let profiles = sample_many(5000);
+        let first = profiles.iter().filter(|p| p.party == Party::First).count();
+        let frac = first as f64 / profiles.len() as f64;
+        assert!((frac - cal::FIRST_PARTY_VM_FRACTION).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn third_party_is_always_production() {
+        for p in sample_many(2000) {
+            if p.party == Party::Third {
+                assert_eq!(p.prod, ProdTag::Production);
+            }
+        }
+    }
+
+    #[test]
+    fn creation_test_subscriptions_are_first_party_and_shortlived() {
+        let profiles = sample_many(5000);
+        let tests: Vec<_> = profiles.iter().filter(|p| p.is_creation_test).collect();
+        assert!(!tests.is_empty());
+        for p in &tests {
+            assert_eq!(p.party, Party::First);
+            assert_eq!(p.lifetime_primary_bucket, 0);
+            assert_eq!(p.prod, ProdTag::NonProduction);
+            assert_eq!(p.service, Some(CREATION_TEST_SERVICE));
+            assert!(p.avg_util_center < 0.05);
+        }
+    }
+
+    #[test]
+    fn p95_center_never_below_avg_center() {
+        for p in sample_many(3000) {
+            assert!(
+                p.p95_center >= p.avg_util_center - 1e-9,
+                "sub {:?}: avg {} p95 {}",
+                p.id,
+                p.avg_util_center,
+                p.p95_center
+            );
+            assert!(p.p95_bucket >= p.avg_util_bucket);
+        }
+    }
+
+    #[test]
+    fn interactive_subscriptions_live_long() {
+        let profiles = sample_many(20_000);
+        let interactive: Vec<_> =
+            profiles.iter().filter(|p| p.interactive_dominant).collect();
+        assert!(!interactive.is_empty());
+        for p in &interactive {
+            assert_eq!(p.lifetime_primary_bucket, 3);
+            assert!(p.lifetime_median_secs >= 10.0 * 86_400.0);
+            assert!(p.interactive_prob > 0.5);
+        }
+        let frac = interactive.len() as f64 / profiles.len() as f64;
+        assert!((0.007..0.027).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn most_subscriptions_are_single_type() {
+        let profiles = sample_many(5000);
+        let single = profiles.iter().filter(|p| p.single_type).count();
+        let frac = single as f64 / profiles.len() as f64;
+        assert!((frac - 0.96).abs() < 0.015, "{frac}");
+    }
+
+    #[test]
+    fn activity_windows_are_well_formed() {
+        for p in sample_many(2000) {
+            assert!(p.active_from < p.active_until);
+            assert!(p.active_until.as_secs() <= 90 * 86_400);
+        }
+    }
+
+    #[test]
+    fn expected_vms_is_positive() {
+        for p in sample_many(500) {
+            assert!(p.expected_vms() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Small sampling utilities shared by the generator.
+
+use rand::Rng;
+
+/// SplitMix64 hash step — used to derive independent deterministic streams
+/// (e.g. one per VM, one per telemetry slot) from a single seed.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` derived from a hash of `(seed, stream)`.
+pub fn hash_unit(seed: u64, stream: u64) -> f64 {
+    let h = splitmix64(seed ^ stream.wrapping_mul(0xd6e8_feb8_6659_fd93));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard-normal-ish value derived from two hash streams (Box-Muller).
+pub fn hash_normal(seed: u64, stream: u64) -> f64 {
+    let u1 = hash_unit(seed, stream.wrapping_mul(2)).max(1e-12);
+    let u2 = hash_unit(seed, stream.wrapping_mul(2) + 1);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples an index from unnormalized weights.
+///
+/// # Panics
+///
+/// Panics when `weights` is empty or sums to a non-positive value.
+pub fn weighted_choice<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(!weights.is_empty() && total > 0.0, "need positive weights");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Log-uniform sample in `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics when the bounds are non-positive or inverted.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "log_uniform needs 0 < lo <= hi");
+    (rng.gen::<f64>() * (hi.ln() - lo.ln()) + lo.ln()).exp()
+}
+
+/// Log-normal sample around `median` with log-space sigma, truncated into
+/// `[lo, hi]` by clamping.
+pub fn clamped_lognormal<R: Rng + ?Sized>(
+    rng: &mut R,
+    median: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    let z: f64 = {
+        // Box-Muller on the caller's RNG.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    (median * (sigma * z).exp()).clamp(lo, hi)
+}
+
+/// A 1-based Zipf-like sampler over `{1, .., max}` with exponent `s`.
+pub fn zipf<R: Rng + ?Sized>(rng: &mut R, max: u64, s: f64) -> u64 {
+    // Inverse-CDF on the continuous approximation, then rounded.
+    debug_assert!(max >= 1);
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    if (s - 1.0).abs() < 1e-9 {
+        // Harmonic case: invert u = ln(x)/ln(max+1).
+        return ((max as f64 + 1.0).powf(u) as u64).clamp(1, max);
+    }
+    let a = 1.0 - s;
+    let hi = (max as f64 + 1.0).powf(a);
+    let x = (1.0 + u * (hi - 1.0)).powf(1.0 / a);
+    (x as u64).clamp(1, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hash_unit_is_deterministic_and_in_range() {
+        for stream in 0..1000 {
+            let a = hash_unit(42, stream);
+            let b = hash_unit(42, stream);
+            assert_eq!(a, b);
+            assert!((0.0..1.0).contains(&a));
+        }
+        assert_ne!(hash_unit(42, 0), hash_unit(43, 0));
+    }
+
+    #[test]
+    fn hash_normal_moments() {
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|i| hash_normal(7, i)).sum::<f64>() / n as f64;
+        let var: f64 = (0..n).map(|i| hash_normal(7, i).powi(2)).sum::<f64>() / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights = [0.1, 0.0, 0.9];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_choice(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 8_500 && counts[2] < 9_500, "{counts:?}");
+    }
+
+    #[test]
+    fn log_uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = log_uniform(&mut rng, 60.0, 86_400.0);
+            assert!((60.0..=86_400.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn clamped_lognormal_clamps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = clamped_lognormal(&mut rng, 10.0, 2.0, 5.0, 20.0);
+            assert!((5.0..=20.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_favors_small_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 10_000;
+        let ones = (0..n).filter(|_| zipf(&mut rng, 100, 1.6) == 1).count();
+        // The continuous inverse-CDF approximation puts ~0.36 on 1 for
+        // s = 1.6 (the exact Zipf would give ~0.48); heavy head is enough.
+        assert!(ones as f64 / n as f64 > 0.25, "P(1) = {}", ones as f64 / n as f64);
+        for _ in 0..1000 {
+            let v = zipf(&mut rng, 100, 1.6);
+            assert!((1..=100).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Prediction buckets (Table 3 of the paper).
+//!
+//! Resource Central formulates numeric predictions as *classification over
+//! buckets* rather than regression, because buckets are easier to predict
+//! ("it is easier to predict that utilization will be in the 50% to 75%
+//! bucket than predict that it will be exactly 53%"). When a numeric value
+//! is needed, the client converts the bucket back with a [`BucketValue`]
+//! policy (lowest / middle / highest value of the bucket).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Duration;
+
+/// How to convert a predicted bucket back to a representative number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BucketValue {
+    /// The lowest value of the bucket (optimistic for utilization).
+    Lowest,
+    /// The midpoint of the bucket.
+    Middle,
+    /// The highest value of the bucket (conservative for utilization;
+    /// Algorithm 1 uses `Highest_Util_in_Bucket`).
+    Highest,
+}
+
+/// Maps a metric's raw value into one of a small number of buckets.
+///
+/// Implementations must be *total* (every valid value maps to a bucket) and
+/// *monotone* (larger values never map to smaller buckets).
+pub trait Bucketizer {
+    /// The raw value type being bucketed.
+    type Value;
+
+    /// Number of buckets.
+    fn n_buckets(&self) -> usize;
+
+    /// Bucket index in `[0, n_buckets)` for `value`.
+    fn bucket(&self, value: &Self::Value) -> usize;
+
+    /// Human-readable label for bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= n_buckets()`.
+    fn label(&self, i: usize) -> String;
+}
+
+/// CPU-utilization buckets: 0–25%, 25–50%, 50–75%, 75–100%.
+///
+/// Used both for average and 95th-percentile-of-max utilization. Values are
+/// fractions in `[0, 1]`; bucket boundaries are inclusive on the low side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtilizationBucketizer;
+
+impl UtilizationBucketizer {
+    /// Upper bound (as a fraction) of bucket `i`.
+    ///
+    /// Algorithm 1 multiplies `Highest_Util_in_Bucket[pred]` by the VM's
+    /// core allocation to get a conservative utilization estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= 4`.
+    pub fn highest_util_in_bucket(i: usize) -> f64 {
+        match i {
+            0 => 0.25,
+            1 => 0.50,
+            2 => 0.75,
+            3 => 1.00,
+            _ => panic!("utilization bucket index out of range: {i}"),
+        }
+    }
+
+    /// Representative value of bucket `i` under a [`BucketValue`] policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= 4`.
+    pub fn representative(i: usize, policy: BucketValue) -> f64 {
+        assert!(i < 4, "utilization bucket index out of range: {i}");
+        let lo = i as f64 * 0.25;
+        let hi = lo + 0.25;
+        match policy {
+            BucketValue::Lowest => lo,
+            BucketValue::Middle => (lo + hi) / 2.0,
+            BucketValue::Highest => hi,
+        }
+    }
+}
+
+impl Bucketizer for UtilizationBucketizer {
+    type Value = f64;
+
+    fn n_buckets(&self) -> usize {
+        4
+    }
+
+    fn bucket(&self, value: &f64) -> usize {
+        let v = value.clamp(0.0, 1.0);
+        // 0.25 and 0.5 and 0.75 fall into the upper bucket; 1.0 stays in 3.
+        ((v / 0.25) as usize).min(3)
+    }
+
+    fn label(&self, i: usize) -> String {
+        match i {
+            0 => "0-25%".into(),
+            1 => "25-50%".into(),
+            2 => "50-75%".into(),
+            3 => "75-100%".into(),
+            _ => panic!("utilization bucket index out of range: {i}"),
+        }
+    }
+}
+
+/// Deployment-size buckets: 1, 2–10, 11–100, >100 (used both for #VMs and
+/// #cores).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentSizeBucketizer;
+
+impl Bucketizer for DeploymentSizeBucketizer {
+    type Value = u64;
+
+    fn n_buckets(&self) -> usize {
+        4
+    }
+
+    fn bucket(&self, value: &u64) -> usize {
+        match *value {
+            0 | 1 => 0,
+            2..=10 => 1,
+            11..=100 => 2,
+            _ => 3,
+        }
+    }
+
+    fn label(&self, i: usize) -> String {
+        match i {
+            0 => "1".into(),
+            1 => ">1 & <=10".into(),
+            2 => ">10 & <=100".into(),
+            3 => ">100".into(),
+            _ => panic!("deployment-size bucket index out of range: {i}"),
+        }
+    }
+}
+
+/// Lifetime buckets: <=15 min, 15–60 min, 1–24 h, >24 h.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifetimeBucketizer;
+
+impl Bucketizer for LifetimeBucketizer {
+    type Value = Duration;
+
+    fn n_buckets(&self) -> usize {
+        4
+    }
+
+    fn bucket(&self, value: &Duration) -> usize {
+        let s = value.as_secs();
+        if s <= 15 * 60 {
+            0
+        } else if s <= 60 * 60 {
+            1
+        } else if s <= 24 * 3600 {
+            2
+        } else {
+            3
+        }
+    }
+
+    fn label(&self, i: usize) -> String {
+        match i {
+            0 => "<=15 mins".into(),
+            1 => ">15 & <=60 mins".into(),
+            2 => ">1 & <=24 hs".into(),
+            3 => ">24 hs".into(),
+            _ => panic!("lifetime bucket index out of range: {i}"),
+        }
+    }
+}
+
+/// The two workload classes inferred by the FFT periodicity analysis (§3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Batch / background / dev-test workloads tolerant of contention.
+    DelayInsensitive,
+    /// Potentially interactive workloads with diurnal periodicity; must not
+    /// be tightly packed or power-capped.
+    Interactive,
+}
+
+impl WorkloadClass {
+    /// Human-readable label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            WorkloadClass::DelayInsensitive => "delay-insensitive",
+            WorkloadClass::Interactive => "interactive",
+        }
+    }
+
+    /// Numbering used by Figure 8 (1 = delay-insensitive, 2 = interactive).
+    pub const fn as_number(self) -> u8 {
+        match self {
+            WorkloadClass::DelayInsensitive => 1,
+            WorkloadClass::Interactive => 2,
+        }
+    }
+}
+
+/// Bucketizer over [`WorkloadClass`], for symmetry with the numeric metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadClassBucketizer;
+
+impl Bucketizer for WorkloadClassBucketizer {
+    type Value = WorkloadClass;
+
+    fn n_buckets(&self) -> usize {
+        2
+    }
+
+    fn bucket(&self, value: &WorkloadClass) -> usize {
+        match value {
+            WorkloadClass::DelayInsensitive => 0,
+            WorkloadClass::Interactive => 1,
+        }
+    }
+
+    fn label(&self, i: usize) -> String {
+        match i {
+            0 => "delay-insensitive".into(),
+            1 => "interactive".into(),
+            _ => panic!("workload-class bucket index out of range: {i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bucket_edges() {
+        let b = UtilizationBucketizer;
+        assert_eq!(b.bucket(&0.0), 0);
+        assert_eq!(b.bucket(&0.2499), 0);
+        assert_eq!(b.bucket(&0.25), 1);
+        assert_eq!(b.bucket(&0.50), 2);
+        assert_eq!(b.bucket(&0.75), 3);
+        assert_eq!(b.bucket(&1.0), 3);
+        assert_eq!(b.bucket(&2.0), 3); // clamped
+        assert_eq!(b.bucket(&-0.5), 0); // clamped
+    }
+
+    #[test]
+    fn utilization_representatives() {
+        assert_eq!(UtilizationBucketizer::representative(0, BucketValue::Lowest), 0.0);
+        assert_eq!(UtilizationBucketizer::representative(1, BucketValue::Middle), 0.375);
+        assert_eq!(UtilizationBucketizer::representative(3, BucketValue::Highest), 1.0);
+        for i in 0..4 {
+            assert_eq!(
+                UtilizationBucketizer::highest_util_in_bucket(i),
+                UtilizationBucketizer::representative(i, BucketValue::Highest)
+            );
+        }
+    }
+
+    #[test]
+    fn deployment_bucket_edges() {
+        let b = DeploymentSizeBucketizer;
+        assert_eq!(b.bucket(&1), 0);
+        assert_eq!(b.bucket(&2), 1);
+        assert_eq!(b.bucket(&10), 1);
+        assert_eq!(b.bucket(&11), 2);
+        assert_eq!(b.bucket(&100), 2);
+        assert_eq!(b.bucket(&101), 3);
+    }
+
+    #[test]
+    fn lifetime_bucket_edges() {
+        let b = LifetimeBucketizer;
+        assert_eq!(b.bucket(&Duration::from_minutes(15)), 0);
+        assert_eq!(b.bucket(&Duration::from_secs(15 * 60 + 1)), 1);
+        assert_eq!(b.bucket(&Duration::from_minutes(60)), 1);
+        assert_eq!(b.bucket(&Duration::from_hours(24)), 2);
+        assert_eq!(b.bucket(&Duration::from_secs(24 * 3600 + 1)), 3);
+    }
+
+    #[test]
+    fn labels_cover_all_buckets() {
+        let u = UtilizationBucketizer;
+        let d = DeploymentSizeBucketizer;
+        let l = LifetimeBucketizer;
+        let w = WorkloadClassBucketizer;
+        for i in 0..4 {
+            assert!(!u.label(i).is_empty());
+            assert!(!d.label(i).is_empty());
+            assert!(!l.label(i).is_empty());
+        }
+        for i in 0..2 {
+            assert!(!w.label(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn class_numbering_matches_figure8() {
+        assert_eq!(WorkloadClass::DelayInsensitive.as_number(), 1);
+        assert_eq!(WorkloadClass::Interactive.as_number(), 2);
+    }
+}

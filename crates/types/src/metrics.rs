@@ -1,0 +1,120 @@
+//! The six predicted metrics of Tables 1, 3 and 4 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// A VM behaviour metric Resource Central learns to predict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictionMetric {
+    /// Average virtual CPU utilization over the VM's life (Random Forest).
+    AvgCpuUtil,
+    /// 95th percentile of the per-interval maximum CPU utilization
+    /// (Random Forest). This is the metric Algorithm 1 consumes.
+    P95MaxCpuUtil,
+    /// Maximum deployment size in number of VMs (Gradient Boosting Tree).
+    DeploymentSizeVms,
+    /// Maximum deployment size in number of cores (Gradient Boosting Tree).
+    DeploymentSizeCores,
+    /// VM lifetime (Gradient Boosting Tree).
+    Lifetime,
+    /// Workload class: interactive vs delay-insensitive (FFT labelling +
+    /// Gradient Boosting Tree).
+    WorkloadClass,
+}
+
+impl PredictionMetric {
+    /// All metrics, in the row order of Tables 1 and 4.
+    pub const ALL: [PredictionMetric; 6] = [
+        PredictionMetric::AvgCpuUtil,
+        PredictionMetric::P95MaxCpuUtil,
+        PredictionMetric::DeploymentSizeVms,
+        PredictionMetric::DeploymentSizeCores,
+        PredictionMetric::Lifetime,
+        PredictionMetric::WorkloadClass,
+    ];
+
+    /// Model name used in client API calls (Algorithm 1 calls
+    /// `predict_single(VM_P95UTIL, ...)`).
+    pub const fn model_name(self) -> &'static str {
+        match self {
+            PredictionMetric::AvgCpuUtil => "VM_AVGUTIL",
+            PredictionMetric::P95MaxCpuUtil => "VM_P95UTIL",
+            PredictionMetric::DeploymentSizeVms => "DEP_SIZE_VMS",
+            PredictionMetric::DeploymentSizeCores => "DEP_SIZE_CORES",
+            PredictionMetric::Lifetime => "VM_LIFETIME",
+            PredictionMetric::WorkloadClass => "VM_CLASS",
+        }
+    }
+
+    /// Parses a model name back into the metric.
+    ///
+    /// Returns `None` for unknown model names.
+    pub fn from_model_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|m| m.model_name() == name)
+    }
+
+    /// Human-readable row label as printed in Table 4.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PredictionMetric::AvgCpuUtil => "Avg CPU utilization",
+            PredictionMetric::P95MaxCpuUtil => "P95 CPU utilization",
+            PredictionMetric::DeploymentSizeVms => "Deploy size (#VMs)",
+            PredictionMetric::DeploymentSizeCores => "Deploy size (#cores)",
+            PredictionMetric::Lifetime => "Lifetime",
+            PredictionMetric::WorkloadClass => "Workload class",
+        }
+    }
+
+    /// Number of prediction buckets for the metric (Table 3).
+    pub const fn n_buckets(self) -> usize {
+        match self {
+            PredictionMetric::WorkloadClass => 2,
+            _ => 4,
+        }
+    }
+
+    /// Dense index of the metric, usable for arrays over all metrics.
+    pub const fn index(self) -> usize {
+        match self {
+            PredictionMetric::AvgCpuUtil => 0,
+            PredictionMetric::P95MaxCpuUtil => 1,
+            PredictionMetric::DeploymentSizeVms => 2,
+            PredictionMetric::DeploymentSizeCores => 3,
+            PredictionMetric::Lifetime => 4,
+            PredictionMetric::WorkloadClass => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for PredictionMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names_round_trip() {
+        for m in PredictionMetric::ALL {
+            assert_eq!(PredictionMetric::from_model_name(m.model_name()), Some(m));
+        }
+        assert_eq!(PredictionMetric::from_model_name("NOPE"), None);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, m) in PredictionMetric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn bucket_counts_match_table3() {
+        for m in PredictionMetric::ALL {
+            let expect = if m == PredictionMetric::WorkloadClass { 2 } else { 4 };
+            assert_eq!(m.n_buckets(), expect);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Telemetry records: what the fabric reports about every VM.
+//!
+//! The paper's dataset contains, per VM: identity (VM / deployment /
+//! subscription), role, size (max core/memory allocation), and min/avg/max
+//! resource utilization reported every 5 minutes. [`VmRecord`] and
+//! [`UtilReading`] mirror that schema.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{Duration, Timestamp};
+use crate::vm::{
+    DeploymentId, OsType, Party, ProdTag, RegionId, SubscriptionId, VmId, VmRole, VmSku, VmType,
+};
+
+/// One 5-minute CPU utilization reading for a VM.
+///
+/// Values are fractions of the VM's *allocated* virtual CPU in `[0, 1]`:
+/// `min <= avg <= max` within the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilReading {
+    /// Start of the 5-minute interval.
+    pub ts: Timestamp,
+    /// Minimum utilization observed in the interval.
+    pub min: f64,
+    /// Average utilization over the interval.
+    pub avg: f64,
+    /// Maximum utilization observed in the interval.
+    pub max: f64,
+}
+
+impl UtilReading {
+    /// Builds a reading, clamping each component to `[0, 1]` and restoring
+    /// the `min <= avg <= max` ordering if the inputs violate it.
+    pub fn new(ts: Timestamp, min: f64, avg: f64, max: f64) -> Self {
+        let clamp = |v: f64| v.clamp(0.0, 1.0);
+        let (mut min, mut avg, mut max) = (clamp(min), clamp(avg), clamp(max));
+        if min > avg {
+            std::mem::swap(&mut min, &mut avg);
+        }
+        if avg > max {
+            std::mem::swap(&mut avg, &mut max);
+        }
+        if min > avg {
+            std::mem::swap(&mut min, &mut avg);
+        }
+        UtilReading { ts, min, avg, max }
+    }
+
+    /// True when the reading satisfies its ordering and range invariants.
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.min)
+            && (0.0..=1.0).contains(&self.max)
+            && self.min <= self.avg
+            && self.avg <= self.max
+    }
+}
+
+/// The static description of one VM over its whole life.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmRecord {
+    /// VM identity.
+    pub vm_id: VmId,
+    /// Owning subscription.
+    pub subscription: SubscriptionId,
+    /// Deployment the VM belongs to.
+    pub deployment: DeploymentId,
+    /// Region the deployment targets.
+    pub region: RegionId,
+    /// First- or third-party customer.
+    pub party: Party,
+    /// VM role (IaaS or PaaS functional role).
+    pub role: VmRole,
+    /// Production annotation (relevant to oversubscription).
+    pub prod: ProdTag,
+    /// Guest operating system.
+    pub os: OsType,
+    /// Requested size (max core/memory allocation).
+    pub sku: VmSku,
+    /// Creation time.
+    pub created: Timestamp,
+    /// Termination time (exclusive end of life).
+    pub deleted: Timestamp,
+}
+
+impl VmRecord {
+    /// The VM's type, implied by its role.
+    pub fn vm_type(&self) -> VmType {
+        self.role.vm_type()
+    }
+
+    /// Lifetime from creation to termination.
+    pub fn lifetime(&self) -> Duration {
+        self.deleted.since(self.created)
+    }
+
+    /// Core-hours consumed, assuming the full core allocation for the whole
+    /// lifetime (the accounting the paper uses for "core hours").
+    pub fn core_hours(&self) -> f64 {
+        self.sku.cores as f64 * self.lifetime().as_hours_f64()
+    }
+
+    /// True when the VM is alive at `t` (creation inclusive, deletion
+    /// exclusive).
+    pub fn alive_at(&self, t: Timestamp) -> bool {
+        self.created <= t && t < self.deleted
+    }
+
+    /// Number of whole 5-minute telemetry readings this VM produces.
+    pub fn reading_count(&self) -> u64 {
+        self.lifetime().as_secs() / crate::time::TELEMETRY_INTERVAL.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::SKU_CATALOG;
+
+    fn sample_record(created: u64, deleted: u64) -> VmRecord {
+        VmRecord {
+            vm_id: VmId(1),
+            subscription: SubscriptionId(7),
+            deployment: DeploymentId(3),
+            region: RegionId(0),
+            party: Party::Third,
+            role: VmRole::Iaas,
+            prod: ProdTag::Production,
+            os: OsType::Linux,
+            sku: SKU_CATALOG[2], // A2: 2 cores
+            created: Timestamp::from_secs(created),
+            deleted: Timestamp::from_secs(deleted),
+        }
+    }
+
+    #[test]
+    fn reading_restores_invariants() {
+        let r = UtilReading::new(Timestamp::ZERO, 0.9, 0.1, 0.5);
+        assert!(r.is_valid());
+        let r = UtilReading::new(Timestamp::ZERO, -1.0, 2.0, 0.5);
+        assert!(r.is_valid());
+        assert_eq!(r.min, 0.0);
+        assert_eq!(r.max, 1.0);
+    }
+
+    #[test]
+    fn lifetime_and_core_hours() {
+        let r = sample_record(0, 7200); // 2 hours on 2 cores.
+        assert_eq!(r.lifetime(), Duration::from_hours(2));
+        assert!((r.core_hours() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alive_at_bounds() {
+        let r = sample_record(100, 200);
+        assert!(!r.alive_at(Timestamp::from_secs(99)));
+        assert!(r.alive_at(Timestamp::from_secs(100)));
+        assert!(r.alive_at(Timestamp::from_secs(199)));
+        assert!(!r.alive_at(Timestamp::from_secs(200)));
+    }
+
+    #[test]
+    fn reading_count_is_floor_of_lifetime() {
+        assert_eq!(sample_record(0, 299).reading_count(), 0);
+        assert_eq!(sample_record(0, 300).reading_count(), 1);
+        assert_eq!(sample_record(0, 3600).reading_count(), 12);
+    }
+}

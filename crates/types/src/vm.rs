@@ -1,0 +1,277 @@
+//! VM identity, classification, and the SKU catalog.
+//!
+//! Terminology follows §3 of the paper: customers own *subscriptions*;
+//! a subscription deploys groups of VMs (*deployments*) into a *region*;
+//! every VM in a deployment lands in one *cluster* of that region. Each VM
+//! has a *role* (IaaS, or a PaaS functional role), belongs to a first- or
+//! third-party customer, and — for first-party subscriptions — carries a
+//! production/non-production annotation used by the oversubscription rule
+//! of Algorithm 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of a VM within a trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VmId(pub u64);
+
+/// Unique identifier of a customer subscription.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SubscriptionId(pub u32);
+
+/// Unique identifier of a VM deployment (a managed group of VMs).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DeploymentId(pub u64);
+
+/// Unique identifier of a region (one or more datacenters).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RegionId(pub u16);
+
+/// Unique identifier of a server cluster within a region.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClusterId(pub u16);
+
+/// Whether a VM belongs to a first-party (internal / first-party service) or
+/// third-party (external customer) workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Party {
+    /// Internal Microsoft workloads and first-party services.
+    First,
+    /// External customer workloads.
+    Third,
+}
+
+impl Party {
+    /// All parties, in display order.
+    pub const ALL: [Party; 2] = [Party::First, Party::Third];
+
+    /// Human-readable label used by the characterization harness.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Party::First => "first-party",
+            Party::Third => "third-party",
+        }
+    }
+}
+
+/// IaaS vs PaaS VM type (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmType {
+    /// Infrastructure-as-a-Service VM: reveals no role information.
+    Iaas,
+    /// Platform-as-a-Service VM: has a functional role.
+    Paas,
+}
+
+impl VmType {
+    /// Human-readable label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            VmType::Iaas => "IaaS",
+            VmType::Paas => "PaaS",
+        }
+    }
+}
+
+/// Production vs non-production annotation on first-party subscriptions.
+///
+/// The oversubscription rule (Algorithm 1) only oversubscribes physical CPUs
+/// with non-production VMs. Third-party VMs are always treated as
+/// [`ProdTag::Production`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProdTag {
+    /// Customer-facing or otherwise production workload; never oversubscribed.
+    Production,
+    /// Internal, test, or batch workload eligible for oversubscription.
+    NonProduction,
+}
+
+/// Guest operating system — one of the attributes with predictive value (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OsType {
+    /// A Windows guest.
+    Windows,
+    /// A Linux guest.
+    Linux,
+}
+
+/// The VM role — IaaS VMs all share the opaque "IaaS" role, while PaaS VMs
+/// declare a functional role (§3.1: "PaaS defines functional roles for VMs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmRole {
+    /// Opaque IaaS VM; the platform learns nothing from the role.
+    Iaas,
+    /// PaaS web (front-end) server, likely customer-facing.
+    PaasWebServer,
+    /// PaaS background worker.
+    PaasWorker,
+    /// PaaS cache / in-memory tier.
+    PaasCache,
+    /// PaaS data-management role (storage, database fleet).
+    PaasData,
+}
+
+impl VmRole {
+    /// All roles, in display order.
+    pub const ALL: [VmRole; 5] = [
+        VmRole::Iaas,
+        VmRole::PaasWebServer,
+        VmRole::PaasWorker,
+        VmRole::PaasCache,
+        VmRole::PaasData,
+    ];
+
+    /// Human-readable role name.
+    pub const fn label(self) -> &'static str {
+        match self {
+            VmRole::Iaas => "IaaS",
+            VmRole::PaasWebServer => "PaaS-Web",
+            VmRole::PaasWorker => "PaaS-Worker",
+            VmRole::PaasCache => "PaaS-Cache",
+            VmRole::PaasData => "PaaS-Data",
+        }
+    }
+
+    /// The VM type implied by the role.
+    pub const fn vm_type(self) -> VmType {
+        match self {
+            VmRole::Iaas => VmType::Iaas,
+            _ => VmType::Paas,
+        }
+    }
+
+    /// Dense index used as an ML feature.
+    pub const fn index(self) -> usize {
+        match self {
+            VmRole::Iaas => 0,
+            VmRole::PaasWebServer => 1,
+            VmRole::PaasWorker => 2,
+            VmRole::PaasCache => 3,
+            VmRole::PaasData => 4,
+        }
+    }
+}
+
+/// A VM size: the maximum core and memory allocation the owner requested.
+///
+/// Serializes as just the SKU name; deserialization looks the name up in
+/// [`SKU_CATALOG`], so the `&'static str` field never needs owned storage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmSku {
+    /// SKU name (A-/D-series naming, matching the 2016-era Azure offerings).
+    pub name: &'static str,
+    /// Number of virtual CPU cores.
+    pub cores: u32,
+    /// Memory allocation in GBytes.
+    pub memory_gb: f64,
+}
+
+impl VmSku {
+    /// Index of this SKU in [`SKU_CATALOG`], used as an ML feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SKU is not from the catalog; all SKUs in traces are.
+    pub fn catalog_index(&self) -> usize {
+        SKU_CATALOG
+            .iter()
+            .position(|s| s.name == self.name)
+            .expect("SKU must come from SKU_CATALOG")
+    }
+}
+
+/// The SKU catalog: 2016-era Azure A- and D-series sizes.
+///
+/// Cores span 1–32 and memory 0.75–448 GB, covering every bar of Figures 2–3
+/// of the paper (1/2/4/8/16+ cores; 0.75/1.75/3.5/7/14/>14 GB).
+pub const SKU_CATALOG: [VmSku; 15] = [
+    VmSku { name: "A0", cores: 1, memory_gb: 0.75 },
+    VmSku { name: "A1", cores: 1, memory_gb: 1.75 },
+    VmSku { name: "A2", cores: 2, memory_gb: 3.5 },
+    VmSku { name: "A3", cores: 4, memory_gb: 7.0 },
+    VmSku { name: "A4", cores: 8, memory_gb: 14.0 },
+    VmSku { name: "A5", cores: 2, memory_gb: 14.0 },
+    VmSku { name: "A6", cores: 4, memory_gb: 28.0 },
+    VmSku { name: "A7", cores: 8, memory_gb: 56.0 },
+    VmSku { name: "D1", cores: 1, memory_gb: 3.5 },
+    VmSku { name: "D2", cores: 2, memory_gb: 7.0 },
+    VmSku { name: "D3", cores: 4, memory_gb: 14.0 },
+    VmSku { name: "D4", cores: 8, memory_gb: 28.0 },
+    VmSku { name: "D13", cores: 8, memory_gb: 56.0 },
+    VmSku { name: "D14", cores: 16, memory_gb: 112.0 },
+    VmSku { name: "G5", cores: 32, memory_gb: 448.0 },
+];
+
+impl Serialize for VmSku {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.name)
+    }
+}
+
+impl<'de> Deserialize<'de> for VmSku {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let name = String::deserialize(deserializer)?;
+        sku_by_name(&name)
+            .copied()
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown SKU name: {name}")))
+    }
+}
+
+/// Looks up a SKU by name.
+///
+/// Returns `None` when no catalog entry has that name.
+pub fn sku_by_name(name: &str) -> Option<&'static VmSku> {
+    SKU_CATALOG.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_indices_round_trip() {
+        for (i, sku) in SKU_CATALOG.iter().enumerate() {
+            assert_eq!(sku.catalog_index(), i);
+            assert_eq!(sku_by_name(sku.name), Some(sku));
+        }
+        assert_eq!(sku_by_name("Z99"), None);
+    }
+
+    #[test]
+    fn roles_imply_types() {
+        assert_eq!(VmRole::Iaas.vm_type(), VmType::Iaas);
+        assert_eq!(VmRole::PaasWebServer.vm_type(), VmType::Paas);
+        assert_eq!(VmRole::PaasData.vm_type(), VmType::Paas);
+    }
+
+    #[test]
+    fn role_indices_are_dense_and_unique() {
+        let mut seen = [false; VmRole::ALL.len()];
+        for r in VmRole::ALL {
+            assert!(!seen[r.index()], "duplicate role index");
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn catalog_covers_paper_size_bars() {
+        // Figures 2-3 bucket VMs at 1/2/4/8/16+ cores and
+        // 0.75/1.75/3.5/7/14/>14 GB; the catalog must populate each bar.
+        for cores in [1, 2, 4, 8, 16] {
+            assert!(SKU_CATALOG.iter().any(|s| s.cores == cores));
+        }
+        for mem in [0.75, 1.75, 3.5, 7.0, 14.0, 56.0] {
+            assert!(SKU_CATALOG.iter().any(|s| (s.memory_gb - mem).abs() < 1e-9));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! The §5 case study at example scale: CPU oversubscription guarded by
+//! live P95-utilization predictions.
+//!
+//! Compares four schedulers on the same arrival stream: Baseline (no
+//! oversubscription), Naive (oversubscription without predictions), and
+//! RC-informed with the utilization check as a soft and as a hard rule.
+//!
+//! ```bash
+//! cargo run --release --example oversubscription_scheduling
+//! ```
+
+use resource_central::prelude::*;
+use rc_scheduler::{NoSource, P95Source, RcSource};
+use rc_types::Timestamp;
+
+fn main() {
+    let config = TraceConfig {
+        target_vms: 15_000,
+        n_subscriptions: 450,
+        days: 30,
+        ..TraceConfig::small()
+    };
+    println!("training Resource Central on the first 20 days...");
+    let trace = Trace::generate(&config);
+    let output = rc_core::run_pipeline(&trace, &rc_core::PipelineConfig::fast(config.days))
+        .expect("pipeline");
+    let store = Store::in_memory();
+    output.publish(&store, 0.5).expect("publish");
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize());
+
+    // Schedule the last 10 days of arrivals on a cluster sized to sit just
+    // under Baseline's capacity cliff. Deployments too large for this
+    // cluster go through cluster selection to a bigger one (§3.4).
+    let from = Timestamp::from_days(20);
+    let until = Timestamp::from_days(30);
+    let unfiltered = VmRequest::stream(&trace, from, until, 16);
+    let fleet_cores = 16.0 * suggest_server_count(&unfiltered, 16.0, 1.0) as f64;
+    let requests = VmRequest::stream_filtered(
+        &trace,
+        from,
+        until,
+        16,
+        Some(((fleet_cores * 0.08) as u32).max(64)),
+    );
+    let n_servers = suggest_server_count(&requests, 16.0, 0.97);
+    println!(
+        "{} arrivals onto {} servers (16 cores / 112 GB each)\n",
+        requests.len(),
+        n_servers
+    );
+
+    println!(
+        "{:<18} {:>9} {:>10} {:>14} {:>12}",
+        "policy", "failures", "fail rate", ">100% readings", "mean util"
+    );
+    for policy in [
+        PolicyKind::Baseline,
+        PolicyKind::NaiveOversub,
+        PolicyKind::RcInformedSoft,
+        PolicyKind::RcInformedHard,
+    ] {
+        let source: Box<dyn P95Source> = if policy.uses_predictions() {
+            Box::new(RcSource::new(client.clone()))
+        } else {
+            Box::new(NoSource)
+        };
+        let sim = SimConfig {
+            n_servers,
+            cores_per_server: 16.0,
+            memory_per_server_gb: 112.0,
+            scheduler: SchedulerConfig::new(policy),
+            util_shift: 0.0,
+            tick_stride: 1,
+        };
+        let report = simulate(&requests, &sim, source, (from, until));
+        println!(
+            "{:<18} {:>9} {:>9.3}% {:>14} {:>11.1}%",
+            report.policy,
+            report.n_failures,
+            report.failure_rate() * 100.0,
+            report.readings_above_100,
+            report.mean_util_fraction * 100.0
+        );
+    }
+    println!(
+        "\nThe robust signal at demo scale is exhaustion control: Naive accepts the same \
+         oversubscribed load but racks up thousands of >100% readings, while the predicted-P95 \
+         cap keeps RC-informed placements near zero. Failure counts at this scale are dominated \
+         by a handful of arrival bursts; the calibrated §6.2 comparison (where oversubscription \
+         also wins on failures) runs at larger scale via:\n\n    cargo run --release -p rc-bench \
+         --bin scheduler_compare"
+    );
+}

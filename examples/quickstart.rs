@@ -1,0 +1,84 @@
+//! Quickstart: the full Resource Central loop in one file.
+//!
+//! Generates a synthetic cloud workload, runs the offline learning
+//! pipeline, publishes models + feature data to the (simulated) highly
+//! available store, serves predictions through the client library, and
+//! makes one oversubscription-aware scheduling decision with them.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use resource_central::prelude::*;
+use rc_core::labels::vm_inputs;
+use rc_types::buckets::UtilizationBucketizer;
+
+fn main() {
+    // 1. A synthetic Azure-like workload (see rc-trace::calibration for
+    //    the paper-derived distribution targets).
+    let config = TraceConfig {
+        target_vms: 12_000,
+        n_subscriptions: 400,
+        days: 30,
+        ..TraceConfig::small()
+    };
+    println!("generating a {}-day trace with ~{} VMs...", config.days, config.target_vms);
+    let trace = Trace::generate(&config);
+    println!("  -> {} VMs across {} subscriptions\n", trace.n_vms(), trace.subscriptions.len());
+
+    // 2. Offline: extract, aggregate, train, validate.
+    println!("running the offline pipeline (train on the first 20 days)...");
+    let output = run_pipeline(&trace, &PipelineConfig::fast(config.days)).expect("pipeline");
+    for report in &output.reports {
+        println!(
+            "  {:<22} accuracy {:.2} on {} test examples",
+            report.metric.label(),
+            report.accuracy,
+            report.n_test
+        );
+    }
+
+    // 3. Publish to the store (with sanity checks), bring up a client.
+    let store = Store::in_memory();
+    output.publish(&store, 0.5).expect("models must pass sanity checks");
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize(), "client loads models + feature data");
+    println!("\nclient initialized; models: {:?}", client.get_available_models());
+
+    // 4. Online: ask for predictions the way the VM scheduler would.
+    let vm = VmId(trace.n_vms() as u64 / 2);
+    let inputs = vm_inputs(&trace, vm);
+    println!(
+        "\npredictions for a VM of subscription {} ({} cores):",
+        inputs.subscription.0,
+        rc_types::vm::SKU_CATALOG[inputs.sku_index].cores
+    );
+    for metric in PredictionMetric::ALL {
+        match client.predict_single(metric.model_name(), &inputs) {
+            PredictionResponse::Predicted(p) => {
+                println!(
+                    "  {:<22} bucket {} (confidence {:.2})",
+                    metric.label(),
+                    p.value,
+                    p.score
+                );
+            }
+            PredictionResponse::NoPrediction => {
+                println!("  {:<22} no-prediction (caller must handle this)", metric.label());
+            }
+        }
+    }
+
+    // 5. One Algorithm 1 decision: how many cores should the scheduler
+    //    charge this VM against an oversubscribable server's budget?
+    let response = client.predict_single("VM_P95UTIL", &inputs);
+    let cores = rc_types::vm::SKU_CATALOG[inputs.sku_index].cores as f64;
+    let charged = match response.confident(0.6) {
+        Some(p) => UtilizationBucketizer::highest_util_in_bucket(p.value) * cores,
+        // Low confidence: "it is safest to assume 100% utilization".
+        None => cores,
+    };
+    println!(
+        "\nAlgorithm 1 would charge {charged:.1} of {cores:.0} allocated cores against MAX_UTIL"
+    );
+}

@@ -1,0 +1,238 @@
+//! Trace-vs-paper calibration: the generated workload must reproduce the
+//! anchor points the paper reports for Figures 1–8 and §3.1's statistics.
+//!
+//! Tolerances are deliberately generous — a synthetic trace at 1/1000th
+//! of Azure's scale carries sampling noise, and a handful of busy
+//! subscriptions dominate VM counts by design (§3.4 notes exactly such a
+//! service) — but the *shape* assertions (orderings, knees, signs) are
+//! strict: those are what the downstream results depend on.
+
+use rc_analysis as analysis;
+use resource_central::prelude::*;
+
+fn trace() -> Trace {
+    Trace::generate(&TraceConfig {
+        seed: 0xCAFE,
+        days: 45,
+        n_subscriptions: 1_200,
+        target_vms: 30_000,
+        n_regions: 3,
+    })
+}
+
+#[test]
+fn figure1_utilization_cdf_anchors() {
+    let t = trace();
+    let cdfs = analysis::utilization_cdfs(&t);
+    // "60% of the VMs have an average CPU utilization lower than 20%."
+    let below_20 = cdfs.avg.all.fraction_below(0.20);
+    assert!((0.45..0.75).contains(&below_20), "avg<20%: {below_20}");
+    // "40% of them have a 95th-percentile utilization lower than 50%."
+    let p95_below_50 = cdfs.p95_max.all.fraction_below(0.50);
+    assert!((0.28..0.52).contains(&p95_below_50), "p95<50%: {p95_below_50}");
+    // "a large percentage of them exhibit very high utilizations (>80%)".
+    let p95_above_80 = 1.0 - cdfs.p95_max.all.fraction_below(0.80);
+    assert!(p95_above_80 > 0.25, "p95>80%: {p95_above_80}");
+    // First-party curves sit above (lower utilization than) third-party.
+    for x in [0.1, 0.3, 0.5, 0.7] {
+        assert!(
+            cdfs.avg.first.fraction_below(x) >= cdfs.avg.third.fraction_below(x) - 0.05,
+            "first-party avg CDF must dominate at {x}"
+        );
+    }
+}
+
+#[test]
+fn figures2_and_3_size_shares() {
+    let t = trace();
+    let cores = analysis::cores_breakdown(&t);
+    // "almost 80% of VMs require 1-2 cores".
+    let small = cores.all[0] + cores.all[1];
+    assert!((0.68..0.9).contains(&small), "1-2 core share {small}");
+    let memory = analysis::memory_breakdown(&t);
+    // "70% of VMs require less than 4 GBytes".
+    let small_mem: f64 = memory.all[..3].iter().sum();
+    assert!((0.58..0.82).contains(&small_mem), "<4GB share {small_mem}");
+    // §3.3's party differences (third-party picks more 0.75/3.5 GB, less
+    // 1.75 GB) are a few percentage points — asserted on the calibrated
+    // sampling weights in `rc-trace`'s unit tests, because one realization
+    // with ~5k third-party VMs concentrated in a few subscriptions cannot
+    // resolve them. Here, only assert 1.75 GB is a major category for both.
+    assert!(memory.first[1] > 0.15 && memory.third[1] > 0.10);
+}
+
+#[test]
+fn figure4_deployment_size_anchors() {
+    let t = trace();
+    let cdfs = analysis::deployment_size_cdfs(&t);
+    // "roughly 40% of them include a single VM, and 80% have at most 5".
+    let single = cdfs.all.fraction_below(1.0);
+    assert!((0.30..0.60).contains(&single), "single-VM share {single}");
+    let upto5 = cdfs.all.fraction_below(5.0);
+    assert!((0.65..0.92).contains(&upto5), "<=5 VM share {upto5}");
+    // "third-party users deploy VMs in smaller groups than first-party".
+    assert!(cdfs.third.fraction_below(2.0) >= cdfs.first.fraction_below(2.0) - 0.05);
+}
+
+#[test]
+fn figure5_lifetime_knee() {
+    let t = trace();
+    let cdfs = analysis::lifetime_cdfs(&t);
+    // "more than 90% of lifetimes are shorter [than 1 day]".
+    let below_day = cdfs.all.fraction_below(24.0);
+    assert!(below_day > 0.85, "lifetimes < 1 day: {below_day}");
+    // First-party VMs skew shorter (creation-test workloads, §3.5).
+    assert!(
+        cdfs.first.fraction_below(0.25) >= cdfs.third.fraction_below(0.25),
+        "first-party short-lifetime share must dominate"
+    );
+    // The long tail exists: some VMs live for weeks.
+    assert!(cdfs.all.max().unwrap() > 14.0 * 24.0);
+}
+
+#[test]
+fn long_running_vms_hold_nearly_all_core_hours() {
+    // §3.5: "the relatively small percentage of long-running VMs actually
+    // account for >95% of the total core hours".
+    let t = trace();
+    let mut long_ch = 0.0;
+    let mut total_ch = 0.0;
+    for id in t.vm_ids() {
+        let vm = t.vm(id);
+        let end = vm.deleted.min(t.window_end());
+        let ch = vm.sku.cores as f64 * end.since(vm.created).as_hours_f64();
+        total_ch += ch;
+        if vm.lifetime().as_days_f64() > 1.0 {
+            long_ch += ch;
+        }
+    }
+    let share = long_ch / total_ch;
+    assert!(share > 0.85, ">1-day VMs hold {share} of core-hours");
+}
+
+#[test]
+fn figure6_class_core_hour_shares() {
+    let t = trace();
+    let shares = analysis::class_core_hours(&t);
+    // "delay-insensitive VMs consume most (roughly 68%) of the core hours"
+    assert!(
+        (0.50..0.85).contains(&shares.total.delay_insensitive),
+        "DI share {:?}",
+        shares.total
+    );
+    // "a significant percentage ... consume roughly 28%".
+    assert!(
+        (0.10..0.45).contains(&shares.total.interactive),
+        "interactive share {:?}",
+        shares.total
+    );
+    // VMs running >=3 days consume ~94% of core-hours, so Unknown is small.
+    assert!(shares.total.unknown < 0.25, "unknown share {:?}", shares.total);
+}
+
+#[test]
+fn figure7_arrivals_are_diurnal_and_quieter_on_weekends() {
+    let t = trace();
+    // Week starting at day 5 (epoch is a Wednesday; day 5 is a Monday).
+    let series = analysis::arrivals_per_hour(&t, rc_types::vm::RegionId(0), 5);
+    assert_eq!(series.per_hour.len(), 168);
+    let total: u64 = series.per_hour.iter().sum();
+    assert!(total > 300, "need a meaningful arrival count, got {total}");
+    // Weekday daytime (10:00-18:00) beats night (0:00-6:00). Measured
+    // across the whole trace — a single region-week is dominated by a few
+    // bursty deployments.
+    let mut day = 0u64;
+    let mut night = 0u64;
+    for vm in &t.vms {
+        if vm.created.is_weekend() {
+            continue;
+        }
+        let h = vm.created.hour_of_day();
+        if (10.0..18.0).contains(&h) {
+            day += 1;
+        } else if h < 6.0 {
+            night += 1;
+        }
+    }
+    assert!(
+        day as f64 / 8.0 > night as f64 / 6.0 * 1.3,
+        "day {day} vs night {night}"
+    );
+    // Weekends are quieter. A single region-week is dominated by a few
+    // bursty deployments, so measure across the whole trace instead.
+    let (mut weekday, mut weekend) = (0u64, 0u64);
+    let (mut weekday_days, mut weekend_days) = (0u64, 0u64);
+    for d in 0..t.config.days as u64 {
+        if rc_types::Timestamp::from_days(d).is_weekend() {
+            weekend_days += 1;
+        } else {
+            weekday_days += 1;
+        }
+    }
+    for vm in &t.vms {
+        if vm.created.is_weekend() {
+            weekend += 1;
+        } else {
+            weekday += 1;
+        }
+    }
+    let wd_rate = weekday as f64 / weekday_days as f64;
+    let we_rate = weekend as f64 / weekend_days as f64;
+    assert!(
+        we_rate < wd_rate * 0.85,
+        "weekday {wd_rate}/day vs weekend {we_rate}/day"
+    );
+}
+
+#[test]
+fn figure8_correlation_signs() {
+    let t = trace();
+    let m = analysis::metric_correlations(&t, None);
+    // Strong positives: avg-p95 utilization, cores-memory.
+    assert!(m.get("avg util", "p95 util").unwrap() > 0.35);
+    assert!(m.get("cores", "memory").unwrap() > 0.5);
+    // Lifetime has essentially no relationship with cores or memory.
+    assert!(m.get("lifetime", "cores").unwrap().abs() < 0.3);
+    // Interactive VMs tend to live longer (class is 1=DI, 2=interactive).
+    assert!(m.get("class", "lifetime").unwrap() > -0.05);
+    // Diagonal is exactly 1.
+    for i in 0..m.labels.len() {
+        assert_eq!(m.values[i][i], 1.0);
+    }
+}
+
+#[test]
+fn section31_vm_type_statistics() {
+    let t = trace();
+    let stats = analysis::vm_type_stats(&t);
+    // "almost exactly split between IaaS (52%) and PaaS (48%)".
+    assert!((0.42..0.62).contains(&stats.iaas_vm_share), "IaaS share {}", stats.iaas_vm_share);
+    // "96% of the subscriptions create VMs of a single type".
+    assert!(
+        stats.single_type_subscription_fraction > 0.9,
+        "single-type fraction {}",
+        stats.single_type_subscription_fraction
+    );
+    // Third-party core-hours skew IaaS; first-party core-hours skew PaaS.
+    assert!(
+        stats.third_iaas_core_hour_share > stats.first_iaas_core_hour_share,
+        "third {} vs first {}",
+        stats.third_iaas_core_hour_share,
+        stats.first_iaas_core_hour_share
+    );
+}
+
+#[test]
+fn subscriptions_are_behaviourally_consistent() {
+    let t = trace();
+    let report = analysis::subscription_consistency(&t);
+    // §3.2: ~80% of subscriptions have avg-utilization CoV < 1.
+    assert!(report.avg_util > 0.7, "avg util consistency {}", report.avg_util);
+    // §3.3: nearly all subscriptions have cores/memory CoV < 1.
+    assert!(report.cores > 0.85, "cores consistency {}", report.cores);
+    assert!(report.memory > 0.85, "memory consistency {}", report.memory);
+    // §3.5: ~75% have lifetime CoV < 1.
+    assert!(report.lifetime > 0.6, "lifetime consistency {}", report.lifetime);
+    // §3.4: nearly all have deployment-size CoV < 1.
+    assert!(report.deployment_size > 0.7, "deployment consistency {}", report.deployment_size);
+}

@@ -1,0 +1,261 @@
+//! Table 2 API coverage: every client method, both caching modes, and the
+//! degraded paths (store unavailable, disk cache, no-prediction).
+
+use std::time::Duration as StdDuration;
+
+use resource_central::prelude::*;
+use rc_core::labels::vm_inputs;
+use rc_types::vm::SubscriptionId;
+
+fn world() -> (Trace, Store) {
+    let trace = Trace::generate(&TraceConfig {
+        target_vms: 5_000,
+        n_subscriptions: 200,
+        days: 24,
+        ..TraceConfig::small()
+    });
+    let output = rc_core::run_pipeline(&trace, &rc_core::PipelineConfig::fast(24)).unwrap();
+    let store = Store::in_memory();
+    output.publish(&store, 0.5).unwrap();
+    (trace, store)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rc_client_api_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn initialize_is_required_before_predictions() {
+    let (trace, store) = world();
+    let client = RcClient::new(store, ClientConfig::default());
+    let inputs = vm_inputs(&trace, VmId(0));
+    assert_eq!(
+        client.predict_single("VM_AVGUTIL", &inputs),
+        PredictionResponse::NoPrediction
+    );
+    assert!(client.initialize());
+    // After initialize, most requests are served.
+    assert!(client.get_available_models().contains(&"VM_AVGUTIL".to_string()));
+}
+
+#[test]
+fn initialize_fails_without_store_or_disk() {
+    let (_, store) = world();
+    store.set_available(false);
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(!client.initialize(), "nothing to load from");
+}
+
+#[test]
+fn get_available_models_lists_all_six() {
+    let (_, store) = world();
+    let client = RcClient::new(store, ClientConfig::default());
+    client.initialize();
+    let models = client.get_available_models();
+    for metric in PredictionMetric::ALL {
+        assert!(
+            models.contains(&metric.model_name().to_string()),
+            "missing {metric}"
+        );
+    }
+}
+
+#[test]
+fn unknown_model_and_unknown_subscription_yield_no_prediction() {
+    let (trace, store) = world();
+    let client = RcClient::new(store, ClientConfig::default());
+    client.initialize();
+    let mut inputs = vm_inputs(&trace, VmId(0));
+    assert_eq!(
+        client.predict_single("NOT_A_MODEL", &inputs),
+        PredictionResponse::NoPrediction
+    );
+    // A subscription RC has never seen (e.g. created after the last
+    // feature push) answers no-prediction rather than guessing.
+    inputs.subscription = SubscriptionId(9_999_999);
+    assert_eq!(
+        client.predict_single("VM_AVGUTIL", &inputs),
+        PredictionResponse::NoPrediction
+    );
+    assert!(client.no_prediction_count() >= 2);
+}
+
+#[test]
+fn predict_many_matches_predict_single() {
+    let (trace, store) = world();
+    let client = RcClient::new(store, ClientConfig::default());
+    client.initialize();
+    let batch: Vec<_> = (0..20u64).map(|i| vm_inputs(&trace, VmId(i * 11))).collect();
+    let many = client.predict_many("VM_LIFETIME", &batch);
+    assert_eq!(many.len(), batch.len());
+    for (inputs, expected) in batch.iter().zip(&many) {
+        assert_eq!(client.predict_single("VM_LIFETIME", inputs), *expected);
+    }
+}
+
+#[test]
+fn flush_cache_drops_everything() {
+    let (trace, store) = world();
+    let client = RcClient::new(store, ClientConfig::default());
+    client.initialize();
+    let inputs = vm_inputs(&trace, VmId(3));
+    client.predict_single("VM_AVGUTIL", &inputs);
+    client.flush_cache();
+    assert!(client.get_available_models().is_empty());
+    assert_eq!(
+        client.predict_single("VM_AVGUTIL", &inputs),
+        PredictionResponse::NoPrediction
+    );
+    // A re-initialize recovers.
+    assert!(client.initialize());
+    assert!(client.predict_single("VM_AVGUTIL", &inputs).is_predicted());
+}
+
+#[test]
+fn force_reload_picks_up_new_feature_data() {
+    let (trace, store) = world();
+    let client = RcClient::new(store.clone(), ClientConfig::default());
+    client.initialize();
+    let mut inputs = vm_inputs(&trace, VmId(3));
+    let fresh_sub = SubscriptionId(424_242);
+    inputs.subscription = fresh_sub;
+    assert_eq!(
+        client.predict_single("VM_AVGUTIL", &inputs),
+        PredictionResponse::NoPrediction
+    );
+    // RC's next offline run publishes feature data for the new
+    // subscription; a push refresh makes it predictable.
+    let features = rc_core::SubscriptionFeatures::new(fresh_sub);
+    store
+        .put(
+            &rc_core::feature_store_key(fresh_sub),
+            serde_json::to_vec(&features).unwrap().into(),
+        )
+        .unwrap();
+    client.force_reload_cache();
+    assert!(client.predict_single("VM_AVGUTIL", &inputs).is_predicted());
+}
+
+#[test]
+fn disk_cache_survives_store_outage_and_restart() {
+    let (trace, store) = world();
+    let dir = temp_dir("disk");
+    let config = ClientConfig {
+        disk_cache_dir: Some(dir.clone()),
+        ..ClientConfig::default()
+    };
+    // First client mirrors everything to disk.
+    let first = RcClient::new(store.clone(), config.clone());
+    assert!(first.initialize());
+    drop(first);
+
+    // "Client crashes and restarts and the store is unavailable" (§4.2):
+    // the restart loads from the local disk cache.
+    store.set_available(false);
+    let second = RcClient::new(store.clone(), config.clone());
+    assert!(second.initialize(), "disk cache should cover the outage");
+    let inputs = vm_inputs(&trace, VmId(5));
+    assert!(second.predict_single("VM_P95UTIL", &inputs).is_predicted());
+
+    // An *expired* disk cache is ignored.
+    let expired = ClientConfig {
+        disk_cache_dir: Some(dir.clone()),
+        disk_cache_expiry: StdDuration::ZERO,
+        ..ClientConfig::default()
+    };
+    std::thread::sleep(StdDuration::from_millis(15));
+    let third = RcClient::new(store, expired);
+    assert!(!third.initialize(), "expired disk cache must not serve");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn push_watcher_picks_up_new_publications() {
+    let (trace, store) = world();
+    let config = ClientConfig {
+        auto_refresh_interval: Some(StdDuration::from_millis(40)),
+        ..ClientConfig::default()
+    };
+    let client = RcClient::new(store.clone(), config);
+    assert!(client.initialize());
+
+    // A subscription RC has never seen answers no-prediction.
+    let mut inputs = vm_inputs(&trace, VmId(3));
+    inputs.subscription = SubscriptionId(777_777);
+    assert_eq!(
+        client.predict_single("VM_AVGUTIL", &inputs),
+        PredictionResponse::NoPrediction
+    );
+
+    // RC's next offline run publishes its feature data; the watcher
+    // notices the version change and refreshes the caches by itself.
+    let features = rc_core::SubscriptionFeatures::new(SubscriptionId(777_777));
+    store
+        .put(
+            &rc_core::feature_store_key(SubscriptionId(777_777)),
+            serde_json::to_vec(&features).unwrap().into(),
+        )
+        .unwrap();
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(5);
+    loop {
+        if client.predict_single("VM_AVGUTIL", &inputs).is_predicted() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher never refreshed (refreshes = {})",
+            client.background_refresh_count()
+        );
+        std::thread::sleep(StdDuration::from_millis(20));
+    }
+    assert!(client.background_refresh_count() >= 1);
+}
+
+#[test]
+fn pull_mode_fills_cache_in_background() {
+    let (trace, store) = world();
+    let config = ClientConfig { mode: CacheMode::Pull, ..ClientConfig::default() };
+    let client = RcClient::new(store, config);
+    assert!(client.initialize());
+    let inputs = vm_inputs(&trace, VmId(9));
+    // First request misses: no-prediction now, background fill.
+    assert_eq!(
+        client.predict_single("VM_AVGUTIL", &inputs),
+        PredictionResponse::NoPrediction
+    );
+    client.drain_pull_queue();
+    // The identical request now hits the result cache.
+    assert!(
+        client.predict_single("VM_AVGUTIL", &inputs).is_predicted(),
+        "background fill should have landed"
+    );
+}
+
+#[test]
+fn client_is_thread_safe() {
+    let (trace, store) = world();
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize());
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let c = client.clone();
+        let inputs: Vec<_> = (0..50u64)
+            .map(|i| vm_inputs(&trace, VmId((t * 50 + i) % trace.n_vms() as u64)))
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let mut served = 0;
+            for inp in &inputs {
+                for metric in PredictionMetric::ALL {
+                    if c.predict_single(metric.model_name(), inp).is_predicted() {
+                        served += 1;
+                    }
+                }
+            }
+            served
+        }));
+    }
+    let served: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(served > 0);
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration: generate a workload, run the offline pipeline,
+//! publish, serve predictions through the client, and feed the scheduler.
+
+use resource_central::prelude::*;
+use rc_core::labels::vm_inputs;
+use rc_scheduler::RcSource;
+use rc_types::time::Timestamp;
+
+fn small_world() -> (Trace, PipelineOutput, Store) {
+    let trace = Trace::generate(&TraceConfig {
+        target_vms: 8_000,
+        n_subscriptions: 300,
+        days: 30,
+        ..TraceConfig::small()
+    });
+    let output = run_pipeline(&trace, &PipelineConfig::fast(30)).expect("pipeline");
+    let store = Store::in_memory();
+    output.publish(&store, 0.5).expect("publish");
+    (trace, output, store)
+}
+
+#[test]
+fn pipeline_beats_chance_on_every_metric() {
+    let (_, output, _) = small_world();
+    for report in &output.reports {
+        // 4-bucket metrics have a 25% chance floor, the 2-class one 50%
+        // (and its base rate is ~99%, so demand much more).
+        let floor = if report.metric == PredictionMetric::WorkloadClass { 0.7 } else { 0.45 };
+        assert!(
+            report.accuracy > floor,
+            "{}: accuracy {:.3} vs floor {floor}",
+            report.metric,
+            report.accuracy
+        );
+    }
+}
+
+#[test]
+fn client_serves_pipeline_models() {
+    let (trace, _, store) = small_world();
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize());
+    assert_eq!(client.get_available_models().len(), 6);
+
+    let mut predicted = 0usize;
+    let mut total = 0usize;
+    for id in (0..trace.n_vms() as u64).step_by(97).map(VmId) {
+        let inputs = vm_inputs(&trace, id);
+        for metric in PredictionMetric::ALL {
+            total += 1;
+            if client.predict_single(metric.model_name(), &inputs).is_predicted() {
+                predicted += 1;
+            }
+        }
+    }
+    // A few subscriptions are new (no feature data) and answer
+    // no-prediction, but most requests must be served.
+    assert!(
+        predicted as f64 / total as f64 > 0.8,
+        "served {predicted}/{total}"
+    );
+}
+
+#[test]
+fn client_predictions_match_direct_model_execution() {
+    use rc_ml::Classifier;
+    let (trace, output, store) = small_world();
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize());
+
+    let inputs = vm_inputs(&trace, VmId(100));
+    let response = client.predict_single("VM_AVGUTIL", &inputs);
+    if let Some(p) = response.prediction() {
+        let model = output.model(PredictionMetric::AvgCpuUtil);
+        let features =
+            model.spec.features(&inputs, &output.feature_data[&inputs.subscription]);
+        let (value, score) = model.predict(&features);
+        assert_eq!(p.value, value);
+        assert!((p.score - score).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn result_cache_reuses_executions() {
+    let (trace, _, store) = small_world();
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize());
+    let inputs = vm_inputs(&trace, VmId(7));
+    for _ in 0..50 {
+        client.predict_single("VM_P95UTIL", &inputs);
+    }
+    assert!(client.model_exec_count() <= 1);
+    assert!(client.result_cache_hit_rate() > 0.9);
+}
+
+#[test]
+fn rc_informed_scheduler_runs_on_live_predictions() {
+    let (trace, _, store) = small_world();
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize());
+
+    // Schedule the test month's arrivals with live RC predictions.
+    let from = Timestamp::from_days(20);
+    let until = Timestamp::from_days(30);
+    let requests = VmRequest::stream(&trace, from, until, 16);
+    assert!(requests.len() > 500);
+    let n_servers = suggest_server_count(&requests, 16.0, 1.0);
+    let config = SimConfig {
+        n_servers,
+        cores_per_server: 16.0,
+        memory_per_server_gb: 112.0,
+        scheduler: SchedulerConfig::new(PolicyKind::RcInformedSoft),
+        util_shift: 0.0,
+        tick_stride: 3,
+    };
+    let report = simulate(&requests, &config, Box::new(RcSource::new(client.clone())), (from, until));
+    assert_eq!(report.n_arrivals, requests.len() as u64);
+    assert!(report.failure_rate() < 0.05, "failure rate {}", report.failure_rate());
+    // The scheduler consulted RC for every non-production arrival.
+    assert!(client.model_exec_count() + client.no_prediction_count() > 0);
+}
+
+#[test]
+fn publish_then_republish_bumps_versions() {
+    let (_, output, store) = small_world();
+    let key = rc_core::ModelSpec::for_metric(PredictionMetric::AvgCpuUtil).store_key();
+    let v1 = store.latest_version(&key).unwrap();
+    output.publish(&store, 0.5).expect("second publish");
+    let v2 = store.latest_version(&key).unwrap();
+    assert_eq!(v2, v1 + 1, "republication must bump the version");
+}

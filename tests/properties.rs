@@ -1,0 +1,269 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use rc_analysis::{spearman, Cdf};
+use rc_core::{Prediction, ResultCache};
+use rc_ml::fft::{fft_in_place, Complex};
+use rc_ml::Classifier;
+use rc_trace::arrival::gamma_fn;
+use rc_trace::UtilParams;
+use rc_types::buckets::{
+    Bucketizer, DeploymentSizeBucketizer, LifetimeBucketizer, UtilizationBucketizer,
+};
+use rc_types::telemetry::UtilReading;
+use rc_types::time::{Duration, Timestamp};
+
+proptest! {
+    // --- Bucketizers: total and monotone (Table 3 semantics) ---
+
+    #[test]
+    fn utilization_bucketizer_is_total_and_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        let bz = UtilizationBucketizer;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bz.bucket(&lo) < bz.n_buckets());
+        prop_assert!(bz.bucket(&lo) <= bz.bucket(&hi));
+    }
+
+    #[test]
+    fn lifetime_bucketizer_is_total_and_monotone(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let bz = LifetimeBucketizer;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (dl, dh) = (Duration::from_secs(lo), Duration::from_secs(hi));
+        prop_assert!(bz.bucket(&dl) < bz.n_buckets());
+        prop_assert!(bz.bucket(&dl) <= bz.bucket(&dh));
+    }
+
+    #[test]
+    fn deployment_bucketizer_is_total_and_monotone(a in 0u64..100_000, b in 0u64..100_000) {
+        let bz = DeploymentSizeBucketizer;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bz.bucket(&lo) < bz.n_buckets());
+        prop_assert!(bz.bucket(&lo) <= bz.bucket(&hi));
+    }
+
+    // --- Telemetry invariants ---
+
+    #[test]
+    fn util_reading_always_restores_invariants(
+        min in -2.0f64..2.0,
+        avg in -2.0f64..2.0,
+        max in -2.0f64..2.0,
+    ) {
+        let r = UtilReading::new(Timestamp::ZERO, min, avg, max);
+        prop_assert!(r.is_valid(), "reading {r:?}");
+    }
+
+    #[test]
+    fn util_model_readings_are_always_valid(
+        seed in any::<u64>(),
+        burst_seed in any::<u64>(),
+        base in 0.0f64..1.5,
+        p95 in 0.0f64..1.5,
+        amplitude in 0.0f64..2.0,
+        noise in 0.0f64..0.5,
+        slot in 0u64..100_000,
+    ) {
+        let params = UtilParams {
+            seed,
+            burst_seed,
+            base,
+            p95_level: p95,
+            diurnal_amplitude: amplitude,
+            peak_hour: 14.0,
+            noise,
+        }
+        .sanitized();
+        let r = params.reading(slot);
+        prop_assert!(r.is_valid(), "params {params:?} slot {slot} -> {r:?}");
+        // Determinism.
+        prop_assert_eq!(r, params.reading(slot));
+    }
+
+    // --- Statistics ---
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(mut samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::new(samples.clone());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &samples {
+            let f = cdf.fraction_below(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+        prop_assert_eq!(cdf.fraction_below(f64::MAX), 1.0);
+    }
+
+    #[test]
+    fn spearman_is_bounded_and_symmetric(
+        xs in proptest::collection::vec(-1e3f64..1e3, 3..50),
+        seed in any::<u64>(),
+    ) {
+        // Build ys as a deterministic shuffle-ish transform of xs.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * (((seed >> (i % 60)) & 1) as f64 * 2.0 - 1.0))
+            .collect();
+        let r = spearman(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        let r_sym = spearman(&ys, &xs);
+        prop_assert!((r - r_sym).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_satisfies_recurrence(x in 0.1f64..20.0) {
+        // Gamma(x + 1) = x * Gamma(x).
+        let lhs = gamma_fn(x + 1.0);
+        let rhs = x * gamma_fn(x);
+        prop_assert!((lhs - rhs).abs() / rhs.abs().max(1e-12) < 1e-8, "x = {x}");
+    }
+
+    // --- FFT ---
+
+    #[test]
+    fn fft_round_trips(values in proptest::collection::vec(-100.0f64..100.0, 1..6)) {
+        // Pad to a power of two >= 8.
+        let n = (values.len().next_power_of_two()).max(8);
+        let mut data: Vec<Complex> = values
+            .iter()
+            .map(|&v| Complex::new(v, 0.0))
+            .chain(std::iter::repeat(Complex::new(0.0, 0.0)))
+            .take(n)
+            .collect();
+        let orig = data.clone();
+        fft_in_place(&mut data, false);
+        fft_in_place(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            prop_assert!((a.re - b.re).abs() < 1e-7);
+            prop_assert!(a.im.abs() < 1e-7);
+        }
+    }
+
+    // --- Result cache ---
+
+    #[test]
+    fn result_cache_respects_capacity(
+        capacity in 1usize..64,
+        ops in proptest::collection::vec((any::<u64>(), 0usize..4), 1..300),
+    ) {
+        let mut cache = ResultCache::new(capacity);
+        for (key, value) in ops {
+            cache.insert(key, Prediction { value, score: 0.5 });
+            prop_assert!(cache.len() <= capacity);
+            // Whatever was just inserted is retrievable.
+            prop_assert_eq!(cache.get(key).map(|p| p.value), Some(value));
+        }
+    }
+
+    // --- Store ---
+
+    #[test]
+    fn store_versions_are_dense_and_monotone(n in 1usize..40) {
+        let store = rc_store::Store::in_memory();
+        for i in 0..n {
+            let v = store.put("k", Vec::from([i as u8]).into()).unwrap();
+            prop_assert_eq!(v, i as u64 + 1);
+        }
+        prop_assert_eq!(store.latest_version("k"), Some(n as u64));
+        // Every historical version remains readable.
+        for i in 1..=n as u64 {
+            prop_assert!(store.get_version("k", i).is_ok());
+        }
+    }
+}
+
+// Non-proptest invariants that still sweep a broad space.
+
+/// Forest probabilities stay on the simplex for arbitrary inputs, even
+/// far outside the training distribution.
+#[test]
+fn forest_probabilities_on_simplex_for_wild_inputs() {
+    use rc_ml::{BinnedDataset, Dataset, RandomForest, RandomForestConfig};
+    let mut d = Dataset::new(3, 3);
+    let mut state = 5u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+    };
+    for _ in 0..300 {
+        let x = next() * 2.0;
+        let c = ((x + 1.0).clamp(0.0, 2.999) * 1.5) as usize;
+        d.push(&[x, next(), next()], c.min(2));
+    }
+    let binned = BinnedDataset::build(&d);
+    let forest =
+        RandomForest::fit(&binned, &RandomForestConfig { n_trees: 6, ..Default::default() });
+    for wild in [
+        [f64::MAX, f64::MIN, 0.0],
+        [-1e300, 1e300, 1e-300],
+        [0.0, 0.0, 0.0],
+        [f64::EPSILON, -f64::EPSILON, 42.0],
+    ] {
+        let p = forest.predict_proba(&wild);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-5, "{p:?}");
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)), "{p:?}");
+    }
+}
+
+/// Scheduler bookkeeping: place/complete sequences never drive a server's
+/// accounting negative, and a fully drained server is exactly empty.
+#[test]
+fn server_accounting_is_conservative() {
+    use rc_core::ClientInputs;
+    use rc_scheduler::{Server, VmRequest};
+    use rc_types::vm::{OsType, Party, ProdTag, SubscriptionId, VmId, VmRole};
+
+    let request = |id: u64, cores: u32| VmRequest {
+        vm_id: VmId(id),
+        cores,
+        memory_gb: cores as f64 * 1.75,
+        prod: ProdTag::NonProduction,
+        created: Timestamp::ZERO,
+        deleted: Timestamp::from_hours(1),
+        util: UtilParams::creation_test(id),
+        inputs: ClientInputs {
+            subscription: SubscriptionId(0),
+            party: Party::First,
+            role: VmRole::Iaas,
+            prod: ProdTag::NonProduction,
+            os: OsType::Linux,
+            sku_index: 0,
+            deployment_time: Timestamp::ZERO,
+            deployment_size_hint: 1,
+            service: None,
+        },
+        true_p95_bucket: 1,
+    };
+
+    let mut server = Server::new(16.0, 112.0);
+    let mut resident = Vec::new();
+    let mut state = 11u64;
+    for step in 0..2_000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        if !state.is_multiple_of(3) || resident.is_empty() {
+            let cores = 1 + (state % 4) as u32;
+            let req = request(step, cores);
+            let util = cores as f64 * 0.5;
+            server.place(&req, util);
+            resident.push((req, util));
+        } else {
+            let idx = (state as usize / 7) % resident.len();
+            let (req, util) = resident.swap_remove(idx);
+            server.complete(&req, util);
+        }
+        assert!(server.alloc_cores >= 0.0);
+        assert!(server.alloc_memory_gb >= 0.0);
+        assert!(server.predicted_util_cores >= -1e-9);
+        assert_eq!(server.n_vms as usize, resident.len());
+    }
+    for (req, util) in resident.drain(..) {
+        server.complete(&req, util);
+    }
+    assert!(server.is_empty());
+    assert_eq!(server.alloc_cores, 0.0);
+    assert_eq!(server.predicted_util_cores, 0.0);
+}
