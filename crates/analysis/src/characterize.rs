@@ -30,16 +30,8 @@ pub struct PartyCdfs {
 
 impl PartyCdfs {
     fn build(samples: Vec<(Party, f64)>) -> Self {
-        let first = samples
-            .iter()
-            .filter(|(p, _)| *p == Party::First)
-            .map(|(_, v)| *v)
-            .collect();
-        let third = samples
-            .iter()
-            .filter(|(p, _)| *p == Party::Third)
-            .map(|(_, v)| *v)
-            .collect();
+        let first = samples.iter().filter(|(p, _)| *p == Party::First).map(|(_, v)| *v).collect();
+        let third = samples.iter().filter(|(p, _)| *p == Party::Third).map(|(_, v)| *v).collect();
         let all = samples.into_iter().map(|(_, v)| v).collect();
         PartyCdfs { first: Cdf::new(first), third: Cdf::new(third), all: Cdf::new(all) }
     }
@@ -64,10 +56,7 @@ pub fn utilization_cdfs(trace: &Trace) -> UtilizationCdfs {
         avg_samples.push((party, avg));
         p95_samples.push((party, p95));
     }
-    UtilizationCdfs {
-        avg: PartyCdfs::build(avg_samples),
-        p95_max: PartyCdfs::build(p95_samples),
-    }
+    UtilizationCdfs { avg: PartyCdfs::build(avg_samples), p95_max: PartyCdfs::build(p95_samples) }
 }
 
 /// Figures 2–3: share of VMs per size category, stacked by party.
@@ -126,14 +115,8 @@ pub fn cores_breakdown(trace: &Trace) -> SizeBreakdown {
 
 /// Computes Figure 3 (memory per VM, GB).
 pub fn memory_breakdown(trace: &Trace) -> SizeBreakdown {
-    let labels = vec![
-        "0.75".into(),
-        "1.75".into(),
-        "3.5".into(),
-        "7".into(),
-        "14".into(),
-        ">14".into(),
-    ];
+    let labels =
+        vec!["0.75".into(), "1.75".into(), "3.5".into(), "7".into(), "14".into(), ">14".into()];
     breakdown(trace, labels, |vm| {
         let m = vm.sku.memory_gb;
         if m <= 0.76 {
@@ -159,15 +142,11 @@ pub fn deployment_size_cdfs(trace: &Trace) -> PartyCdfs {
     use std::collections::HashMap;
     let mut groups: HashMap<(u32, u16, u64), u64> = HashMap::new();
     for vm in &trace.vms {
-        *groups
-            .entry((vm.subscription.0, vm.region.0, vm.created.day_index()))
-            .or_default() += 1;
+        *groups.entry((vm.subscription.0, vm.region.0, vm.created.day_index())).or_default() += 1;
     }
     let samples = groups
         .into_iter()
-        .map(|((sub, _, _), count)| {
-            (trace.subscriptions[sub as usize].party, count as f64)
-        })
+        .map(|((sub, _, _), count)| (trace.subscriptions[sub as usize].party, count as f64))
         .collect();
     PartyCdfs::build(samples)
 }
@@ -229,22 +208,10 @@ pub fn class_core_hours(trace: &Trace) -> ClassCoreHours {
     let shares = |a: [f64; 3]| {
         let total: f64 = a.iter().sum();
         let t = total.max(1e-9);
-        ClassShares {
-            delay_insensitive: a[0] / t,
-            interactive: a[1] / t,
-            unknown: a[2] / t,
-        }
+        ClassShares { delay_insensitive: a[0] / t, interactive: a[1] / t, unknown: a[2] / t }
     };
-    let total = [
-        acc[0][0] + acc[1][0],
-        acc[0][1] + acc[1][1],
-        acc[0][2] + acc[1][2],
-    ];
-    ClassCoreHours {
-        total: shares(total),
-        first: shares(acc[0]),
-        third: shares(acc[1]),
-    }
+    let total = [acc[0][0] + acc[1][0], acc[0][1] + acc[1][1], acc[0][2] + acc[1][2]];
+    ClassCoreHours { total: shares(total), first: shares(acc[0]), third: shares(acc[1]) }
 }
 
 /// Figure 7: VM arrivals per hour at one region over one week.
@@ -281,9 +248,7 @@ pub fn metric_correlations(trace: &Trace, party: Option<Party>) -> CorrelationMa
     // Max day-grouped deployment size per (subscription, region, day).
     let mut groups: HashMap<(u32, u16, u64), u64> = HashMap::new();
     for vm in &trace.vms {
-        *groups
-            .entry((vm.subscription.0, vm.region.0, vm.created.day_index()))
-            .or_default() += 1;
+        *groups.entry((vm.subscription.0, vm.region.0, vm.created.day_index())).or_default() += 1;
     }
     let cfg = PeriodicityConfig::default();
     let mut avg_col = Vec::new();
@@ -307,9 +272,7 @@ pub fn metric_correlations(trace: &Trace, party: Option<Party>) -> CorrelationMa
         cores_col.push(vm.sku.cores as f64);
         mem_col.push(vm.sku.memory_gb);
         life_col.push(vm.lifetime().as_hours_f64());
-        dep_col.push(
-            groups[&(vm.subscription.0, vm.region.0, vm.created.day_index())] as f64,
-        );
+        dep_col.push(groups[&(vm.subscription.0, vm.region.0, vm.created.day_index())] as f64);
         class_col.push(1.0 + class as f64);
     }
     CorrelationMatrix::compute(&[
@@ -395,24 +358,17 @@ pub fn subscription_consistency(trace: &Trace) -> ConsistencyReport {
     use std::collections::HashMap;
     let mut groups: HashMap<(u32, u16, u64), u64> = HashMap::new();
     for vm in &trace.vms {
-        *groups
-            .entry((vm.subscription.0, vm.region.0, vm.created.day_index()))
-            .or_default() += 1;
+        *groups.entry((vm.subscription.0, vm.region.0, vm.created.day_index())).or_default() += 1;
     }
     let per_vm = |f: &dyn Fn(rc_types::vm::VmId) -> f64| -> Vec<(u32, f64)> {
-        trace
-            .vm_ids()
-            .map(|id| (trace.vm(id).subscription.0, f(id)))
-            .collect()
+        trace.vm_ids().map(|id| (trace.vm(id).subscription.0, f(id))).collect()
     };
     let avg_util = per_vm(&|id| trace.vm_util_summary(id, 60).0);
     let cores = per_vm(&|id| trace.vm(id).sku.cores as f64);
     let memory = per_vm(&|id| trace.vm(id).sku.memory_gb);
     let lifetime = per_vm(&|id| trace.vm(id).lifetime().as_hours_f64());
-    let deployment: Vec<(u32, f64)> = groups
-        .iter()
-        .map(|((sub, _, _), &count)| (*sub, count as f64))
-        .collect();
+    let deployment: Vec<(u32, f64)> =
+        groups.iter().map(|((sub, _, _), &count)| (*sub, count as f64)).collect();
     ConsistencyReport {
         avg_util: fraction_of_groups_with_low_cov(avg_util, 1.0, 3),
         cores: fraction_of_groups_with_low_cov(cores, 1.0, 3),

@@ -13,12 +13,8 @@ struct World {
 }
 
 fn world() -> World {
-    let config = TraceConfig {
-        target_vms: 8_000,
-        n_subscriptions: 300,
-        days: 30,
-        ..TraceConfig::small()
-    };
+    let config =
+        TraceConfig { target_vms: 8_000, n_subscriptions: 300, days: 30, ..TraceConfig::small() };
     let trace = Trace::generate(&config);
     let output = run_pipeline(&trace, &PipelineConfig::fast(30)).expect("pipeline");
     let store = Store::in_memory();
@@ -30,10 +26,8 @@ fn world() -> World {
 
 fn bench_model_exec(c: &mut Criterion) {
     let w = world();
-    let inputs: Vec<_> = (0..w.trace.n_vms() as u64)
-        .step_by(7)
-        .map(|i| vm_inputs(&w.trace, VmId(i)))
-        .collect();
+    let inputs: Vec<_> =
+        (0..w.trace.n_vms() as u64).step_by(7).map(|i| vm_inputs(&w.trace, VmId(i))).collect();
 
     let mut group = c.benchmark_group("predict_single_miss");
     for metric in PredictionMetric::ALL {

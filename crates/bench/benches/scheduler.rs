@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rc_scheduler::{
-    simulate, NoSource, OracleSource, PolicyKind, Scheduler, SchedulerConfig, SimConfig,
-    VmRequest,
+    simulate, NoSource, OracleSource, PolicyKind, Scheduler, SchedulerConfig, SimConfig, VmRequest,
 };
 use rc_trace::{Trace, TraceConfig};
 use rc_types::time::Timestamp;

@@ -7,8 +7,8 @@
 //! model with the history record zeroed out — leaving only client inputs
 //! (type, size, OS, service name, deployment time) — and compares.
 
-use rc_core::run_pipeline;
 use rc_bench::{experiment_pipeline_config, experiment_trace};
+use rc_core::run_pipeline;
 
 fn main() {
     let trace = experiment_trace();
@@ -16,17 +16,11 @@ fn main() {
     eprintln!("[rc-bench] training with full features...");
     let full = run_pipeline(&trace, &config).expect("full pipeline");
     eprintln!("[rc-bench] training with history ablated...");
-    let ablated = run_pipeline(
-        &trace,
-        &rc_core::PipelineConfig { ablate_history: true, ..config },
-    )
-    .expect("ablated pipeline");
+    let ablated = run_pipeline(&trace, &rc_core::PipelineConfig { ablate_history: true, ..config })
+        .expect("ablated pipeline");
 
     println!("Ablation: accuracy with vs without per-subscription history features");
-    println!(
-        "{:<24} {:>10} {:>12} {:>8}",
-        "Metric", "full", "no history", "delta"
-    );
+    println!("{:<24} {:>10} {:>12} {:>8}", "Metric", "full", "no history", "delta");
     rc_bench::rule(58);
     for (f, a) in full.reports.iter().zip(&ablated.reports) {
         println!(
@@ -38,6 +32,8 @@ fn main() {
         );
     }
     rc_bench::rule(58);
-    println!("paper (§6.1): per-bucket history 'to date in the subscription' dominates importance;");
+    println!(
+        "paper (§6.1): per-bucket history 'to date in the subscription' dominates importance;"
+    );
     println!("client inputs alone (service name, time, OS, size) retain part of the signal.");
 }

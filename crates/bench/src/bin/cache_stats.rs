@@ -1,9 +1,16 @@
 //! §6.1 cache statistics: result-cache hit rates, hits per model
-//! execution, cache footprint, and simulated store latencies.
+//! execution, and simulated store latencies — every number read back from
+//! the rc-obs metrics registry the instrumented layers write into, not
+//! from hand-rolled accounting. Ends with a full registry snapshot dumped
+//! as JSON and Prometheus text covering all four instrumented layers.
 
-use rc_bench::{experiment_pipeline, experiment_trace, percentile_sorted};
+use rc_bench::{counter_delta, experiment_pipeline, experiment_trace, histogram_delta};
 use rc_core::{labels::vm_inputs, ClientConfig, RcClient};
+use rc_scheduler::{
+    simulate, suggest_server_count, OracleSource, PolicyKind, SchedulerConfig, SimConfig, VmRequest,
+};
 use rc_store::{LatencyModel, Store};
+use rc_types::time::Timestamp;
 use rc_types::PredictionMetric;
 
 fn main() {
@@ -11,51 +18,120 @@ fn main() {
     let output = experiment_pipeline(&trace);
     let store = Store::in_memory();
     output.publish(&store, 0.5).expect("publish");
+    let registry = rc_obs::global();
 
-    println!("Section 6.1 cache statistics");
-    rc_bench::rule(72);
+    println!("Section 6.1 cache statistics (all numbers from the rc-obs registry)");
+    rc_bench::rule(110);
     // Replay the *test month's* prediction workload per metric: the
     // scheduler asks once per VM, and identical (subscription, size, day)
-    // requests hit the result cache.
+    // requests hit the result cache. Snapshot deltas isolate each
+    // metric's replay from everything else in the process-wide registry.
     let test_start = trace.config.days as u64 * 2 / 3;
     for metric in PredictionMetric::ALL {
         let client = RcClient::new(store.clone(), ClientConfig::default());
         assert!(client.initialize());
-        let mut requests = 0u64;
+        let before = registry.snapshot();
         for id in trace.vm_ids() {
             let vm = trace.vm(id);
             if vm.created.day_index() < test_start {
                 continue;
             }
             let _ = client.predict_single(metric.model_name(), &vm_inputs(&trace, id));
-            requests += 1;
         }
+        let after = registry.snapshot();
+
+        let hits = counter_delta(&after, &before, rc_obs::CLIENT_RESULT_CACHE_HITS);
+        let misses = counter_delta(&after, &before, rc_obs::CLIENT_RESULT_CACHE_MISSES);
+        let execs = counter_delta(&after, &before, rc_obs::CLIENT_MODEL_EXECS);
+        let hit_latency = histogram_delta(&after, &before, rc_obs::CLIENT_PREDICT_HIT_LATENCY_NS);
+        let requests = hits + misses;
+        let hit_rate = if requests == 0 { 0.0 } else { hits as f64 / requests as f64 };
+        let hits_per_exec = if execs == 0 { 0.0 } else { hits as f64 / execs as f64 };
         println!(
-            "{:<24} requests {:>8}  hit-rate {:>6.1}%  hits/execution {:>6.1}  cache entries {:>7}",
+            "{:<24} requests {:>8}  hit-rate {:>6.1}%  hits/execution {:>6.1}  hit p99 {:>6.2}us  cache entries {:>7}",
             metric.label(),
             requests,
-            client.result_cache_hit_rate() * 100.0,
-            client.hits_per_execution(),
+            hit_rate * 100.0,
+            hits_per_exec,
+            hit_latency.quantile(0.99) / 1_000.0,
             client.result_cache_len()
         );
     }
-    rc_bench::rule(72);
+    rc_bench::rule(110);
     println!("paper: an entry is accessed 18-68 times after its model execution, cache <= ~25 MB");
     println!();
 
-    // Store latency with the paper's quantiles (pull-path cost).
+    // Store pull cost with the paper's latency quantiles, read from the
+    // store's own get-latency histogram (which includes the simulated
+    // network spin).
     let lat_store = Store::with_latency(Some(LatencyModel::paper_store()));
     lat_store.put("features/0", vec![0u8; 850].into()).unwrap();
-    let mut samples = Vec::with_capacity(2_000);
+    let before = registry.snapshot();
     for _ in 0..2_000 {
-        let started = std::time::Instant::now();
         let _ = lat_store.get_latest("features/0").unwrap();
-        samples.push(started.elapsed().as_nanos() as f64 / 1_000.0);
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let after = registry.snapshot();
+    let get_latency = histogram_delta(&after, &before, rc_obs::STORE_GET_LATENCY_NS);
     println!(
-        "simulated store GET (850 B record): median {:.2} ms, p99 {:.2} ms (paper: 2.9 / 5.6 ms)",
-        percentile_sorted(&samples, 0.5) / 1_000.0,
-        percentile_sorted(&samples, 0.99) / 1_000.0
+        "simulated store GET (850 B record): p50 {:.2} ms, p99 {:.2} ms over {} pulls (paper: 2.9 / 5.6 ms)",
+        get_latency.quantile(0.5) / 1e6,
+        get_latency.quantile(0.99) / 1e6,
+        get_latency.count
     );
+    println!();
+
+    // A short scheduler run so the fourth layer has registry activity in
+    // the final dump (one week of arrivals, RC-informed soft rule).
+    let sched_window = (Timestamp::ZERO, Timestamp::from_days(7));
+    let requests = VmRequest::stream(&trace, sched_window.0, sched_window.1, 16);
+    let config = SimConfig {
+        n_servers: suggest_server_count(&requests, 16.0, 0.95),
+        cores_per_server: 16.0,
+        memory_per_server_gb: 112.0,
+        scheduler: SchedulerConfig::new(PolicyKind::RcInformedSoft),
+        util_shift: 0.0,
+        tick_stride: 12,
+    };
+    let before = registry.snapshot();
+    simulate(&requests, &config, Box::new(OracleSource), sched_window);
+    let after = registry.snapshot();
+    println!(
+        "scheduler warm-up week: placements {} failures {} relaxations {} readings {} (>100%: {})",
+        counter_delta(&after, &before, rc_obs::SCHED_PLACEMENTS),
+        counter_delta(&after, &before, rc_obs::SCHED_FAILURES),
+        counter_delta(&after, &before, rc_obs::SCHED_RULE_RELAXATIONS),
+        counter_delta(&after, &before, rc_obs::SCHED_READINGS),
+        counter_delta(&after, &before, rc_obs::SCHED_OVERLOADED_READINGS),
+    );
+    println!();
+
+    // Full registry exposition: JSON round-trip plus Prometheus text,
+    // with all four instrumented layers represented.
+    let snapshot = registry.snapshot();
+    let json = snapshot.to_json();
+    let back: rc_obs::MetricsSnapshot =
+        serde_json::from_slice(&json).expect("snapshot round-trips through JSON");
+    assert_eq!(back, snapshot, "JSON round-trip must be lossless");
+    let prometheus = snapshot.to_prometheus_text();
+    println!(
+        "registry snapshot: {} bytes JSON, {} lines Prometheus text",
+        json.len(),
+        prometheus.lines().count()
+    );
+    for prefix in ["rc_client_", "rc_pipeline_", "rc_store_", "rc_sched_"] {
+        let counters = snapshot.counters.iter().filter(|c| c.name.starts_with(prefix)).count();
+        let histograms = snapshot.histograms.iter().filter(|h| h.name.starts_with(prefix)).count();
+        assert!(counters + histograms > 0, "layer {prefix} missing from the registry");
+        println!("  {prefix:<13} {counters:>2} counters, {histograms} histograms");
+    }
+    let out_dir = std::path::Path::new("target");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        let json_path = out_dir.join("obs-snapshot.json");
+        let prom_path = out_dir.join("obs-metrics.prom");
+        if std::fs::write(&json_path, &json).is_ok()
+            && std::fs::write(&prom_path, &prometheus).is_ok()
+        {
+            println!("  wrote {} and {}", json_path.display(), prom_path.display());
+        }
+    }
 }

@@ -11,10 +11,22 @@ fn main() {
     println!("  IaaS share of VMs:                 {} (paper: 52%)", pct(stats.iaas_vm_share));
     println!("  first-party IaaS share:            {} (paper: 53%)", pct(stats.first_iaas_share));
     println!("  third-party IaaS share:            {} (paper: 47%)", pct(stats.third_iaas_share));
-    println!("  PaaS share of core-hours:          {} (paper: 61%)", pct(stats.paas_core_hour_share));
-    println!("  third-party IaaS core-hour share:  {} (paper: 85%)", pct(stats.third_iaas_core_hour_share));
-    println!("  first-party IaaS core-hour share:  {} (paper: 23%)", pct(stats.first_iaas_core_hour_share));
-    println!("  single-type subscriptions:         {} (paper: 96%)", pct(stats.single_type_subscription_fraction));
+    println!(
+        "  PaaS share of core-hours:          {} (paper: 61%)",
+        pct(stats.paas_core_hour_share)
+    );
+    println!(
+        "  third-party IaaS core-hour share:  {} (paper: 85%)",
+        pct(stats.third_iaas_core_hour_share)
+    );
+    println!(
+        "  first-party IaaS core-hour share:  {} (paper: 23%)",
+        pct(stats.first_iaas_core_hour_share)
+    );
+    println!(
+        "  single-type subscriptions:         {} (paper: 96%)",
+        pct(stats.single_type_subscription_fraction)
+    );
     println!();
     let report = subscription_consistency(&trace);
     println!("Per-subscription consistency: fraction of subscriptions with CoV < 1");

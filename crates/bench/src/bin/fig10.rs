@@ -1,10 +1,11 @@
 //! Figure 10: latency of model execution per metric (median and p99),
 //! measured by replaying the test month against the client library with
 //! the result cache disabled-by-uniqueness (every request unique).
+//!
+//! Latencies come from the client's own predict-path histograms in the
+//! rc-obs registry — the bin no longer times calls itself.
 
-use std::time::Instant;
-
-use rc_bench::{experiment_pipeline, experiment_trace, percentile_sorted};
+use rc_bench::{experiment_pipeline, experiment_trace, histogram_delta};
 use rc_core::{labels::vm_inputs, ClientConfig, RcClient};
 use rc_store::Store;
 use rc_types::{PredictionMetric, VmId};
@@ -16,53 +17,54 @@ fn main() {
     output.publish(&store, 0.5).expect("publish");
     let client = RcClient::new(store, ClientConfig::default());
     assert!(client.initialize());
+    let registry = rc_obs::global();
 
     // Replay distinct VMs so every request misses the result cache and
     // executes the model (the figure measures model execution).
-    let ids: Vec<VmId> = (0..trace.n_vms() as u64)
-        .step_by((trace.n_vms() / 30_000).max(1))
-        .map(VmId)
-        .collect();
+    let ids: Vec<VmId> =
+        (0..trace.n_vms() as u64).step_by((trace.n_vms() / 30_000).max(1)).map(VmId).collect();
 
-    println!("Figure 10: latency of model execution (result-cache misses)");
+    println!(
+        "Figure 10: latency of model execution (result-cache misses, from the rc-obs registry)"
+    );
     println!("{:<24} {:>10} {:>10} {:>10}", "Metric", "median", "p99", "samples");
     rc_bench::rule(58);
     for metric in PredictionMetric::ALL {
-        let mut lat_us: Vec<f64> = Vec::with_capacity(ids.len());
+        let before = registry.snapshot();
         for &id in &ids {
             let inputs = vm_inputs(&trace, id);
             // The figure measures *model execution*: empty the result
             // cache so every request takes the miss path.
             client.clear_result_cache();
-            let started = Instant::now();
             let _ = client.predict_single(metric.model_name(), &inputs);
-            lat_us.push(started.elapsed().as_nanos() as f64 / 1_000.0);
         }
-        lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let after = registry.snapshot();
+        let miss = histogram_delta(&after, &before, rc_obs::CLIENT_PREDICT_MISS_LATENCY_NS);
         println!(
             "{:<24} {:>8.1}us {:>8.1}us {:>10}",
             metric.label(),
-            percentile_sorted(&lat_us, 0.5),
-            percentile_sorted(&lat_us, 0.99),
-            lat_us.len()
+            miss.quantile(0.5) / 1_000.0,
+            miss.quantile(0.99) / 1_000.0,
+            miss.count
         );
     }
     rc_bench::rule(58);
     println!("paper: medians 95-147 us, p99s 139-258 us (2-core VM client)");
 
-    // Result-cache hit latency (§6.1: p99 ~ 1.3 us).
+    // Result-cache hit latency (§6.1: p99 ~ 1.3 us), from the hit-path
+    // histogram.
     let inputs = vm_inputs(&trace, VmId(0));
     let _ = client.predict_single("VM_P95UTIL", &inputs);
-    let mut hits_us = Vec::with_capacity(100_000);
+    let before = registry.snapshot();
     for _ in 0..100_000 {
-        let started = Instant::now();
         let _ = client.predict_single("VM_P95UTIL", &inputs);
-        hits_us.push(started.elapsed().as_nanos() as f64 / 1_000.0);
     }
-    hits_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let after = registry.snapshot();
+    let hit = histogram_delta(&after, &before, rc_obs::CLIENT_PREDICT_HIT_LATENCY_NS);
     println!(
-        "result-cache hit latency: median {:.2}us p99 {:.2}us (paper p99: ~1.3us)",
-        percentile_sorted(&hits_us, 0.5),
-        percentile_sorted(&hits_us, 0.99)
+        "result-cache hit latency: median {:.2}us p99 {:.2}us over {} hits (paper p99: ~1.3us)",
+        hit.quantile(0.5) / 1_000.0,
+        hit.quantile(0.99) / 1_000.0,
+        hit.count
     );
 }

@@ -19,8 +19,5 @@ fn main() {
         );
     }
     rc_bench::rule(46);
-    println!(
-        "paper anchor: ~80% of VMs need 1-2 cores (ours: {})",
-        pct(b.all[0] + b.all[1])
-    );
+    println!("paper anchor: ~80% of VMs need 1-2 cores (ours: {})", pct(b.all[0] + b.all[1]));
 }

@@ -6,9 +6,8 @@ use rc_bench::experiment_trace;
 fn main() {
     let trace = experiment_trace();
     let cdfs = lifetime_cdfs(&trace);
-    let xs_hours = [
-        0.083, 0.25, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0, 48.0, 96.0, 168.0, 336.0, 720.0, 2160.0,
-    ];
+    let xs_hours =
+        [0.083, 0.25, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0, 48.0, 96.0, 168.0, 336.0, 720.0, 2160.0];
     println!("Figure 5: CDF of VM lifetime");
     println!("{:>10} | {:>9} {:>9} {:>9}", "lifetime", "first", "third", "all");
     rc_bench::rule(46);

@@ -8,10 +8,7 @@ fn main() {
     eprintln!("[rc-bench] running FFT classification over long-lived VMs...");
     let shares = class_core_hours(&trace);
     println!("Figure 6: share of core-hours per workload class");
-    println!(
-        "{:>18} | {:>10} {:>10} {:>10}",
-        "class", "total", "first", "third"
-    );
+    println!("{:>18} | {:>10} {:>10} {:>10}", "class", "total", "first", "third");
     rc_bench::rule(56);
     type Getter = fn(&rc_analysis::ClassShares) -> f64;
     let rows: [(&str, Getter); 3] = [

@@ -1,11 +1,15 @@
 //! §6.2 main comparison: Baseline / Naive / RC-informed-soft /
 //! RC-informed-hard / RC-soft-right / RC-soft-wrong at the default limits
-//! (MAX_OVERSUB = 125%, MAX_UTIL = 100%).
+//! (MAX_OVERSUB = 125%, MAX_UTIL = 100%), with each variant's rule-chain
+//! activity (relaxations, Algorithm 1 rejections) read from the rc-obs
+//! registry the scheduler itself writes into.
 
+use rc_bench::counter_delta;
 use rc_bench::scheduler_harness::{print_row, Harness, Variant};
 
 fn main() {
     let harness = Harness::build(rc_bench::experiment_trace());
+    let registry = rc_obs::global();
     println!(
         "Section 6.2: scheduler comparison ({} arrivals, {} servers x 16 cores / 112 GB, test month)",
         harness.requests.len(),
@@ -14,8 +18,17 @@ fn main() {
     println!("MAX_OVERSUB = 125%, MAX_UTIL = 100%");
     rc_bench::rule(120);
     for variant in Variant::ALL {
+        let before = registry.snapshot();
         let report = harness.run(variant, 1.25, 1.0);
+        let after = registry.snapshot();
         print_row(&report);
+        println!(
+            "{:<18}   registry: placements {:>7}   soft-rule relaxations {:>6}   util-cap rejections {:>8}",
+            "",
+            counter_delta(&after, &before, rc_obs::SCHED_PLACEMENTS),
+            counter_delta(&after, &before, rc_obs::SCHED_RULE_RELAXATIONS),
+            counter_delta(&after, &before, rc_obs::SCHED_UTIL_CAP_REJECTIONS),
+        );
     }
     rc_bench::rule(120);
     println!("paper shape: Baseline ~0.25% failures, 0 readings >100%;");

@@ -18,13 +18,8 @@ fn main() {
     }
     // "with 20% less load, an 80% target maximum utilization leads to no
     // failures": drop every 5th arrival.
-    let reduced: Vec<_> = harness
-        .requests
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| i % 5 != 0)
-        .map(|(_, r)| *r)
-        .collect();
+    let reduced: Vec<_> =
+        harness.requests.iter().enumerate().filter(|(i, _)| i % 5 != 0).map(|(_, r)| *r).collect();
     let mut config = rc_scheduler::SimConfig {
         n_servers: harness.n_servers,
         cores_per_server: 16.0,

@@ -19,6 +19,8 @@ fn main() {
         print_row(&report);
     }
     rc_bench::rule(120);
-    println!("paper shape: lowering MAX_OVERSUB raises failures (still far below Baseline at 115%)");
+    println!(
+        "paper shape: lowering MAX_OVERSUB raises failures (still far below Baseline at 115%)"
+    );
     println!("  and lowers >100% readings (125% -> 77 readings, 115% -> 22 readings).");
 }

@@ -20,12 +20,8 @@ fn main() {
         let mut row = format!("{:<22} {:>5.2} |", report.metric.label(), report.accuracy);
         for i in 0..4 {
             if let Some(b) = report.buckets.get(i) {
-                row += &format!(
-                    " {:>4.0}% {:>5.2} {:>5.2} ",
-                    b.share * 100.0,
-                    b.precision,
-                    b.recall
-                );
+                row +=
+                    &format!(" {:>4.0}% {:>5.2} {:>5.2} ", b.share * 100.0, b.precision, b.recall);
             } else {
                 row += &format!(" {:>4} {:>5} {:>5} ", "NA", "NA", "NA");
             }
@@ -50,7 +46,12 @@ fn main() {
         output
             .reports
             .iter()
-            .map(|r| format!("{}={}k/{}k", r.metric.model_name(), r.n_train / 1000, r.n_test.max(1000) / 1000))
+            .map(|r| format!(
+                "{}={}k/{}k",
+                r.metric.model_name(),
+                r.n_train / 1000,
+                r.n_test.max(1000) / 1000
+            ))
             .collect::<Vec<_>>()
             .join(" ")
     );

@@ -64,10 +64,7 @@ pub fn experiment_pipeline_config(days: u32) -> PipelineConfig {
 /// Runs the pipeline on the shared trace (the slow step of the ML
 /// experiments), with progress logging.
 pub fn experiment_pipeline(trace: &Trace) -> PipelineOutput {
-    eprintln!(
-        "[rc-bench] running offline pipeline (train {} days)...",
-        trace.config.days * 2 / 3
-    );
+    eprintln!("[rc-bench] running offline pipeline (train {} days)...", trace.config.days * 2 / 3);
     let started = std::time::Instant::now();
     let output = run_pipeline(trace, &experiment_pipeline_config(trace.config.days))
         .expect("pipeline on experiment trace");
@@ -94,6 +91,34 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "need samples");
     let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
     sorted[idx]
+}
+
+/// How much a counter grew between two registry snapshots (0 when absent).
+pub fn counter_delta(
+    after: &rc_obs::MetricsSnapshot,
+    before: &rc_obs::MetricsSnapshot,
+    name: &str,
+) -> u64 {
+    after.counter(name).unwrap_or(0).saturating_sub(before.counter(name).unwrap_or(0))
+}
+
+/// The observations a histogram gained between two registry snapshots
+/// (empty when the histogram is absent from both).
+pub fn histogram_delta(
+    after: &rc_obs::MetricsSnapshot,
+    before: &rc_obs::MetricsSnapshot,
+    name: &str,
+) -> rc_obs::HistogramSnapshot {
+    match (after.histogram(name), before.histogram(name)) {
+        (Some(a), Some(b)) => a.delta(b),
+        (Some(a), None) => a.clone(),
+        (None, _) => rc_obs::HistogramSnapshot {
+            name: name.to_string(),
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        },
+    }
 }
 
 /// Shared setup for the §6.2 scheduler experiments.
@@ -318,8 +343,12 @@ pub mod scheduler_harness {
                 config.util_shift = util_shift;
                 config.scheduler.bucket_shift = bucket_shift;
                 config.tick_stride = 1;
-                let mut r =
-                    simulate(&self.requests, &config, source_for(variant, &self.output), self.window);
+                let mut r = simulate(
+                    &self.requests,
+                    &config,
+                    source_for(variant, &self.output),
+                    self.window,
+                );
                 r.policy = variant.label().to_string();
                 return r;
             }
@@ -327,7 +356,12 @@ pub mod scheduler_harness {
         }
     }
 
-    fn sim_config(n_servers: usize, variant: Variant, max_oversub: f64, max_util: f64) -> SimConfig {
+    fn sim_config(
+        n_servers: usize,
+        variant: Variant,
+        max_oversub: f64,
+        max_util: f64,
+    ) -> SimConfig {
         let mut scheduler = SchedulerConfig::new(variant.policy());
         scheduler.max_oversub = max_oversub;
         scheduler.max_util = max_util;

@@ -22,6 +22,20 @@ pub struct ResultCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    insertions: u64,
+}
+
+/// A point-in-time copy of a [`ResultCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResultCacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries removed to make room.
+    pub evictions: u64,
+    /// Entries written (including overwrites of existing keys).
+    pub insertions: u64,
 }
 
 impl ResultCache {
@@ -39,6 +53,7 @@ impl ResultCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            insertions: 0,
         }
     }
 
@@ -57,18 +72,23 @@ impl ResultCache {
     }
 
     /// Inserts a prediction, evicting the oldest entry when full.
-    pub fn insert(&mut self, key: u64, prediction: Prediction) {
+    /// Returns `true` when the insert displaced an older entry.
+    pub fn insert(&mut self, key: u64, prediction: Prediction) -> bool {
+        let mut evicted = false;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             while let Some(old) = self.order.pop_front() {
                 if self.map.remove(&old).is_some() {
                     self.evictions += 1;
+                    evicted = true;
                     break;
                 }
             }
         }
+        self.insertions += 1;
         if self.map.insert(key, prediction).is_none() {
             self.order.push_back(key);
         }
+        evicted
     }
 
     /// Empties the cache (statistics are kept).
@@ -102,6 +122,21 @@ impl ResultCache {
         self.evictions
     }
 
+    /// Insertions performed so far (including overwrites).
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// All counters at once.
+    pub fn stats(&self) -> ResultCacheStats {
+        ResultCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            insertions: self.insertions,
+        }
+    }
+
     /// Hit rate over all lookups (0 when none).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -128,7 +163,11 @@ impl FeatureCache {
     }
 
     /// Replaces the whole cache (a push-mode refresh).
-    pub fn replace(&mut self, records: HashMap<SubscriptionId, SubscriptionFeatures>, version: u64) {
+    pub fn replace(
+        &mut self,
+        records: HashMap<SubscriptionId, SubscriptionFeatures>,
+        version: u64,
+    ) {
         self.records = records;
         self.version = version;
     }
@@ -271,6 +310,22 @@ mod tests {
         c.insert(1, pred(2));
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(1).unwrap().value, 2);
+        assert_eq!(c.insertions(), 2, "overwrites still count as insertions");
+    }
+
+    #[test]
+    fn result_cache_stats_track_all_counters() {
+        let mut c = ResultCache::new(2);
+        c.get(1); // miss
+        assert!(!c.insert(1, pred(1)));
+        assert!(!c.insert(2, pred(2)));
+        assert!(c.insert(3, pred(3)), "third insert must evict");
+        c.get(3); // hit
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.insertions, 3);
     }
 
     #[test]

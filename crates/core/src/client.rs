@@ -18,10 +18,11 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration as StdDuration;
+use std::time::{Duration as StdDuration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
+use rc_obs::{Counter, Histogram};
 use rc_store::Store;
 use rc_types::vm::SubscriptionId;
 
@@ -74,6 +75,50 @@ impl Default for ClientConfig {
     }
 }
 
+/// Registry handles for the predict path, resolved once at client
+/// construction so every per-request update is a plain atomic op (no
+/// registry lock on the hot path).
+struct ClientMetrics {
+    hit_latency: Histogram,
+    miss_latency: Histogram,
+    result_hits: Counter,
+    result_misses: Counter,
+    result_insertions: Counter,
+    result_evictions: Counter,
+    model_cache_hits: Counter,
+    model_cache_misses: Counter,
+    feature_cache_hits: Counter,
+    feature_cache_misses: Counter,
+    store_fallbacks: Counter,
+    disk_recoveries: Counter,
+    no_predictions: Counter,
+    model_execs: Counter,
+    background_refreshes: Counter,
+}
+
+impl ClientMetrics {
+    fn new() -> Self {
+        let reg = rc_obs::global();
+        ClientMetrics {
+            hit_latency: reg.histogram(rc_obs::CLIENT_PREDICT_HIT_LATENCY_NS),
+            miss_latency: reg.histogram(rc_obs::CLIENT_PREDICT_MISS_LATENCY_NS),
+            result_hits: reg.counter(rc_obs::CLIENT_RESULT_CACHE_HITS),
+            result_misses: reg.counter(rc_obs::CLIENT_RESULT_CACHE_MISSES),
+            result_insertions: reg.counter(rc_obs::CLIENT_RESULT_CACHE_INSERTIONS),
+            result_evictions: reg.counter(rc_obs::CLIENT_RESULT_CACHE_EVICTIONS),
+            model_cache_hits: reg.counter(rc_obs::CLIENT_MODEL_CACHE_HITS),
+            model_cache_misses: reg.counter(rc_obs::CLIENT_MODEL_CACHE_MISSES),
+            feature_cache_hits: reg.counter(rc_obs::CLIENT_FEATURE_CACHE_HITS),
+            feature_cache_misses: reg.counter(rc_obs::CLIENT_FEATURE_CACHE_MISSES),
+            store_fallbacks: reg.counter(rc_obs::CLIENT_STORE_FALLBACKS),
+            disk_recoveries: reg.counter(rc_obs::CLIENT_DISK_CACHE_RECOVERIES),
+            no_predictions: reg.counter(rc_obs::CLIENT_NO_PREDICTIONS),
+            model_execs: reg.counter(rc_obs::CLIENT_MODEL_EXECS),
+            background_refreshes: reg.counter(rc_obs::CLIENT_BACKGROUND_REFRESHES),
+        }
+    }
+}
+
 /// State shared between the client facade and the pull worker.
 struct Shared {
     store: Store,
@@ -91,6 +136,7 @@ struct Shared {
     model_execs: AtomicU64,
     no_predictions: AtomicU64,
     disk: Option<DiskCache>,
+    metrics: ClientMetrics,
 }
 
 /// The Resource Central client.
@@ -127,10 +173,8 @@ mod crossbeam_channel_shim {
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let chan = Arc::new(Chan {
-            queue: Mutex::new((VecDeque::new(), false)),
-            ready: Condvar::new(),
-        });
+        let chan =
+            Arc::new(Chan { queue: Mutex::new((VecDeque::new(), false)), ready: Condvar::new() });
         (Sender(chan.clone()), Receiver(chan))
     }
 
@@ -171,10 +215,8 @@ impl RcClient {
     /// Creates a client bound to a store. Call
     /// [`RcClient::initialize`] before requesting predictions.
     pub fn new(store: Store, config: ClientConfig) -> Self {
-        let disk = config
-            .disk_cache_dir
-            .clone()
-            .map(|dir| DiskCache::new(dir, config.disk_cache_expiry));
+        let disk =
+            config.disk_cache_dir.clone().map(|dir| DiskCache::new(dir, config.disk_cache_expiry));
         let shared = Arc::new(Shared {
             store,
             results: Mutex::new(ResultCache::new(config.result_cache_capacity)),
@@ -189,6 +231,7 @@ impl RcClient {
             model_execs: AtomicU64::new(0),
             no_predictions: AtomicU64::new(0),
             disk,
+            metrics: ClientMetrics::new(),
         });
 
         let pull_tx = if shared.config.mode == CacheMode::Pull {
@@ -219,7 +262,16 @@ impl RcClient {
     /// store is unavailable. Returns `true` when at least one model is
     /// ready to serve.
     pub fn initialize(&self) -> bool {
-        let loaded = self.load_from_store() || self.load_from_disk();
+        let loaded = self.load_from_store() || {
+            let recovered = self.load_from_disk();
+            if recovered {
+                self.shared.metrics.disk_recoveries.increment();
+                let mut span = rc_obs::global_tracer().span("client.disk_cache_recovery");
+                span.record("models", self.shared.models.read().len() as u64);
+                span.finish();
+            }
+            recovered
+        };
         self.shared.initialized.store(loaded, Ordering::SeqCst);
         loaded
     }
@@ -275,9 +327,7 @@ fn load_from_store_shared(shared: &Shared) -> bool {
         if shared.config.mode == CacheMode::Push {
             shared.features.write().replace(features, version);
         }
-        shared
-            .store_fingerprint
-            .store(store_fingerprint(store), Ordering::SeqCst);
+        shared.store_fingerprint.store(store_fingerprint(store), Ordering::SeqCst);
         true
     }
 }
@@ -302,8 +352,7 @@ impl RcClient {
             for stem in disk.list("model") {
                 if let Some(bytes) = disk.load_if_fresh("model", &stem) {
                     if let Ok(model) = rc_ml::from_bytes::<TrainedModel>(&bytes) {
-                        models
-                            .insert(model.spec.metric.model_name().to_string(), Arc::new(model));
+                        models.insert(model.spec.metric.model_name().to_string(), Arc::new(model));
                     }
                 }
             }
@@ -333,17 +382,26 @@ impl RcClient {
 
     /// Table 2: `predict_single`.
     pub fn predict_single(&self, model_name: &str, inputs: &ClientInputs) -> PredictionResponse {
+        let start = Instant::now();
+        let metrics = &self.shared.metrics;
         if !self.shared.initialized.load(Ordering::SeqCst) {
             return self.no_prediction();
         }
         let key = inputs.cache_key(model_name);
         if let Some(hit) = self.shared.results.lock().get(key) {
+            metrics.result_hits.increment();
+            metrics.hit_latency.record_duration(start.elapsed());
             return PredictionResponse::Predicted(hit);
         }
-        match self.shared.config.mode {
+        metrics.result_misses.increment();
+        let response = match self.shared.config.mode {
             CacheMode::Push => match self.execute(model_name, inputs) {
                 Some(prediction) => {
-                    self.shared.results.lock().insert(key, prediction);
+                    let evicted = self.shared.results.lock().insert(key, prediction);
+                    metrics.result_insertions.increment();
+                    if evicted {
+                        metrics.result_evictions.increment();
+                    }
                     PredictionResponse::Predicted(prediction)
                 }
                 None => self.no_prediction(),
@@ -359,7 +417,9 @@ impl RcClient {
                 }
                 self.no_prediction()
             }
-        }
+        };
+        metrics.miss_latency.record_duration(start.elapsed());
+        response
     }
 
     /// Table 2: `predict_many`.
@@ -393,19 +453,39 @@ impl RcClient {
 
     /// Executes a model synchronously against cached feature data.
     fn execute(&self, model_name: &str, inputs: &ClientInputs) -> Option<Prediction> {
-        let model = self.shared.models.read().get(model_name).cloned()?;
+        let metrics = &self.shared.metrics;
+        let model = match self.shared.models.read().get(model_name).cloned() {
+            Some(m) => {
+                metrics.model_cache_hits.increment();
+                m
+            }
+            None => {
+                metrics.model_cache_misses.increment();
+                return None;
+            }
+        };
         let features = {
             let cache = self.shared.features.read();
-            let sub = cache.get(inputs.subscription)?;
-            model.spec.features(inputs, sub)
+            match cache.get(inputs.subscription) {
+                Some(sub) => {
+                    metrics.feature_cache_hits.increment();
+                    model.spec.features(inputs, sub)
+                }
+                None => {
+                    metrics.feature_cache_misses.increment();
+                    return None;
+                }
+            }
         };
         self.shared.model_execs.fetch_add(1, Ordering::Relaxed);
+        metrics.model_execs.increment();
         let (value, score) = rc_ml::Classifier::predict(model.as_ref(), &features);
         Some(Prediction { value, score })
     }
 
     fn no_prediction(&self) -> PredictionResponse {
         self.shared.no_predictions.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.no_predictions.increment();
         PredictionResponse::NoPrediction
     }
 
@@ -521,16 +601,14 @@ fn push_watcher(shared: Arc<Shared>, interval: StdDuration) {
         {
             shared.results.lock().clear();
             shared.refreshes.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.background_refreshes.increment();
         }
     }
 }
 
 /// The pull-mode background worker: fetches model/feature data, executes
 /// the model, and fills the result cache.
-fn pull_worker(
-    shared: Arc<Shared>,
-    rx: crossbeam_channel_shim::Receiver<(String, ClientInputs)>,
-) {
+fn pull_worker(shared: Arc<Shared>, rx: crossbeam_channel_shim::Receiver<(String, ClientInputs)>) {
     while let Some((model_name, inputs)) = rx.recv() {
         let key = inputs.cache_key(&model_name);
         // Ensure the model is cached.
@@ -552,14 +630,17 @@ fn pull_worker(
         if let (Some(model), true) = (model, have_features) {
             let features = {
                 let cache = shared.features.read();
-                cache
-                    .get(inputs.subscription)
-                    .map(|sub| model.spec.features(&inputs, sub))
+                cache.get(inputs.subscription).map(|sub| model.spec.features(&inputs, sub))
             };
             if let Some(features) = features {
                 shared.model_execs.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.model_execs.increment();
                 let (value, score) = rc_ml::Classifier::predict(model.as_ref(), &features);
-                shared.results.lock().insert(key, Prediction { value, score });
+                let evicted = shared.results.lock().insert(key, Prediction { value, score });
+                shared.metrics.result_insertions.increment();
+                if evicted {
+                    shared.metrics.result_evictions.increment();
+                }
             }
         }
         shared.in_flight.lock().remove(&key);
@@ -569,9 +650,19 @@ fn pull_worker(
 /// Fetches and caches a model from the store (or fresh disk cache).
 fn fetch_model(shared: &Arc<Shared>, model_name: &str) -> Option<Arc<TrainedModel>> {
     let key = format!("model/{model_name}");
+    shared.metrics.store_fallbacks.increment();
     let bytes = match shared.store.get_latest(&key) {
         Ok(rec) => Some(rec.data.to_vec()),
-        Err(_) => shared.disk.as_ref().and_then(|d| d.load_if_fresh("model", &key)),
+        Err(_) => {
+            let recovered = shared.disk.as_ref().and_then(|d| d.load_if_fresh("model", &key));
+            if recovered.is_some() {
+                shared.metrics.disk_recoveries.increment();
+                let mut span = rc_obs::global_tracer().span("client.disk_cache_recovery");
+                span.record("model", model_name);
+                span.finish();
+            }
+            recovered
+        }
     }?;
     let model = Arc::new(rc_ml::from_bytes::<TrainedModel>(&bytes).ok()?);
     shared.models.write().insert(model_name.to_string(), model.clone());

@@ -215,12 +215,7 @@ impl SubscriptionFeatures {
             return [0.0; 4];
         }
         let t = total as f64;
-        [
-            counts[0] as f64 / t,
-            counts[1] as f64 / t,
-            counts[2] as f64 / t,
-            counts[3] as f64 / t,
-        ]
+        [counts[0] as f64 / t, counts[1] as f64 / t, counts[2] as f64 / t, counts[3] as f64 / t]
     }
 
     fn fraction2(counts: &[u64; 2]) -> [f64; 2] {
@@ -262,12 +257,7 @@ fn push_client_inputs(
     feat!(names, values, "is_iaas", f64::from(inputs.vm_type() == VmType::Iaas));
     feat!(names, values, "is_paas", f64::from(inputs.vm_type() == VmType::Paas));
     for (i, role) in rc_types::vm::VmRole::ALL.iter().enumerate() {
-        feat!(
-            names,
-            values,
-            format!("role_{}", role.label()),
-            f64::from(inputs.role.index() == i)
-        );
+        feat!(names, values, format!("role_{}", role.label()), f64::from(inputs.role.index() == i));
     }
     feat!(names, values, "os_windows", f64::from(inputs.os == OsType::Windows));
     feat!(names, values, "os_linux", f64::from(inputs.os == OsType::Linux));
@@ -275,12 +265,7 @@ fn push_client_inputs(
     // Service one-hot: id 0 is the creation-test service, 1..=11 the other
     // named first-party services, plus "unknown".
     for id in 0..12u8 {
-        feat!(
-            names,
-            values,
-            format!("service_{id}"),
-            f64::from(inputs.service == Some(id))
-        );
+        feat!(names, values, format!("service_{id}"), f64::from(inputs.service == Some(id)));
     }
     feat!(names, values, "service_unknown", f64::from(inputs.service.is_none()));
     for (i, s) in SKU_CATALOG.iter().enumerate() {
@@ -306,12 +291,7 @@ fn push_client_inputs(
     }
     feat!(names, values, "is_weekend", f64::from(inputs.deployment_time.is_weekend()));
     feat!(names, values, "deploy_size_hint", inputs.deployment_size_hint as f64);
-    feat!(
-        names,
-        values,
-        "log1p_deploy_size_hint",
-        (inputs.deployment_size_hint as f64).ln_1p()
-    );
+    feat!(names, values, "log1p_deploy_size_hint", (inputs.deployment_size_hint as f64).ln_1p());
 }
 
 /// Builds the 127-feature vector of the utilization models (Table 1).
@@ -372,8 +352,10 @@ fn build_utilization(
     feat!(names, v, "days_since_last_seen", idle_days);
     feat!(names, v, "vms_per_day", sub.n_vms as f64 / age_days.max(1.0));
 
-    let (m_avg, s_avg) = SubscriptionFeatures::mean_std(sub.sum_avg_util, sub.sum_sq_avg_util, sub.n_vms);
-    let (m_p95, s_p95) = SubscriptionFeatures::mean_std(sub.sum_p95_util, sub.sum_sq_p95_util, sub.n_vms);
+    let (m_avg, s_avg) =
+        SubscriptionFeatures::mean_std(sub.sum_avg_util, sub.sum_sq_avg_util, sub.n_vms);
+    let (m_p95, s_p95) =
+        SubscriptionFeatures::mean_std(sub.sum_p95_util, sub.sum_sq_p95_util, sub.n_vms);
     let (m_ll, s_ll) =
         SubscriptionFeatures::mean_std(sub.sum_log_lifetime, sub.sum_sq_log_lifetime, sub.n_vms);
     feat!(names, v, "mean_avg_util", m_avg);
@@ -432,11 +414,7 @@ fn build_utilization(
     );
 
     // Entropy of the avg-bucket history: consistent subscriptions score 0.
-    let entropy: f64 = avg_f
-        .iter()
-        .filter(|&&p| p > 0.0)
-        .map(|&p| -p * p.ln())
-        .sum();
+    let entropy: f64 = avg_f.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum();
     feat!(names, v, "avg_bucket_entropy", entropy);
 
     v
@@ -472,15 +450,12 @@ fn build_deployment(
     feat!(names, v, "hour_cos", phase.cos());
     feat!(names, v, "weekday", inputs.deployment_time.weekday() as f64 / 6.0);
     feat!(names, v, "is_weekend", f64::from(inputs.deployment_time.is_weekend()));
-    for (i, &f) in SubscriptionFeatures::fraction4(&sub.deploy_vms_bucket_counts)
-        .iter()
-        .enumerate()
+    for (i, &f) in SubscriptionFeatures::fraction4(&sub.deploy_vms_bucket_counts).iter().enumerate()
     {
         feat!(names, v, format!("hist_deploy_vms_bucket_{i}"), f);
     }
-    for (i, &f) in SubscriptionFeatures::fraction4(&sub.deploy_cores_bucket_counts)
-        .iter()
-        .enumerate()
+    for (i, &f) in
+        SubscriptionFeatures::fraction4(&sub.deploy_cores_bucket_counts).iter().enumerate()
     {
         feat!(names, v, format!("hist_deploy_cores_bucket_{i}"), f);
     }
@@ -523,12 +498,7 @@ fn build_lifetime(
     feat!(names, v, "party_first", f64::from(inputs.party == Party::First));
     feat!(names, v, "is_iaas", f64::from(inputs.vm_type() == VmType::Iaas));
     for (i, role) in rc_types::vm::VmRole::ALL.iter().enumerate() {
-        feat!(
-            names,
-            v,
-            format!("role_{}", role.label()),
-            f64::from(inputs.role.index() == i)
-        );
+        feat!(names, v, format!("role_{}", role.label()), f64::from(inputs.role.index() == i));
     }
     feat!(names, v, "os_windows", f64::from(inputs.os == OsType::Windows));
     feat!(names, v, "is_test_service", f64::from(inputs.service == Some(0)));
@@ -541,10 +511,7 @@ fn build_lifetime(
     feat!(names, v, "is_weekend", f64::from(inputs.deployment_time.is_weekend()));
     feat!(names, v, "cores", sku.cores as f64);
     feat!(names, v, "memory_gb", sku.memory_gb);
-    for (i, &f) in SubscriptionFeatures::fraction4(&sub.lifetime_bucket_counts)
-        .iter()
-        .enumerate()
-    {
+    for (i, &f) in SubscriptionFeatures::fraction4(&sub.lifetime_bucket_counts).iter().enumerate() {
         feat!(names, v, format!("hist_lifetime_bucket_{i}"), f);
     }
     let (m_ll, s_ll) =
@@ -553,19 +520,10 @@ fn build_lifetime(
     feat!(names, v, "std_log_lifetime", s_ll);
     feat!(names, v, "log1p_n_vms", (sub.n_vms as f64).ln_1p());
     let now = inputs.deployment_time.as_secs();
-    feat!(
-        names,
-        v,
-        "age_days",
-        (now.saturating_sub(sub.first_seen_secs)) as f64 / 86_400.0
-    );
-    feat!(
-        names,
-        v,
-        "log1p_deploy_size_hint",
-        (inputs.deployment_size_hint as f64).ln_1p()
-    );
-    let (m_avg, _) = SubscriptionFeatures::mean_std(sub.sum_avg_util, sub.sum_sq_avg_util, sub.n_vms);
+    feat!(names, v, "age_days", (now.saturating_sub(sub.first_seen_secs)) as f64 / 86_400.0);
+    feat!(names, v, "log1p_deploy_size_hint", (inputs.deployment_size_hint as f64).ln_1p());
+    let (m_avg, _) =
+        SubscriptionFeatures::mean_std(sub.sum_avg_util, sub.sum_sq_avg_util, sub.n_vms);
     feat!(names, v, "mean_avg_util", m_avg);
     v
 }
@@ -592,12 +550,7 @@ fn build_class(
     feat!(names, v, "party_first", f64::from(inputs.party == Party::First));
     feat!(names, v, "is_iaas", f64::from(inputs.vm_type() == VmType::Iaas));
     for (i, role) in rc_types::vm::VmRole::ALL.iter().enumerate() {
-        feat!(
-            names,
-            v,
-            format!("role_{}", role.label()),
-            f64::from(inputs.role.index() == i)
-        );
+        feat!(names, v, format!("role_{}", role.label()), f64::from(inputs.role.index() == i));
     }
     feat!(names, v, "os_windows", f64::from(inputs.os == OsType::Windows));
     feat!(names, v, "is_test_service", f64::from(inputs.service == Some(0)));
@@ -613,43 +566,27 @@ fn build_class(
     for (i, &f) in SubscriptionFeatures::fraction2(&sub.class_counts).iter().enumerate() {
         feat!(names, v, format!("hist_class_{i}"), f);
     }
-    for (i, &f) in SubscriptionFeatures::fraction4(&sub.lifetime_bucket_counts)
-        .iter()
-        .enumerate()
-    {
+    for (i, &f) in SubscriptionFeatures::fraction4(&sub.lifetime_bucket_counts).iter().enumerate() {
         feat!(names, v, format!("hist_lifetime_bucket_{i}"), f);
     }
     let (m_ll, _) =
         SubscriptionFeatures::mean_std(sub.sum_log_lifetime, sub.sum_sq_log_lifetime, sub.n_vms);
     feat!(names, v, "mean_log_lifetime", m_ll);
-    let (m_avg, s_avg) = SubscriptionFeatures::mean_std(sub.sum_avg_util, sub.sum_sq_avg_util, sub.n_vms);
-    let (m_p95, _) = SubscriptionFeatures::mean_std(sub.sum_p95_util, sub.sum_sq_p95_util, sub.n_vms);
+    let (m_avg, s_avg) =
+        SubscriptionFeatures::mean_std(sub.sum_avg_util, sub.sum_sq_avg_util, sub.n_vms);
+    let (m_p95, _) =
+        SubscriptionFeatures::mean_std(sub.sum_p95_util, sub.sum_sq_p95_util, sub.n_vms);
     feat!(names, v, "mean_avg_util", m_avg);
     feat!(names, v, "std_avg_util", s_avg);
     feat!(names, v, "mean_p95_util", m_p95);
     feat!(names, v, "log1p_n_vms", (sub.n_vms as f64).ln_1p());
     let now = inputs.deployment_time.as_secs();
-    feat!(
-        names,
-        v,
-        "age_days",
-        (now.saturating_sub(sub.first_seen_secs)) as f64 / 86_400.0
-    );
-    feat!(
-        names,
-        v,
-        "log1p_deploy_size_hint",
-        (inputs.deployment_size_hint as f64).ln_1p()
-    );
+    feat!(names, v, "age_days", (now.saturating_sub(sub.first_seen_secs)) as f64 / 86_400.0);
+    feat!(names, v, "log1p_deploy_size_hint", (inputs.deployment_size_hint as f64).ln_1p());
     for (i, &f) in SubscriptionFeatures::fraction4(&sub.avg_bucket_counts).iter().enumerate() {
         feat!(names, v, format!("hist_avg_bucket_{i}"), f);
     }
-    feat!(
-        names,
-        v,
-        "windows_fraction",
-        sub.n_windows as f64 / sub.n_vms.max(1) as f64
-    );
+    feat!(names, v, "windows_fraction", sub.n_windows as f64 / sub.n_vms.max(1) as f64);
     v
 }
 
@@ -807,11 +744,7 @@ mod tests {
             sub.observe_vm(&observation(d));
         }
         let bytes = serde_json::to_vec(&sub).unwrap();
-        assert!(
-            (500..1_600).contains(&bytes.len()),
-            "feature record is {} bytes",
-            bytes.len()
-        );
+        assert!((500..1_600).contains(&bytes.len()), "feature record is {} bytes", bytes.len());
     }
 
     #[test]

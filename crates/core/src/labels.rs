@@ -7,12 +7,12 @@
 //! max-size labels.
 
 use rc_ml::fft::{detect_diurnal_periodicity, PeriodicityConfig};
+use rc_trace::Trace;
 use rc_types::buckets::{
     Bucketizer, DeploymentSizeBucketizer, LifetimeBucketizer, UtilizationBucketizer,
 };
 use rc_types::time::Duration;
 use rc_types::vm::{OsType, VmId};
-use rc_trace::Trace;
 
 use crate::features::{DeploymentObservation, VmObservation};
 use crate::inputs::ClientInputs;
@@ -240,10 +240,7 @@ mod tests {
             }
         }
         assert!(total > 20, "need some classified VMs, got {total}");
-        assert!(
-            agree as f64 / total as f64 > 0.85,
-            "FFT agrees with intent on {agree}/{total}"
-        );
+        assert!(agree as f64 / total as f64 > 0.85, "FFT agrees with intent on {agree}/{total}");
     }
 
     #[test]

@@ -16,13 +16,13 @@ use std::collections::{BinaryHeap, HashMap};
 use serde::{Deserialize, Serialize};
 
 use rc_ml::{
-    BinnedDataset, Classifier, ConfusionMatrix, Dataset, GradientBoosting,
-    GradientBoostingConfig, RandomForest, RandomForestConfig, ThresholdedEval,
+    BinnedDataset, Classifier, ConfusionMatrix, Dataset, GradientBoosting, GradientBoostingConfig,
+    RandomForest, RandomForestConfig, ThresholdedEval,
 };
 use rc_store::Store;
+use rc_trace::Trace;
 use rc_types::metrics::PredictionMetric;
 use rc_types::vm::SubscriptionId;
-use rc_trace::Trace;
 
 use crate::features::SubscriptionFeatures;
 use crate::labels::{label_deployments, label_vms, LabeledDeployment, LabeledVm};
@@ -191,7 +191,10 @@ struct Split {
 
 impl Split {
     fn new(n_features: usize, n_classes: usize) -> Self {
-        Split { train: Dataset::new(n_features, n_classes), test: Dataset::new(n_features, n_classes) }
+        Split {
+            train: Dataset::new(n_features, n_classes),
+            test: Dataset::new(n_features, n_classes),
+        }
     }
 }
 
@@ -201,22 +204,34 @@ impl Split {
 ///
 /// Returns [`PipelineError::InsufficientData`] when either side of the
 /// train/test split is starved for any metric.
-pub fn run_pipeline(trace: &Trace, config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
+pub fn run_pipeline(
+    trace: &Trace,
+    config: &PipelineConfig,
+) -> Result<PipelineOutput, PipelineError> {
+    let run_start = std::time::Instant::now();
+    let tracer = rc_obs::global_tracer();
+    let registry = rc_obs::global();
     let train_end_secs = (config.train_days * 86_400.0) as u64;
 
-    // --- Extraction & cleanup ---
+    // --- Extraction (telemetry → labelled VMs/deployments) ---
+    let mut span = tracer.span("pipeline.extract");
     let vms = label_vms(trace, config.max_util_samples);
     let deployments = label_deployments(trace);
+    span.record("vms", vms.len() as u64).record("deployments", deployments.len() as u64);
+    span.finish();
 
-    // --- Aggregation sweep (time-ordered, completion-aware) ---
+    // --- Cleanup: order the creation stream in time ---
     enum Created<'a> {
         Vm(&'a LabeledVm),
         Dep(&'a LabeledDeployment),
     }
+    let mut span = tracer.span("pipeline.cleanup");
     let mut events: Vec<(u64, Created<'_>)> = Vec::with_capacity(vms.len() + deployments.len());
     events.extend(vms.iter().map(|v| (v.obs.created_secs, Created::Vm(v))));
     events.extend(deployments.iter().map(|d| (d.obs.created_secs, Created::Dep(d))));
     events.sort_by_key(|(t, _)| *t);
+    span.record("events", events.len() as u64);
+    span.finish();
 
     enum Completion<'a> {
         Vm(&'a LabeledVm),
@@ -244,9 +259,9 @@ pub fn run_pipeline(trace: &Trace, config: &PipelineConfig) -> Result<PipelineOu
     let mut dep_cores = Split::new(spec_dep.n_features(), 4);
 
     let drain = |heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
-                     completions: &Vec<Completion<'_>>,
-                     running: &mut HashMap<SubscriptionId, SubscriptionFeatures>,
-                     now: u64| {
+                 completions: &Vec<Completion<'_>>,
+                 running: &mut HashMap<SubscriptionId, SubscriptionFeatures>,
+                 now: u64| {
         while let Some(Reverse((t, idx))) = heap.peek().copied() {
             if t > now {
                 break;
@@ -279,6 +294,10 @@ pub fn run_pipeline(trace: &Trace, config: &PipelineConfig) -> Result<PipelineOu
     let refresh_step = (config.refresh_every_days.max(0.5) * 86_400.0) as u64;
     let mut next_refresh = train_end_secs + refresh_step;
     let mut refreshes: Vec<(u64, HashMap<SubscriptionId, SubscriptionFeatures>)> = Vec::new();
+    // Aggregation and featurization are one fused sweep: each creation
+    // event is featurized against the aggregates as they stood at that
+    // instant. The span covers both stages.
+    let mut sweep_span = tracer.span("pipeline.aggregate");
     for (t, event) in &events {
         let is_test = *t >= train_end_secs;
         if is_test && snapshot.is_none() {
@@ -332,8 +351,8 @@ pub fn run_pipeline(trace: &Trace, config: &PipelineConfig) -> Result<PipelineOu
                 completions.push(Completion::Vm(v));
                 pending.push(Reverse((v.completed_secs, completions.len() - 1)));
                 if let Some(c) = v.obs.class {
-                    let known_at = v.obs.created_secs
-                        + (crate::labels::CLASSIFY_MIN_DAYS * 86_400.0) as u64;
+                    let known_at =
+                        v.obs.created_secs + (crate::labels::CLASSIFY_MIN_DAYS * 86_400.0) as u64;
                     completions.push(Completion::Class(c, v.inputs.subscription));
                     pending.push(Reverse((known_at, completions.len() - 1)));
                 }
@@ -358,12 +377,23 @@ pub fn run_pipeline(trace: &Trace, config: &PipelineConfig) -> Result<PipelineOu
         }
     }
 
+    sweep_span.record("subscriptions", running.len() as u64);
+    sweep_span.finish();
+    tracer.event(
+        "pipeline.featurize",
+        vec![
+            ("train_examples".to_string(), serde::Value::U64(avg.train.len() as u64)),
+            ("test_examples".to_string(), serde::Value::U64(avg.test.len() as u64)),
+        ],
+    );
+
     let feature_data = match snapshot {
         Some(s) => s,
         None => return Err(PipelineError::InsufficientData { what: "test period" }),
     };
     let mut feature_refreshes = vec![(train_end_secs, feature_data.clone())];
     feature_refreshes.extend(refreshes);
+    registry.counter(rc_obs::PIPELINE_FEATURE_REFRESHES).add(feature_refreshes.len() as u64);
 
     // --- Training & validation ---
     let mut models = Vec::with_capacity(6);
@@ -376,10 +406,15 @@ pub fn run_pipeline(trace: &Trace, config: &PipelineConfig) -> Result<PipelineOu
         (&life, PredictionMetric::Lifetime),
         (&class, PredictionMetric::WorkloadClass),
     ];
+    let train_latency = registry.histogram(rc_obs::PIPELINE_TRAIN_LATENCY_NS);
+    let models_trained = registry.counter(rc_obs::PIPELINE_MODELS_TRAINED);
     for (split, metric) in splits {
         if split.train.len() < 50 || split.test.is_empty() {
             return Err(PipelineError::InsufficientData { what: metric.label() });
         }
+        let mut span = tracer.span("pipeline.train");
+        span.record("metric", metric.label()).record("n_train", split.train.len() as u64);
+        let train_start = std::time::Instant::now();
         let spec = ModelSpec::for_metric(metric);
         let binned = BinnedDataset::build(&split.train);
         let estimator = match spec.approach {
@@ -391,7 +426,14 @@ pub fn run_pipeline(trace: &Trace, config: &PipelineConfig) -> Result<PipelineOu
             }
         };
         let model = TrainedModel { spec, estimator };
+        train_latency.record_duration(train_start.elapsed());
+        models_trained.increment();
+        span.finish();
+
+        let mut span = tracer.span("pipeline.validate");
+        span.record("metric", metric.label()).record("n_test", split.test.len() as u64);
         reports.push(evaluate(&model, &split.test, config.theta, split.train.len()));
+        span.finish();
         models.push(model);
     }
 
@@ -399,6 +441,9 @@ pub fn run_pipeline(trace: &Trace, config: &PipelineConfig) -> Result<PipelineOu
         .values()
         .map(|f| serde_json::to_vec(f).expect("feature serialization").len())
         .sum();
+
+    registry.counter(rc_obs::PIPELINE_RUNS).increment();
+    registry.histogram(rc_obs::PIPELINE_RUN_LATENCY_NS).record_duration(run_start.elapsed());
 
     Ok(PipelineOutput {
         models,
@@ -430,8 +475,7 @@ fn evaluate(model: &TrainedModel, test: &Dataset, theta: f64, n_train: usize) ->
 
     let names = model.spec.feature_names();
     let importance = model.feature_importance();
-    let mut ranked: Vec<(f64, &String)> =
-        importance.iter().copied().zip(names.iter()).collect();
+    let mut ranked: Vec<(f64, &String)> = importance.iter().copied().zip(names.iter()).collect();
     ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite importances"));
     let top_features = ranked.iter().take(8).map(|(_, n)| (*n).clone()).collect();
 
@@ -477,12 +521,15 @@ impl PipelineOutput {
                 });
             }
         }
+        let mut span = rc_obs::global_tracer().span("pipeline.publish");
+        let published = rc_obs::global().counter(rc_obs::PIPELINE_MODELS_PUBLISHED);
         let mut last_version = 0;
         for model in &self.models {
             let bytes = rc_ml::to_bytes(model);
             last_version = store
                 .put(&model.spec.store_key(), bytes.into())
                 .map_err(PipelineError::StoreFailed)?;
+            published.increment();
         }
         for (sub, features) in &self.feature_data {
             let bytes = serde_json::to_vec(features).expect("feature serialization");
@@ -490,6 +537,10 @@ impl PipelineOutput {
                 .put(&feature_store_key(*sub), bytes.into())
                 .map_err(PipelineError::StoreFailed)?;
         }
+        span.record("models", self.models.len() as u64)
+            .record("feature_records", self.feature_data.len() as u64)
+            .record("version", last_version);
+        span.finish();
         Ok(last_version)
     }
 }
@@ -516,12 +567,7 @@ mod tests {
         for report in &out.reports {
             assert!(report.n_train > 100, "{}: n_train {}", report.metric, report.n_train);
             assert!(report.n_test > 20, "{}: n_test {}", report.metric, report.n_test);
-            assert!(
-                report.accuracy > 0.55,
-                "{}: accuracy {:.3}",
-                report.metric,
-                report.accuracy
-            );
+            assert!(report.accuracy > 0.55, "{}: accuracy {:.3}", report.metric, report.accuracy);
             assert!(report.p_theta >= report.accuracy - 0.05);
         }
     }
@@ -582,8 +628,7 @@ mod tests {
         // Later snapshots only grow: they fold in completions the frozen
         // snapshot has not seen.
         let first_vms: u64 = out.feature_refreshes[0].1.values().map(|f| f.n_vms).sum();
-        let last_vms: u64 =
-            out.feature_refreshes.last().unwrap().1.values().map(|f| f.n_vms).sum();
+        let last_vms: u64 = out.feature_refreshes.last().unwrap().1.values().map(|f| f.n_vms).sum();
         assert!(last_vms > first_vms, "{last_vms} vs {first_vms}");
         // The frozen snapshot in `feature_data` matches refresh zero.
         let frozen: u64 = out.feature_data.values().map(|f| f.n_vms).sum();

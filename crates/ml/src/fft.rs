@@ -55,10 +55,7 @@ impl std::ops::Mul for Complex {
     type Output = Complex;
 
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -118,11 +115,8 @@ pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
 /// (`0..=n/2`) along with the padded length `n`.
 pub fn power_spectrum(series: &[f64]) -> (Vec<f64>, usize) {
     let n = series.len().next_power_of_two().max(2);
-    let mean = if series.is_empty() {
-        0.0
-    } else {
-        series.iter().sum::<f64>() / series.len() as f64
-    };
+    let mean =
+        if series.is_empty() { 0.0 } else { series.iter().sum::<f64>() / series.len() as f64 };
     let mut buf: Vec<Complex> = series
         .iter()
         .map(|&v| Complex::new(v - mean, 0.0))
@@ -199,10 +193,7 @@ pub fn detect_diurnal_periodicity(series: &[f64], config: &PeriodicityConfig) ->
         let hi = center_freq * (1.0 + config.band_tolerance);
         let k_lo = ((lo / bin_freq).floor().max(1.0)) as usize;
         let k_hi = ((hi / bin_freq).ceil() as usize).min(spectrum.len() - 1);
-        spectrum[k_lo..=k_hi.max(k_lo)]
-            .iter()
-            .copied()
-            .fold(0.0, f64::max)
+        spectrum[k_lo..=k_hi.max(k_lo)].iter().copied().fold(0.0, f64::max)
     };
 
     let mut peak = band_power(target_freq);
@@ -326,17 +317,12 @@ mod tests {
     #[test]
     fn power_spectrum_peak_at_known_frequency() {
         // 128 samples, period 16 => frequency bin 8.
-        let series: Vec<f64> = (0..128)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 16.0).cos())
-            .collect();
+        let series: Vec<f64> =
+            (0..128).map(|i| (2.0 * std::f64::consts::PI * i as f64 / 16.0).cos()).collect();
         let (spec, n) = power_spectrum(&series);
         assert_eq!(n, 128);
-        let peak_bin = spec
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak_bin =
+            spec.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(peak_bin, 8);
     }
 }

@@ -84,10 +84,8 @@ impl RandomForest {
                 scope.spawn(move |_| {
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
                         let k = base + off;
-                        let seed = config
-                            .seed
-                            .wrapping_mul(0x9e3779b97f4a7c15)
-                            .wrapping_add(k as u64);
+                        let seed =
+                            config.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(k as u64);
                         let mut rng = StdRng::seed_from_u64(seed);
                         let indices: Vec<u32> =
                             (0..sample).map(|_| rng.gen_range(0..n) as u32).collect();
@@ -178,9 +176,7 @@ mod tests {
         let b = BinnedDataset::build(&d);
         let cfg = RandomForestConfig { n_trees: 24, ..RandomForestConfig::default() };
         let f = RandomForest::fit(&b, &cfg);
-        let correct = (0..d.len())
-            .filter(|&i| f.predict(d.row(i)).0 == d.label(i))
-            .count();
+        let correct = (0..d.len()).filter(|&i| f.predict(d.row(i)).0 == d.label(i)).count();
         assert!(correct as f64 / d.len() as f64 > 0.93, "got {correct}/800");
     }
 

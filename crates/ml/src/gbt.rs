@@ -84,9 +84,9 @@ struct RegGrower<'a, 'b> {
 
 impl RegGrower<'_, '_> {
     fn grow(&mut self, indices: &mut [u32], depth: usize) -> u32 {
-        let (g, h): (f64, f64) = indices.iter().fold((0.0, 0.0), |(g, h), &i| {
-            (g + self.grad[i as usize], h + self.hess[i as usize])
-        });
+        let (g, h): (f64, f64) = indices
+            .iter()
+            .fold((0.0, 0.0), |(g, h), &i| (g + self.grad[i as usize], h + self.hess[i as usize]));
         if depth < self.config.max_depth && indices.len() >= 2 {
             if let Some((feature, bin, gain)) = self.best_split(indices, g, h) {
                 self.feature_gain[feature] += gain;
@@ -115,7 +115,12 @@ impl RegGrower<'_, '_> {
     }
 
     /// Best (feature, bin, gain) under the second-order gain criterion.
-    fn best_split(&self, indices: &[u32], g_total: f64, h_total: f64) -> Option<(usize, usize, f64)> {
+    fn best_split(
+        &self,
+        indices: &[u32],
+        g_total: f64,
+        h_total: f64,
+    ) -> Option<(usize, usize, f64)> {
         let nf = self.data.source().n_features();
         let parent_score = g_total * g_total / (h_total + self.config.lambda);
         let mut best: Option<(usize, usize, f64)> = None;
@@ -142,8 +147,7 @@ impl RegGrower<'_, '_> {
                     continue;
                 }
                 let gain = 0.5
-                    * (gl * gl / (hl + self.config.lambda)
-                        + gr * gr / (hr + self.config.lambda)
+                    * (gl * gl / (hl + self.config.lambda) + gr * gr / (hr + self.config.lambda)
                         - parent_score)
                     - self.config.gamma;
                 if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
@@ -182,8 +186,7 @@ impl GradientBoosting {
 
         // Prior log-probabilities keep early rounds sane for skewed classes.
         let dist = data.source().class_distribution();
-        let base_score: Vec<f64> =
-            dist.iter().map(|&p| (p.max(1e-6)).ln()).collect();
+        let base_score: Vec<f64> = dist.iter().map(|&p| (p.max(1e-6)).ln()).collect();
 
         // scores[i * k + c] = current raw score of row i for class c.
         let mut scores = vec![0.0f64; n * k];
@@ -305,9 +308,7 @@ mod tests {
         let d = spiralish(600);
         let b = BinnedDataset::build(&d);
         let g = GradientBoosting::fit(&b, &GradientBoostingConfig::default());
-        let correct = (0..d.len())
-            .filter(|&i| g.predict(d.row(i)).0 == d.label(i))
-            .count();
+        let correct = (0..d.len()).filter(|&i| g.predict(d.row(i)).0 == d.label(i)).count();
         assert!(correct as f64 / d.len() as f64 > 0.95, "got {correct}/600");
     }
 

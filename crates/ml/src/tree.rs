@@ -106,9 +106,7 @@ impl DecisionTree {
         let counts = self.class_counts(data, indices);
         let total = indices.len();
         let impurity = gini(&counts, total);
-        let stop = depth >= config.max_depth
-            || total < config.min_samples_split
-            || impurity <= 0.0;
+        let stop = depth >= config.max_depth || total < config.min_samples_split || impurity <= 0.0;
         if !stop {
             if let Some(split) = self.best_split(data, indices, &counts, impurity, config, rng) {
                 let (feature, bin, gain) = split;
@@ -134,10 +132,7 @@ impl DecisionTree {
                 return id;
             }
         }
-        let probs = counts
-            .iter()
-            .map(|&c| (c as f64 / total as f64) as f32)
-            .collect();
+        let probs = counts.iter().map(|&c| (c as f64 / total as f64) as f32).collect();
         let id = self.nodes.len() as u32;
         self.nodes.push(Node::Leaf { probs });
         id
@@ -191,23 +186,17 @@ impl DecisionTree {
                 }
                 left_total = left_counts.iter().sum();
                 let right_total = total - left_total;
-                if left_total < config.min_samples_leaf || right_total < config.min_samples_leaf
-                {
+                if left_total < config.min_samples_leaf || right_total < config.min_samples_leaf {
                     continue;
                 }
-                let right_counts: Vec<usize> = counts
-                    .iter()
-                    .zip(&left_counts)
-                    .map(|(&t, &l)| t - l)
-                    .collect();
+                let right_counts: Vec<usize> =
+                    counts.iter().zip(&left_counts).map(|(&t, &l)| t - l).collect();
                 let w_left = left_total as f64 / total as f64;
                 let w_right = right_total as f64 / total as f64;
                 let gain = impurity
                     - w_left * gini(&left_counts, left_total)
                     - w_right * gini(&right_counts, right_total);
-                if gain > config.min_gain
-                    && best.is_none_or(|(_, _, g)| gain > g)
-                {
+                if gain > config.min_gain && best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((f, b, gain));
                 }
             }

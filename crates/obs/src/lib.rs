@@ -1,0 +1,44 @@
+//! Observability for the Resource Central reproduction.
+//!
+//! Two facilities, both cheap enough for the predict hot path:
+//!
+//! - **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]):
+//!   lock-free once a handle is held — every `record`/`increment` is a
+//!   relaxed atomic op, no locks, no allocation. Histograms use
+//!   log-linear buckets (32 linear sub-buckets per power of two, ≈3%
+//!   relative error) so p50/p95/p99 extraction needs no sample storage.
+//! - **Tracing** ([`Tracer`], [`Span`]): scoped timers and structured
+//!   `key=value` events in a bounded ring buffer, dumpable as JSON
+//!   lines. Spans are for the coarse-grained paths (pipeline stages,
+//!   publishes), not per-prediction work.
+//!
+//! Both have process-wide defaults ([`global`], [`global_tracer`]) so
+//! layers can meter themselves without plumbing a handle through every
+//! constructor; bench binaries snapshot the same registry the layers
+//! write to, which is what lets them drop their hand-rolled accounting.
+
+mod metrics;
+mod names;
+mod snapshot;
+mod tracing;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use names::*;
+pub use snapshot::{
+    BucketCount, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot,
+};
+pub use tracing::{Span, SpanRecord, TraceEvent, Tracer};
+
+use std::sync::OnceLock;
+
+/// The process-wide default metrics registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The process-wide default tracer (4096-event ring).
+pub fn global_tracer() -> &'static Tracer {
+    static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+    GLOBAL.get_or_init(|| Tracer::new(4096))
+}

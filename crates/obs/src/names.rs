@@ -1,0 +1,96 @@
+//! Canonical metric names.
+//!
+//! Every layer registers through these constants so bench binaries and
+//! the README catalog never drift from the instrumented code. Naming
+//! follows Prometheus conventions: `rc_<layer>_<what>[_<unit>]`,
+//! histograms in nanoseconds suffixed `_ns`.
+
+// --- rc-core client (predict path) ---
+
+/// Predict-path latency when served from the result cache (histogram, ns).
+pub const CLIENT_PREDICT_HIT_LATENCY_NS: &str = "rc_client_predict_hit_latency_ns";
+/// Predict-path latency on a result-cache miss, including model
+/// execution and any store traffic (histogram, ns).
+pub const CLIENT_PREDICT_MISS_LATENCY_NS: &str = "rc_client_predict_miss_latency_ns";
+/// Result-cache hits (counter).
+pub const CLIENT_RESULT_CACHE_HITS: &str = "rc_client_result_cache_hits";
+/// Result-cache misses (counter).
+pub const CLIENT_RESULT_CACHE_MISSES: &str = "rc_client_result_cache_misses";
+/// Result-cache insertions (counter).
+pub const CLIENT_RESULT_CACHE_INSERTIONS: &str = "rc_client_result_cache_insertions";
+/// Result-cache evictions (counter).
+pub const CLIENT_RESULT_CACHE_EVICTIONS: &str = "rc_client_result_cache_evictions";
+/// Model-cache hits: predict calls served by an already-resident model
+/// (counter).
+pub const CLIENT_MODEL_CACHE_HITS: &str = "rc_client_model_cache_hits";
+/// Model-cache misses: model had to be fetched before predicting
+/// (counter).
+pub const CLIENT_MODEL_CACHE_MISSES: &str = "rc_client_model_cache_misses";
+/// Feature-cache hits: the subscription's feature record was resident
+/// (counter).
+pub const CLIENT_FEATURE_CACHE_HITS: &str = "rc_client_feature_cache_hits";
+/// Feature-cache misses: no feature record for the subscription
+/// (counter).
+pub const CLIENT_FEATURE_CACHE_MISSES: &str = "rc_client_feature_cache_misses";
+/// Synchronous store pulls taken when a model was absent in Pull mode
+/// (counter).
+pub const CLIENT_STORE_FALLBACKS: &str = "rc_client_store_fallbacks";
+/// Models recovered from the on-disk cache while the store was
+/// unavailable (counter).
+pub const CLIENT_DISK_CACHE_RECOVERIES: &str = "rc_client_disk_cache_recoveries";
+/// Predict calls answered with "no prediction" (counter).
+pub const CLIENT_NO_PREDICTIONS: &str = "rc_client_no_predictions";
+/// Model executions — result-cache misses that ran a model (counter).
+pub const CLIENT_MODEL_EXECS: &str = "rc_client_model_execs";
+/// Background model refreshes applied by pull/push workers (counter).
+pub const CLIENT_BACKGROUND_REFRESHES: &str = "rc_client_background_refreshes";
+
+// --- rc-core pipeline (offline training) ---
+
+/// Completed pipeline runs (counter).
+pub const PIPELINE_RUNS: &str = "rc_pipeline_runs";
+/// Wall time of one full pipeline run (histogram, ns).
+pub const PIPELINE_RUN_LATENCY_NS: &str = "rc_pipeline_run_latency_ns";
+/// Per-model training wall time across all metrics (histogram, ns).
+pub const PIPELINE_TRAIN_LATENCY_NS: &str = "rc_pipeline_train_latency_ns";
+/// Models trained (counter).
+pub const PIPELINE_MODELS_TRAINED: &str = "rc_pipeline_models_trained";
+/// Models that passed validation and were published (counter).
+pub const PIPELINE_MODELS_PUBLISHED: &str = "rc_pipeline_models_published";
+/// Weekly feature refreshes generated (counter).
+pub const PIPELINE_FEATURE_REFRESHES: &str = "rc_pipeline_feature_refreshes";
+
+// --- rc-store ---
+
+/// Store `get` wall time including simulated network latency
+/// (histogram, ns).
+pub const STORE_GET_LATENCY_NS: &str = "rc_store_get_latency_ns";
+/// Store `put` wall time including simulated network latency
+/// (histogram, ns).
+pub const STORE_PUT_LATENCY_NS: &str = "rc_store_put_latency_ns";
+/// Successful gets (counter).
+pub const STORE_GETS: &str = "rc_store_gets";
+/// Successful puts (counter).
+pub const STORE_PUTS: &str = "rc_store_puts";
+/// Operations rejected while the store was unavailable (counter).
+pub const STORE_UNAVAILABLE: &str = "rc_store_unavailable_errors";
+/// Puts that superseded an existing version — version bumps (counter).
+pub const STORE_VERSION_BUMPS: &str = "rc_store_version_bumps";
+
+// --- rc-scheduler ---
+
+/// VMs successfully placed (counter).
+pub const SCHED_PLACEMENTS: &str = "rc_sched_placements";
+/// Placement failures — no server admitted the VM (counter).
+pub const SCHED_FAILURES: &str = "rc_sched_failures";
+/// Soft-rule relaxations: the grouped rule chain fell back to
+/// ignoring the utilization cap (counter).
+pub const SCHED_RULE_RELAXATIONS: &str = "rc_sched_rule_relaxations";
+/// Candidate servers rejected by Algorithm 1's predicted-utilization
+/// cap (counter).
+pub const SCHED_UTIL_CAP_REJECTIONS: &str = "rc_sched_util_cap_rejections";
+/// Utilization readings observed at or above 100% of physical cores
+/// (counter).
+pub const SCHED_OVERLOADED_READINGS: &str = "rc_sched_overloaded_readings";
+/// All utilization readings sampled by the simulator (counter).
+pub const SCHED_READINGS: &str = "rc_sched_readings";

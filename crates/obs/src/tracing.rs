@@ -1,0 +1,229 @@
+//! Lightweight structured tracing: scoped span timers and point events
+//! in a bounded ring buffer.
+//!
+//! This is deliberately not on the per-prediction hot path — spans take
+//! a mutex on finish. They instrument the coarse-grained paths (pipeline
+//! stages, publishes, store recoveries) where one event per stage is
+//! noise-free and the lock is uncontended.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+
+/// One recorded event: a completed span or an instantaneous event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (process-wide per tracer).
+    pub seq: u64,
+    /// Event name (e.g. `pipeline.train`).
+    pub name: String,
+    /// Span duration; `None` for instantaneous events.
+    pub duration_ns: Option<u64>,
+    /// Structured key=value payload.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// The event as one JSON object (one line, no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut obj = vec![
+            ("seq".to_string(), Value::U64(self.seq)),
+            ("name".to_string(), Value::Str(self.name.clone())),
+        ];
+        if let Some(ns) = self.duration_ns {
+            obj.push(("duration_ns".to_string(), Value::U64(ns)));
+        }
+        for (k, v) in &self.fields {
+            obj.push((k.clone(), v.clone()));
+        }
+        let bytes = serde_json::to_vec(&Value::Object(obj))
+            .expect("trace fields contain no non-finite floats");
+        String::from_utf8(bytes).expect("serde_json emits UTF-8")
+    }
+}
+
+struct TracerInner {
+    events: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A bounded recorder of spans and events.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// A tracer retaining at most `capacity` events (oldest dropped).
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+                capacity: capacity.max(1),
+                seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Starts a span; it records itself when dropped (or via
+    /// [`Span::finish`]).
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            tracer: self.clone(),
+            name: name.to_string(),
+            start: Instant::now(),
+            fields: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Records an instantaneous structured event.
+    pub fn event(&self, name: &str, fields: Vec<(String, Value)>) {
+        self.push(TraceEvent {
+            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            name: name.to_string(),
+            duration_ns: None,
+            fields,
+        });
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut events = self.inner.events.lock().expect("tracer lock");
+        if events.len() == self.inner.capacity {
+            events.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.events.lock().expect("tracer lock").iter().cloned().collect()
+    }
+
+    /// How many events were evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Retained events as JSON lines (one object per line).
+    pub fn dump_json_lines(&self) -> String {
+        let events = self.inner.events.lock().expect("tracer lock");
+        let mut out = String::new();
+        for e in events.iter() {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Discards all retained events (the drop counter is kept).
+    pub fn clear(&self) {
+        self.inner.events.lock().expect("tracer lock").clear();
+    }
+}
+
+/// An in-flight scoped timer; records a [`TraceEvent`] with its wall
+/// duration when finished or dropped.
+pub struct Span {
+    tracer: Tracer,
+    name: String,
+    start: Instant,
+    fields: Vec<(String, Value)>,
+    finished: bool,
+}
+
+impl Span {
+    /// Attaches a structured field (any shim-serializable value).
+    pub fn record(&mut self, key: &str, value: impl Serialize) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_value()));
+        self
+    }
+
+    /// Ends the span now and records it.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let elapsed = self.start.elapsed();
+        self.tracer.push(TraceEvent {
+            seq: self.tracer.inner.seq.fetch_add(1, Ordering::Relaxed),
+            name: std::mem::take(&mut self.name),
+            duration_ns: Some(elapsed.as_nanos().min(u64::MAX as u128) as u64),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+/// A span's name/duration pair as summarized by helpers like
+/// [`crate::Tracer::events`] consumers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: String,
+    /// Wall duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_duration_and_fields() {
+        let tracer = Tracer::new(16);
+        {
+            let mut span = tracer.span("work");
+            span.record("items", 3u64).record("kind", "test");
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.name, "work");
+        assert!(e.duration_ns.is_some());
+        assert_eq!(e.fields.len(), 2);
+        let line = e.to_json_line();
+        assert!(line.contains("\"name\":\"work\""), "{line}");
+        assert!(line.contains("\"items\":3"), "{line}");
+        assert!(line.contains("\"kind\":\"test\""), "{line}");
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let tracer = Tracer::new(4);
+        for i in 0..10u64 {
+            tracer.event("e", vec![("i".to_string(), Value::U64(i))]);
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(tracer.dropped(), 6);
+        assert_eq!(events[0].fields[0].1, Value::U64(6));
+        let dump = tracer.dump_json_lines();
+        assert_eq!(dump.lines().count(), 4);
+    }
+
+    #[test]
+    fn explicit_finish_records_once() {
+        let tracer = Tracer::new(8);
+        let span = tracer.span("once");
+        span.finish();
+        assert_eq!(tracer.events().len(), 1);
+    }
+}

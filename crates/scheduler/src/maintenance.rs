@@ -161,8 +161,7 @@ mod tests {
         let now = Timestamp::from_days(20);
         let vms = residents(&trace, now, 20);
         assert!(!vms.is_empty());
-        let plan =
-            plan_maintenance(&client, &vms, now, now.plus(Duration::from_hours(24)), 0.6);
+        let plan = plan_maintenance(&client, &vms, now, now.plus(Duration::from_hours(24)), 0.6);
         assert_eq!(plan.migrations.len() + plan.drains.len(), vms.len());
         if plan.is_migration_free() {
             assert!(plan.drain_by.is_some());
@@ -206,9 +205,6 @@ mod tests {
         let vms = residents(&trace, now, 10);
         let plan = plan_maintenance(&client, &vms, now, now.plus(Duration::from_days(1)), 1.1);
         assert_eq!(plan.migrations.len(), vms.len());
-        assert!(plan
-            .migrations
-            .iter()
-            .all(|(_, r)| *r == MigrationReason::NoConfidentPrediction));
+        assert!(plan.migrations.iter().all(|(_, r)| *r == MigrationReason::NoConfidentPrediction));
     }
 }

@@ -38,9 +38,7 @@ impl RcSource {
 
 impl P95Source for RcSource {
     fn predict_p95(&self, req: &VmRequest) -> Option<(usize, f64)> {
-        match self
-            .client
-            .predict_single(PredictionMetric::P95MaxCpuUtil.model_name(), &req.inputs)
+        match self.client.predict_single(PredictionMetric::P95MaxCpuUtil.model_name(), &req.inputs)
         {
             PredictionResponse::Predicted(p) => Some((p.value, p.score)),
             PredictionResponse::NoPrediction => None,

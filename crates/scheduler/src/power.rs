@@ -78,25 +78,14 @@ pub fn apportion_power(
                 .is_some_and(|p| p.value == 0)
         })
         .collect();
-    let protected_watts: f64 = vms
-        .iter()
-        .zip(&cappable)
-        .filter(|(_, &c)| !c)
-        .map(|(v, _)| v.full_watts)
-        .sum();
-    let cappable_watts: f64 = vms
-        .iter()
-        .zip(&cappable)
-        .filter(|(_, &c)| c)
-        .map(|(v, _)| v.full_watts)
-        .sum();
+    let protected_watts: f64 =
+        vms.iter().zip(&cappable).filter(|(_, &c)| !c).map(|(v, _)| v.full_watts).sum();
+    let cappable_watts: f64 =
+        vms.iter().zip(&cappable).filter(|(_, &c)| c).map(|(v, _)| v.full_watts).sum();
 
     let remaining = budget_watts - protected_watts;
-    let cap_fraction = if cappable_watts <= 0.0 {
-        1.0
-    } else {
-        (remaining / cappable_watts).clamp(0.0, 1.0)
-    };
+    let cap_fraction =
+        if cappable_watts <= 0.0 { 1.0 } else { (remaining / cappable_watts).clamp(0.0, 1.0) };
     let shortfall_watts = (protected_watts - budget_watts).max(0.0);
 
     let assignments = vms
@@ -209,16 +198,11 @@ mod tests {
         let full: f64 = vms.iter().map(|v| v.full_watts).sum();
         let plan = apportion_power(&client, &vms, full * 0.85, 0.6);
         if plan.shortfall_watts == 0.0 {
-            let protected: Vec<_> =
-                plan.assignments.iter().filter(|a| !a.cappable).collect();
+            let protected: Vec<_> = plan.assignments.iter().filter(|a| !a.cappable).collect();
             if !protected.is_empty() {
                 for a in protected {
-                    let uniform = vms
-                        .iter()
-                        .find(|v| v.vm_id == a.vm_id)
-                        .unwrap()
-                        .full_watts
-                        * 0.85;
+                    let uniform =
+                        vms.iter().find(|v| v.vm_id == a.vm_id).unwrap().full_watts * 0.85;
                     assert!(a.granted_watts > uniform);
                 }
             }

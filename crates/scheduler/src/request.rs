@@ -34,7 +34,12 @@ impl VmRequest {
     /// Builds the request stream for every VM created in
     /// `[from, until)`, sorted by arrival time, skipping VMs too large for
     /// `max_cores` (cluster selection would never send those here).
-    pub fn stream(trace: &Trace, from: Timestamp, until: Timestamp, max_cores: u32) -> Vec<VmRequest> {
+    pub fn stream(
+        trace: &Trace,
+        from: Timestamp,
+        until: Timestamp,
+        max_cores: u32,
+    ) -> Vec<VmRequest> {
         Self::stream_filtered(trace, from, until, max_cores, None)
     }
 

@@ -9,6 +9,7 @@
 //! prefer-filled rule ("fill up non-oversubscribable servers before
 //! placing VMs in empty servers") combined with tightest-fit selection.
 
+use rc_obs::Counter;
 use rc_types::buckets::UtilizationBucketizer;
 use rc_types::vm::ProdTag;
 
@@ -55,6 +56,27 @@ pub struct Scheduler {
     /// Parameters.
     pub config: SchedulerConfig,
     source: Box<dyn P95Source>,
+    metrics: SchedMetrics,
+}
+
+/// Pre-resolved global-registry handles for the placement path.
+struct SchedMetrics {
+    placements: Counter,
+    failures: Counter,
+    rule_relaxations: Counter,
+    util_cap_rejections: Counter,
+}
+
+impl SchedMetrics {
+    fn new() -> Self {
+        let reg = rc_obs::global();
+        SchedMetrics {
+            placements: reg.counter(rc_obs::SCHED_PLACEMENTS),
+            failures: reg.counter(rc_obs::SCHED_FAILURES),
+            rule_relaxations: reg.counter(rc_obs::SCHED_RULE_RELAXATIONS),
+            util_cap_rejections: reg.counter(rc_obs::SCHED_UTIL_CAP_REJECTIONS),
+        }
+    }
 }
 
 /// Outcome of a placement attempt.
@@ -82,6 +104,7 @@ impl Scheduler {
                 .collect(),
             config,
             source,
+            metrics: SchedMetrics::new(),
         }
     }
 
@@ -104,7 +127,7 @@ impl Scheduler {
     ///
     /// Returns `None` on a scheduling failure (no eligible server).
     pub fn schedule(&mut self, req: &VmRequest) -> Option<Placement> {
-        let placement = match self.config.policy {
+        let selected = match self.config.policy {
             PolicyKind::Baseline => self.select_baseline(req),
             PolicyKind::NaiveOversub => self.select_grouped(req, None),
             PolicyKind::RcInformedSoft | PolicyKind::RcInformedHard => {
@@ -114,14 +137,21 @@ impl Scheduler {
                 match selected {
                     Some(p) => Some(p),
                     // Soft rule: drop the utilization cap rather than fail.
-                    None if !hard => self.select_grouped(req, Some(f64::INFINITY)).map(|p| {
-                        Placement { predicted_util_cores: util, ..p }
-                    }),
+                    None if !hard => {
+                        self.metrics.rule_relaxations.increment();
+                        self.select_grouped(req, Some(f64::INFINITY))
+                            .map(|p| Placement { predicted_util_cores: util, ..p })
+                    }
                     None => None,
                 }
             }
-        }?;
+        };
+        let Some(placement) = selected else {
+            self.metrics.failures.increment();
+            return None;
+        };
         self.servers[placement.server].place(req, placement.predicted_util_cores);
+        self.metrics.placements.increment();
         Some(placement)
     }
 
@@ -176,6 +206,7 @@ impl Scheduler {
                     if v.is_finite()
                         && s.predicted_util_cores + v > self.config.max_util * s.capacity_cores
                     {
+                        self.metrics.util_cap_rejections.increment();
                         continue;
                     }
                 }
@@ -291,10 +322,7 @@ mod tests {
         // bucket 0 -> 25% charge) reaches 125% = 20 cores.
         let mut s = scheduler(PolicyKind::RcInformedSoft, 1);
         for i in 0..5 {
-            assert!(
-                s.schedule(&request(i, 4, ProdTag::NonProduction, 0)).is_some(),
-                "vm {i}"
-            );
+            assert!(s.schedule(&request(i, 4, ProdTag::NonProduction, 0)).is_some(), "vm {i}");
         }
         assert_eq!(s.total_alloc_cores(), 20.0);
         assert!(s.schedule(&request(9, 4, ProdTag::NonProduction, 0)).is_none());

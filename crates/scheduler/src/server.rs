@@ -80,8 +80,7 @@ impl Server {
         self.alloc_cores = (self.alloc_cores - vm.cores as f64).max(0.0);
         self.alloc_memory_gb = (self.alloc_memory_gb - vm.memory_gb).max(0.0);
         if self.kind == ServerKind::Oversubscribable {
-            self.predicted_util_cores =
-                (self.predicted_util_cores - predicted_util_cores).max(0.0);
+            self.predicted_util_cores = (self.predicted_util_cores - predicted_util_cores).max(0.0);
         }
         self.n_vms -= 1;
         if self.n_vms == 0 {

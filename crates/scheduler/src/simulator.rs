@@ -128,28 +128,27 @@ pub fn simulate(
     let capacity = config.cores_per_server;
     let fleet_cores = capacity * config.n_servers as f64;
 
-    let process_completions = |upto: u64,
-                                   scheduler: &mut Scheduler,
-                                   resident: &mut Vec<Vec<u32>>,
-                                   completions: &mut BinaryHeap<Reverse<(u64, u32)>>,
-                                   placements: &mut Vec<Option<Placement>>| {
-        while let Some(&Reverse((t, idx))) = completions.peek() {
-            if t > upto {
-                break;
+    let process_completions =
+        |upto: u64,
+         scheduler: &mut Scheduler,
+         resident: &mut Vec<Vec<u32>>,
+         completions: &mut BinaryHeap<Reverse<(u64, u32)>>,
+         placements: &mut Vec<Option<Placement>>| {
+            while let Some(&Reverse((t, idx))) = completions.peek() {
+                if t > upto {
+                    break;
+                }
+                completions.pop();
+                let req = &requests[idx as usize];
+                let placement = placements[idx as usize].take().expect("placed VM completes once");
+                scheduler.complete(req, placement);
+                let list = &mut resident[placement.server];
+                let pos = list.iter().position(|&r| r == idx).expect("resident VM");
+                list.swap_remove(pos);
             }
-            completions.pop();
-            let req = &requests[idx as usize];
-            let placement = placements[idx as usize].take().expect("placed VM completes once");
-            scheduler.complete(req, placement);
-            let list = &mut resident[placement.server];
-            let pos = list.iter().position(|&r| r == idx).expect("resident VM");
-            list.swap_remove(pos);
-        }
-    };
+        };
 
-    let tick = |at: u64,
-                    scheduler: &Scheduler,
-                    resident: &Vec<Vec<u32>>| -> (u64, u64, f64, f64) {
+    let tick = |at: u64, scheduler: &Scheduler, resident: &Vec<Vec<u32>>| -> (u64, u64, f64, f64) {
         let slot = at / TELEMETRY_INTERVAL.as_secs();
         let mut above = 0u64;
         let mut total = 0u64;
@@ -235,6 +234,12 @@ pub fn simulate(
         n_ticks += 1;
         next_tick += step;
     }
+
+    // Bulk-add the run's readings to the global registry; the scheduler
+    // already counted placements/failures/relaxations as they happened.
+    let registry = rc_obs::global();
+    registry.counter(rc_obs::SCHED_READINGS).add(total_readings);
+    registry.counter(rc_obs::SCHED_OVERLOADED_READINGS).add(readings_above_100);
 
     SimReport {
         policy: config.scheduler.policy.label().to_string(),

@@ -15,6 +15,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rc_obs::{Counter, Histogram};
 
 use crate::latency::LatencyModel;
 
@@ -77,6 +78,32 @@ struct StoreInner {
     latency: Option<LatencyModel>,
     latency_rng: parking_lot::Mutex<StdRng>,
     stats: StoreStats,
+    metrics: StoreMetrics,
+}
+
+/// Pre-resolved global-registry handles so the access paths stay
+/// lock-free (the registry lock is paid once here, at construction).
+struct StoreMetrics {
+    get_latency: Histogram,
+    put_latency: Histogram,
+    gets: Counter,
+    puts: Counter,
+    unavailable: Counter,
+    version_bumps: Counter,
+}
+
+impl StoreMetrics {
+    fn new() -> Self {
+        let reg = rc_obs::global();
+        StoreMetrics {
+            get_latency: reg.histogram(rc_obs::STORE_GET_LATENCY_NS),
+            put_latency: reg.histogram(rc_obs::STORE_PUT_LATENCY_NS),
+            gets: reg.counter(rc_obs::STORE_GETS),
+            puts: reg.counter(rc_obs::STORE_PUTS),
+            unavailable: reg.counter(rc_obs::STORE_UNAVAILABLE),
+            version_bumps: reg.counter(rc_obs::STORE_VERSION_BUMPS),
+        }
+    }
 }
 
 impl Store {
@@ -94,6 +121,7 @@ impl Store {
                 latency,
                 latency_rng: parking_lot::Mutex::new(StdRng::seed_from_u64(0x5709)),
                 stats: StoreStats::default(),
+                metrics: StoreMetrics::new(),
             }),
         }
     }
@@ -115,10 +143,7 @@ impl Store {
                 let mut rng = self.inner.latency_rng.lock();
                 model.sample(&mut *rng)
             };
-            self.inner
-                .stats
-                .simulated_latency_ns
-                .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+            self.inner.stats.simulated_latency_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
             let start = std::time::Instant::now();
             while start.elapsed() < d {
                 std::hint::spin_loop();
@@ -130,14 +155,21 @@ impl Store {
     pub fn put(&self, key: &str, data: Bytes) -> Result<u64, StoreError> {
         if !self.is_available() {
             self.inner.stats.unavailable_errors.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.unavailable.increment();
             return Err(StoreError::Unavailable);
         }
+        let start = std::time::Instant::now();
         self.pay_latency();
         let mut records = self.inner.records.write();
         let versions = records.entry(key.to_owned()).or_default();
         let version = versions.last().map_or(1, |r| r.version + 1);
+        if version > 1 {
+            self.inner.metrics.version_bumps.increment();
+        }
         versions.push(VersionedRecord { version, data });
         self.inner.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.puts.increment();
+        self.inner.metrics.put_latency.record_duration(start.elapsed());
         Ok(version)
     }
 
@@ -145,16 +177,16 @@ impl Store {
     pub fn get_latest(&self, key: &str) -> Result<VersionedRecord, StoreError> {
         if !self.is_available() {
             self.inner.stats.unavailable_errors.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.unavailable.increment();
             return Err(StoreError::Unavailable);
         }
+        let start = std::time::Instant::now();
         self.pay_latency();
         let records = self.inner.records.read();
-        let rec = records
-            .get(key)
-            .and_then(|v| v.last())
-            .cloned()
-            .ok_or(StoreError::NotFound)?;
+        let rec = records.get(key).and_then(|v| v.last()).cloned().ok_or(StoreError::NotFound)?;
         self.inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.gets.increment();
+        self.inner.metrics.get_latency.record_duration(start.elapsed());
         Ok(rec)
     }
 
@@ -162,8 +194,10 @@ impl Store {
     pub fn get_version(&self, key: &str, version: u64) -> Result<VersionedRecord, StoreError> {
         if !self.is_available() {
             self.inner.stats.unavailable_errors.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.unavailable.increment();
             return Err(StoreError::Unavailable);
         }
+        let start = std::time::Instant::now();
         self.pay_latency();
         let records = self.inner.records.read();
         let rec = records
@@ -172,6 +206,8 @@ impl Store {
             .cloned()
             .ok_or(StoreError::NotFound)?;
         self.inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.gets.increment();
+        self.inner.metrics.get_latency.record_duration(start.elapsed());
         Ok(rec)
     }
 
@@ -258,10 +294,7 @@ mod tests {
                 (0..100).map(|_| s.put("k", Bytes::from_static(b"v")).unwrap()).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 800, "versions must be unique");
@@ -270,8 +303,7 @@ mod tests {
 
     #[test]
     fn latency_model_slows_accesses() {
-        let store =
-            Store::with_latency(Some(LatencyModel::from_quantiles(300.0, 600.0)));
+        let store = Store::with_latency(Some(LatencyModel::from_quantiles(300.0, 600.0)));
         store.put("k", Bytes::from_static(b"v")).unwrap();
         let start = std::time::Instant::now();
         for _ in 0..20 {

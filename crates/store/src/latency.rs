@@ -29,10 +29,7 @@ impl LatencyModel {
     /// Panics unless `0 < median_us <= p99_us`.
     pub fn from_quantiles(median_us: f64, p99_us: f64) -> Self {
         assert!(median_us > 0.0 && p99_us >= median_us, "quantiles must be ordered");
-        LatencyModel {
-            mu: median_us.ln(),
-            sigma: (p99_us / median_us).ln() / Z99,
-        }
+        LatencyModel { mu: median_us.ln(), sigma: (p99_us / median_us).ln() / Z99 }
     }
 
     /// The paper's store: median 2.9 ms, p99 5.6 ms.

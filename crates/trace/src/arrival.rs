@@ -117,8 +117,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let proc = ArrivalProcess::new(20.0);
         let days = 60;
-        let arrivals =
-            proc.generate(&mut rng, Timestamp::ZERO, Timestamp::from_days(days));
+        let arrivals = proc.generate(&mut rng, Timestamp::ZERO, Timestamp::from_days(days));
         let rate = arrivals.len() as f64 / days as f64;
         // Thinning by the weekly multiplier (mean < 1) lands below peak.
         assert!((10.0..=26.0).contains(&rate), "rate = {rate}");
@@ -128,8 +127,7 @@ mod tests {
     fn arrivals_are_sorted_and_in_range() {
         let mut rng = StdRng::seed_from_u64(12);
         let proc = ArrivalProcess::new(50.0);
-        let arrivals =
-            proc.generate(&mut rng, Timestamp::from_days(2), Timestamp::from_days(9));
+        let arrivals = proc.generate(&mut rng, Timestamp::from_days(2), Timestamp::from_days(9));
         assert!(!arrivals.is_empty());
         for w in arrivals.windows(2) {
             assert!(w[0] <= w[1]);
@@ -142,8 +140,7 @@ mod tests {
     fn weekdays_busier_than_weekends() {
         let mut rng = StdRng::seed_from_u64(13);
         let proc = ArrivalProcess::new(200.0);
-        let arrivals =
-            proc.generate(&mut rng, Timestamp::ZERO, Timestamp::from_days(28));
+        let arrivals = proc.generate(&mut rng, Timestamp::ZERO, Timestamp::from_days(28));
         let (mut weekday, mut weekend) = (0usize, 0usize);
         for a in &arrivals {
             if a.is_weekend() {
@@ -163,12 +160,9 @@ mod tests {
         // Shape < 1 means CoV of gaps > 1 (burstier than Poisson).
         let mut rng = StdRng::seed_from_u64(14);
         let proc = ArrivalProcess::new(100.0);
-        let arrivals =
-            proc.generate(&mut rng, Timestamp::ZERO, Timestamp::from_days(60));
-        let gaps: Vec<f64> = arrivals
-            .windows(2)
-            .map(|w| (w[1].as_secs() - w[0].as_secs()) as f64)
-            .collect();
+        let arrivals = proc.generate(&mut rng, Timestamp::ZERO, Timestamp::from_days(60));
+        let gaps: Vec<f64> =
+            arrivals.windows(2).map(|w| (w[1].as_secs() - w[0].as_secs()) as f64).collect();
         assert!(gaps.len() > 500);
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
@@ -180,8 +174,6 @@ mod tests {
     fn zero_rate_yields_nothing() {
         let mut rng = StdRng::seed_from_u64(15);
         let proc = ArrivalProcess::new(0.0);
-        assert!(proc
-            .generate(&mut rng, Timestamp::ZERO, Timestamp::from_days(10))
-            .is_empty());
+        assert!(proc.generate(&mut rng, Timestamp::ZERO, Timestamp::from_days(10)).is_empty());
     }
 }

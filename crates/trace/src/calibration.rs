@@ -210,10 +210,7 @@ mod tests {
 
     #[test]
     fn avg_util_shares_blend_to_table4() {
-        let b = blend(
-            avg_util_bucket_shares(Party::First),
-            avg_util_bucket_shares(Party::Third),
-        );
+        let b = blend(avg_util_bucket_shares(Party::First), avg_util_bucket_shares(Party::Third));
         let target = [0.74, 0.19, 0.06, 0.02];
         for (got, want) in b.iter().zip(target) {
             assert!((got - want).abs() < 0.015, "blend {b:?} vs Table 4 {target:?}");
@@ -303,10 +300,7 @@ mod tests {
 
     #[test]
     fn lifetime_shares_blend_to_table4() {
-        let b = blend(
-            lifetime_bucket_shares(Party::First),
-            lifetime_bucket_shares(Party::Third),
-        );
+        let b = blend(lifetime_bucket_shares(Party::First), lifetime_bucket_shares(Party::Third));
         let target = [0.29, 0.32, 0.32, 0.07];
         for (got, want) in b.iter().zip(target) {
             assert!((got - want).abs() < 0.02, "blend {b:?} vs Table 4 {target:?}");

@@ -118,9 +118,7 @@ pub fn vm_table(trace: &Trace, max_util_samples: usize) -> Vec<VmTableRow> {
         let category = if vm.lifetime().as_days_f64() < crate::DATASET_CLASSIFY_MIN_DAYS {
             "Unknown"
         } else {
-            let series = trace
-                .util_params(id)
-                .avg_series(first, last.min(first + 6 * 288));
+            let series = trace.util_params(id).avg_series(first, last.min(first + 6 * 288));
             let result = detect_diurnal_periodicity(&series, &cfg);
             if !result.enough_data {
                 "Unknown"
@@ -229,11 +227,7 @@ pub fn read_vm_table<R: BufRead>(input: R) -> Result<Vec<VmTableRow>, DatasetErr
 /// # Errors
 ///
 /// Propagates I/O failures.
-pub fn write_cpu_readings<W: Write>(
-    trace: &Trace,
-    id: VmId,
-    mut out: W,
-) -> std::io::Result<u64> {
+pub fn write_cpu_readings<W: Write>(trace: &Trace, id: VmId, mut out: W) -> std::io::Result<u64> {
     let (first, last) = trace.vm_slots(id);
     let params = trace.util_params(id);
     let mut n = 0;

@@ -94,9 +94,8 @@ impl Trace {
         // multiplier lambda by bisection; the left side is monotone in
         // lambda, so this converges for any expectation profile.
         let target = config.target_vms as f64;
-        let total_at = |lambda: f64| -> f64 {
-            expected.iter().map(|e| (lambda * e).min(cap)).sum()
-        };
+        let total_at =
+            |lambda: f64| -> f64 { expected.iter().map(|e| (lambda * e).min(cap)).sum() };
         let (mut lo, mut hi) = (0.0f64, 1.0f64);
         while total_at(hi) < target && hi < 1e12 {
             hi *= 2.0;
@@ -146,9 +145,7 @@ impl Trace {
                     let created = if k < initial {
                         Timestamp::from_secs(deploy_time.as_secs() + rng.gen_range(0..120))
                     } else {
-                        Timestamp::from_secs(
-                            deploy_time.as_secs() + rng.gen_range(120..86_400),
-                        )
+                        Timestamp::from_secs(deploy_time.as_secs() + rng.gen_range(120..86_400))
                     };
 
                     let lifetime_bucket = if rng.gen::<f64>() < 0.8 {
@@ -160,11 +157,8 @@ impl Trace {
                     let deleted = Timestamp::from_secs(created.as_secs() + lifetime_secs);
 
                     let role = sample_role(sub, &mut rng);
-                    let sku_idx = if rng.gen::<f64>() < 0.85 {
-                        sub.primary_sku
-                    } else {
-                        sub.secondary_sku
-                    };
+                    let sku_idx =
+                        if rng.gen::<f64>() < 0.85 { sub.primary_sku } else { sub.secondary_sku };
                     let sku = SKU_CATALOG[sku_idx];
                     n_cores += sku.cores;
 
@@ -244,11 +238,7 @@ fn sample_lifetime_bucket<R: Rng + ?Sized>(sub: &SubscriptionProfile, rng: &mut 
 }
 
 /// Samples a lifetime in seconds for the given bucket.
-fn sample_lifetime<R: Rng + ?Sized>(
-    sub: &SubscriptionProfile,
-    bucket: usize,
-    rng: &mut R,
-) -> u64 {
+fn sample_lifetime<R: Rng + ?Sized>(sub: &SubscriptionProfile, bucket: usize, rng: &mut R) -> u64 {
     let bounds = &cal::LIFETIME_BUCKET_BOUNDS[bucket];
     let secs = if bucket == sub.lifetime_primary_bucket {
         clamped_lognormal(
@@ -351,10 +341,7 @@ mod tests {
         let got = t.n_vms() as f64;
         // Heavy-tailed per-subscription rates (by design) make the total
         // noisy; the harnesses report actual counts.
-        assert!(
-            (got / target - 1.0).abs() < 0.55,
-            "target {target}, generated {got}"
-        );
+        assert!((got / target - 1.0).abs() < 0.55, "target {target}, generated {got}");
     }
 
     #[test]
@@ -397,10 +384,7 @@ mod tests {
         let shares: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
         let target = [0.29, 0.32, 0.32, 0.07];
         for (got, want) in shares.iter().zip(target) {
-            assert!(
-                (got - want).abs() < 0.12,
-                "lifetime shares {shares:?} vs Table 4 {target:?}"
-            );
+            assert!((got - want).abs() < 0.12, "lifetime shares {shares:?} vs Table 4 {target:?}");
         }
         // Figure 5's knee: the vast majority of lifetimes end within a day.
         assert!(shares[0] + shares[1] + shares[2] > 0.85);
@@ -413,11 +397,7 @@ mod tests {
         let frac = first as f64 / t.n_vms() as f64;
         assert!((0.70..0.96).contains(&frac), "first-party VM share {frac}");
 
-        let prod = t
-            .vms
-            .iter()
-            .filter(|v| v.prod == rc_types::vm::ProdTag::Production)
-            .count();
+        let prod = t.vms.iter().filter(|v| v.prod == rc_types::vm::ProdTag::Production).count();
         let pfrac = prod as f64 / t.n_vms() as f64;
         // §6.2 uses 71% production VMs.
         assert!((0.55..0.85).contains(&pfrac), "production share {pfrac}");
@@ -439,10 +419,7 @@ mod tests {
         let t = small_trace();
         let n_interactive = t.interactive_intent.iter().filter(|&&i| i).count();
         let frac = n_interactive as f64 / t.n_vms() as f64;
-        assert!(
-            (0.002..0.04).contains(&frac),
-            "interactive share {frac} (n = {n_interactive})"
-        );
+        assert!((0.002..0.04).contains(&frac), "interactive share {frac} (n = {n_interactive})");
     }
 
     #[test]
@@ -452,10 +429,7 @@ mod tests {
         let t = small_trace();
         let mut per_sub: std::collections::HashMap<u32, Vec<f64>> = Default::default();
         for id in t.vm_ids() {
-            per_sub
-                .entry(t.vm(id).subscription.0)
-                .or_default()
-                .push(t.util_params(id).base);
+            per_sub.entry(t.vm(id).subscription.0).or_default().push(t.util_params(id).base);
         }
         let mut low_cov = 0usize;
         let mut total = 0usize;
@@ -464,8 +438,7 @@ mod tests {
                 continue;
             }
             let mean = bases.iter().sum::<f64>() / bases.len() as f64;
-            let var =
-                bases.iter().map(|b| (b - mean).powi(2)).sum::<f64>() / bases.len() as f64;
+            let var = bases.iter().map(|b| (b - mean).powi(2)).sum::<f64>() / bases.len() as f64;
             let cov = var.sqrt() / mean.max(1e-9);
             total += 1;
             if cov < 1.0 {

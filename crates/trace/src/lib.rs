@@ -20,8 +20,8 @@
 //! ```
 
 pub mod arrival;
-pub mod dataset;
 pub mod calibration;
+pub mod dataset;
 pub mod generator;
 pub mod profile;
 pub mod sampler;

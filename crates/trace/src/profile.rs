@@ -164,8 +164,8 @@ impl SubscriptionProfile {
         } else {
             Party::Third
         };
-        let is_creation_test = party == Party::First
-            && rng.gen::<f64>() < cfg.creation_test_subscription_fraction;
+        let is_creation_test =
+            party == Party::First && rng.gen::<f64>() < cfg.creation_test_subscription_fraction;
 
         let iaas_fraction = match party {
             Party::First => cal::FIRST_PARTY_IAAS_FRACTION,
@@ -196,9 +196,7 @@ impl SubscriptionProfile {
 
         let prod = if party == Party::Third {
             ProdTag::Production
-        } else if is_creation_test
-            || rng.gen::<f64>() < cfg.first_party_non_production_fraction
-        {
+        } else if is_creation_test || rng.gen::<f64>() < cfg.first_party_non_production_fraction {
             ProdTag::NonProduction
         } else {
             ProdTag::Production
@@ -298,8 +296,7 @@ impl SubscriptionProfile {
         let lifetime_sigma = 0.15 + rng.gen::<f64>() * 0.25;
 
         // Deployment sizing.
-        let deploy_size_bucket =
-            weighted_choice(rng, &cal::deployment_size_bucket_shares(party));
+        let deploy_size_bucket = weighted_choice(rng, &cal::deployment_size_bucket_shares(party));
         let deploy_size_center = match deploy_size_bucket {
             0 => 1.0,
             1 => log_uniform(rng, 2.0, 10.0),
@@ -445,8 +442,7 @@ mod tests {
     #[test]
     fn interactive_subscriptions_live_long() {
         let profiles = sample_many(20_000);
-        let interactive: Vec<_> =
-            profiles.iter().filter(|p| p.interactive_dominant).collect();
+        let interactive: Vec<_> = profiles.iter().filter(|p| p.interactive_dominant).collect();
         assert!(!interactive.is_empty());
         for p in &interactive {
             assert_eq!(p.lifetime_primary_bucket, 3);

@@ -107,7 +107,8 @@ mod tests {
     fn hash_normal_moments() {
         let n = 20_000;
         let mean: f64 = (0..n).map(|i| hash_normal(7, i)).sum::<f64>() / n as f64;
-        let var: f64 = (0..n).map(|i| hash_normal(7, i).powi(2)).sum::<f64>() / n as f64 - mean * mean;
+        let var: f64 =
+            (0..n).map(|i| hash_normal(7, i).powi(2)).sum::<f64>() / n as f64 - mean * mean;
         assert!(mean.abs() < 0.03, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.05, "var = {var}");
     }

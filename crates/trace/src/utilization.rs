@@ -118,14 +118,9 @@ impl UtilParams {
         // VMs burst uniformly. The burst stream is shared across the
         // subscription so sibling VMs exceed their P95 together; the
         // per-VM roll decides whether this VM joins the burst.
-        let burst_bias = if self.diurnal_amplitude > 0.0 {
-            (diurnal - 1.0) * 0.08
-        } else {
-            0.0
-        };
+        let burst_bias = if self.diurnal_amplitude > 0.0 { (diurnal - 1.0) * 0.08 } else { 0.0 };
         let window = slot / BURST_WINDOW_SLOTS;
-        let bursting =
-            hash_unit(self.burst_seed, window) < BURST_WINDOW_PROBABILITY + burst_bias;
+        let bursting = hash_unit(self.burst_seed, window) < BURST_WINDOW_PROBABILITY + burst_bias;
         let joins = hash_unit(self.seed, slot.wrapping_mul(3) + 2) < BURST_JOIN_PROBABILITY;
         let shape = hash_unit(self.seed, slot.wrapping_mul(3) + 3);
         let factor = if bursting && joins {
@@ -234,10 +229,7 @@ mod tests {
             noise: 0.02,
         };
         // Mean near the peak hour should exceed the mean near the trough.
-        let day_mean: f64 = (0..12)
-            .map(|i| p.reading(14 * 12 + i).avg)
-            .sum::<f64>()
-            / 12.0;
+        let day_mean: f64 = (0..12).map(|i| p.reading(14 * 12 + i).avg).sum::<f64>() / 12.0;
         let night_mean: f64 = (0..12).map(|i| p.reading(2 * 12 + i).avg).sum::<f64>() / 12.0;
         assert!(day_mean > night_mean + 0.3, "day {day_mean} night {night_mean}");
     }

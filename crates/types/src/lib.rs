@@ -19,13 +19,13 @@ pub mod time;
 pub mod vm;
 
 pub use buckets::{
-    Bucketizer, DeploymentSizeBucketizer, LifetimeBucketizer, UtilizationBucketizer,
-    WorkloadClass, WorkloadClassBucketizer,
+    Bucketizer, DeploymentSizeBucketizer, LifetimeBucketizer, UtilizationBucketizer, WorkloadClass,
+    WorkloadClassBucketizer,
 };
 pub use metrics::PredictionMetric;
 pub use telemetry::{UtilReading, VmRecord};
 pub use time::{Duration, Timestamp, TELEMETRY_INTERVAL};
 pub use vm::{
-    ClusterId, DeploymentId, OsType, Party, ProdTag, RegionId, SubscriptionId, VmId, VmRole,
-    VmSku, VmType, SKU_CATALOG,
+    ClusterId, DeploymentId, OsType, Party, ProdTag, RegionId, SubscriptionId, VmId, VmRole, VmSku,
+    VmType, SKU_CATALOG,
 };

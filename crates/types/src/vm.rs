@@ -211,18 +211,20 @@ pub const SKU_CATALOG: [VmSku; 15] = [
     VmSku { name: "G5", cores: 32, memory_gb: 448.0 },
 ];
 
+// SKUs serialize as their catalog name alone; the cores/memory columns
+// are reconstituted from the catalog on the way back in.
 impl Serialize for VmSku {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.name)
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for VmSku {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let name = String::deserialize(deserializer)?;
-        sku_by_name(&name)
+impl Deserialize for VmSku {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let name = v.as_str().ok_or_else(|| serde::Error::ty("VmSku", "string"))?;
+        sku_by_name(name)
             .copied()
-            .ok_or_else(|| serde::de::Error::custom(format!("unknown SKU name: {name}")))
+            .ok_or_else(|| serde::Error::msg(format!("unknown SKU name: {name}")))
     }
 }
 

@@ -26,12 +26,8 @@ fn reserve_for_bucket(bucket: usize) -> u64 {
 }
 
 fn main() {
-    let config = TraceConfig {
-        target_vms: 12_000,
-        n_subscriptions: 400,
-        days: 30,
-        ..TraceConfig::small()
-    };
+    let config =
+        TraceConfig { target_vms: 12_000, n_subscriptions: 400, days: 30, ..TraceConfig::small() };
     let trace = Trace::generate(&config);
     let output = rc_core::run_pipeline(&trace, &rc_core::PipelineConfig::fast(config.days))
         .expect("pipeline");
@@ -55,10 +51,7 @@ fn main() {
     println!("selecting clusters for {} deployment requests...\n", deployments.len());
 
     for dep in &deployments {
-        let reservation = match client
-            .predict_single("DEP_SIZE_VMS", &dep.inputs)
-            .confident(0.6)
-        {
+        let reservation = match client.predict_single("DEP_SIZE_VMS", &dep.inputs).confident(0.6) {
             Some(p) => reserve_for_bucket(p.value),
             // No confident prediction: reserve for the common case but
             // route to the emptiest cluster.
@@ -66,9 +59,7 @@ fn main() {
         };
         // Pick the fullest cluster that still fits the reservation
         // (tight packing at cluster granularity).
-        let choice = (0..free.len())
-            .filter(|&c| free[c] >= reservation)
-            .min_by_key(|&c| free[c]);
+        let choice = (0..free.len()).filter(|&c| free[c] >= reservation).min_by_key(|&c| free[c]);
         if let Some(c) = choice {
             free[c] -= dep.obs.n_vms.min(free[c]);
             placed += 1;

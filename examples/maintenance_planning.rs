@@ -9,10 +9,10 @@
 //! cargo run --release --example maintenance_planning
 //! ```
 
-use resource_central::prelude::*;
 use rc_core::labels::vm_inputs;
 use rc_types::buckets::{Bucketizer, LifetimeBucketizer};
 use rc_types::Timestamp;
+use resource_central::prelude::*;
 
 /// Upper edge of each lifetime bucket, as the pessimistic drain estimate.
 fn bucket_drain_hours(bucket: usize) -> f64 {
@@ -25,12 +25,8 @@ fn bucket_drain_hours(bucket: usize) -> f64 {
 }
 
 fn main() {
-    let config = TraceConfig {
-        target_vms: 12_000,
-        n_subscriptions: 400,
-        days: 30,
-        ..TraceConfig::small()
-    };
+    let config =
+        TraceConfig { target_vms: 12_000, n_subscriptions: 400, days: 30, ..TraceConfig::small() };
     let trace = Trace::generate(&config);
     let output = rc_core::run_pipeline(&trace, &rc_core::PipelineConfig::fast(config.days))
         .expect("pipeline");

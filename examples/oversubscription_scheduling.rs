@@ -9,17 +9,13 @@
 //! cargo run --release --example oversubscription_scheduling
 //! ```
 
-use resource_central::prelude::*;
 use rc_scheduler::{NoSource, P95Source, RcSource};
 use rc_types::Timestamp;
+use resource_central::prelude::*;
 
 fn main() {
-    let config = TraceConfig {
-        target_vms: 15_000,
-        n_subscriptions: 450,
-        days: 30,
-        ..TraceConfig::small()
-    };
+    let config =
+        TraceConfig { target_vms: 15_000, n_subscriptions: 450, days: 30, ..TraceConfig::small() };
     println!("training Resource Central on the first 20 days...");
     let trace = Trace::generate(&config);
     let output = rc_core::run_pipeline(&trace, &rc_core::PipelineConfig::fast(config.days))
@@ -44,11 +40,7 @@ fn main() {
         Some(((fleet_cores * 0.08) as u32).max(64)),
     );
     let n_servers = suggest_server_count(&requests, 16.0, 0.97);
-    println!(
-        "{} arrivals onto {} servers (16 cores / 112 GB each)\n",
-        requests.len(),
-        n_servers
-    );
+    println!("{} arrivals onto {} servers (16 cores / 112 GB each)\n", requests.len(), n_servers);
 
     println!(
         "{:<18} {:>9} {:>10} {:>14} {:>12}",

@@ -10,20 +10,16 @@
 //! cargo run --release --example power_capping
 //! ```
 
-use resource_central::prelude::*;
 use rc_core::labels::vm_inputs;
 use rc_types::Timestamp;
+use resource_central::prelude::*;
 
 /// Rough per-core power model in watts.
 const WATTS_PER_CORE: f64 = 12.0;
 
 fn main() {
-    let config = TraceConfig {
-        target_vms: 12_000,
-        n_subscriptions: 400,
-        days: 30,
-        ..TraceConfig::small()
-    };
+    let config =
+        TraceConfig { target_vms: 12_000, n_subscriptions: 400, days: 30, ..TraceConfig::small() };
     let trace = Trace::generate(&config);
     let output = rc_core::run_pipeline(&trace, &rc_core::PipelineConfig::fast(config.days))
         .expect("pipeline");
@@ -36,16 +32,10 @@ fn main() {
     let now = Timestamp::from_days(25);
     // Stride across the alive population: taking the first N would pick
     // only day-0 survivors, i.e. the very longest-lived (interactive) VMs.
-    let rack: Vec<VmId> = trace
-        .vm_ids()
-        .filter(|&id| trace.vm(id).alive_at(now))
-        .step_by(17)
-        .take(60)
-        .collect();
-    let full_draw: f64 = rack
-        .iter()
-        .map(|&id| trace.vm(id).sku.cores as f64 * WATTS_PER_CORE)
-        .sum();
+    let rack: Vec<VmId> =
+        trace.vm_ids().filter(|&id| trace.vm(id).alive_at(now)).step_by(17).take(60).collect();
+    let full_draw: f64 =
+        rack.iter().map(|&id| trace.vm(id).sku.cores as f64 * WATTS_PER_CORE).sum();
     // Emergency: the breaker limit allows only 88% of the full draw.
     let budget = full_draw * 0.88;
     println!(

@@ -9,19 +9,15 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use resource_central::prelude::*;
 use rc_core::labels::vm_inputs;
 use rc_types::buckets::UtilizationBucketizer;
+use resource_central::prelude::*;
 
 fn main() {
     // 1. A synthetic Azure-like workload (see rc-trace::calibration for
     //    the paper-derived distribution targets).
-    let config = TraceConfig {
-        target_vms: 12_000,
-        n_subscriptions: 400,
-        days: 30,
-        ..TraceConfig::small()
-    };
+    let config =
+        TraceConfig { target_vms: 12_000, n_subscriptions: 400, days: 30, ..TraceConfig::small() };
     println!("generating a {}-day trace with ~{} VMs...", config.days, config.target_vms);
     let trace = Trace::generate(&config);
     println!("  -> {} VMs across {} subscriptions\n", trace.n_vms(), trace.subscriptions.len());
@@ -56,12 +52,7 @@ fn main() {
     for metric in PredictionMetric::ALL {
         match client.predict_single(metric.model_name(), &inputs) {
             PredictionResponse::Predicted(p) => {
-                println!(
-                    "  {:<22} bucket {} (confidence {:.2})",
-                    metric.label(),
-                    p.value,
-                    p.score
-                );
+                println!("  {:<22} bucket {} (confidence {:.2})", metric.label(), p.value, p.score);
             }
             PredictionResponse::NoPrediction => {
                 println!("  {:<22} no-prediction (caller must handle this)", metric.label());

@@ -1,0 +1,97 @@
+//! In-tree stand-in for `crossbeam`: scoped threads only, delegating to
+//! `std::thread::scope` (stabilized long after crossbeam pioneered the
+//! API). The crossbeam signature differs from std's in two ways this shim
+//! papers over: the spawn closure receives the scope again (for nested
+//! spawns), and `scope` returns a `Result` capturing child panics.
+
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// Mirror of `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    /// Mirror of `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result; `Err` if it
+        /// panicked.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope, so
+        /// children can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let scope = Scope { inner: inner_scope, _marker: PhantomData };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all spawned threads are joined before `scope` returns.
+    ///
+    /// Crossbeam returns `Err` with the panic payload if any *unjoined*
+    /// child panicked. `std::thread::scope` instead resumes the panic on
+    /// the parent, so this shim converts it back into an `Err` via
+    /// `catch_unwind` to preserve callers' `.expect(...)` handling.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        // Crossbeam's `scope` has no `UnwindSafe` bound (the panic is
+        // handed back as data, not resumed), so asserting unwind safety
+        // here matches its contract.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s, _marker: PhantomData };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let result = super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            7u32
+        })
+        .expect("no child panicked");
+        assert_eq!(result, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

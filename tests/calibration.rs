@@ -115,11 +115,7 @@ fn figure6_class_core_hour_shares() {
     let t = trace();
     let shares = analysis::class_core_hours(&t);
     // "delay-insensitive VMs consume most (roughly 68%) of the core hours"
-    assert!(
-        (0.50..0.85).contains(&shares.total.delay_insensitive),
-        "DI share {:?}",
-        shares.total
-    );
+    assert!((0.50..0.85).contains(&shares.total.delay_insensitive), "DI share {:?}", shares.total);
     // "a significant percentage ... consume roughly 28%".
     assert!(
         (0.10..0.45).contains(&shares.total.interactive),
@@ -154,10 +150,7 @@ fn figure7_arrivals_are_diurnal_and_quieter_on_weekends() {
             night += 1;
         }
     }
-    assert!(
-        day as f64 / 8.0 > night as f64 / 6.0 * 1.3,
-        "day {day} vs night {night}"
-    );
+    assert!(day as f64 / 8.0 > night as f64 / 6.0 * 1.3, "day {day} vs night {night}");
     // Weekends are quieter. A single region-week is dominated by a few
     // bursty deployments, so measure across the whole trace instead.
     let (mut weekday, mut weekend) = (0u64, 0u64);
@@ -178,10 +171,7 @@ fn figure7_arrivals_are_diurnal_and_quieter_on_weekends() {
     }
     let wd_rate = weekday as f64 / weekday_days as f64;
     let we_rate = weekend as f64 / weekend_days as f64;
-    assert!(
-        we_rate < wd_rate * 0.85,
-        "weekday {wd_rate}/day vs weekend {we_rate}/day"
-    );
+    assert!(we_rate < wd_rate * 0.85, "weekday {wd_rate}/day vs weekend {we_rate}/day");
 }
 
 #[test]

@@ -3,9 +3,9 @@
 
 use std::time::Duration as StdDuration;
 
-use resource_central::prelude::*;
 use rc_core::labels::vm_inputs;
 use rc_types::vm::SubscriptionId;
+use resource_central::prelude::*;
 
 fn world() -> (Trace, Store) {
     let trace = Trace::generate(&TraceConfig {
@@ -31,10 +31,7 @@ fn initialize_is_required_before_predictions() {
     let (trace, store) = world();
     let client = RcClient::new(store, ClientConfig::default());
     let inputs = vm_inputs(&trace, VmId(0));
-    assert_eq!(
-        client.predict_single("VM_AVGUTIL", &inputs),
-        PredictionResponse::NoPrediction
-    );
+    assert_eq!(client.predict_single("VM_AVGUTIL", &inputs), PredictionResponse::NoPrediction);
     assert!(client.initialize());
     // After initialize, most requests are served.
     assert!(client.get_available_models().contains(&"VM_AVGUTIL".to_string()));
@@ -55,10 +52,7 @@ fn get_available_models_lists_all_six() {
     client.initialize();
     let models = client.get_available_models();
     for metric in PredictionMetric::ALL {
-        assert!(
-            models.contains(&metric.model_name().to_string()),
-            "missing {metric}"
-        );
+        assert!(models.contains(&metric.model_name().to_string()), "missing {metric}");
     }
 }
 
@@ -68,17 +62,11 @@ fn unknown_model_and_unknown_subscription_yield_no_prediction() {
     let client = RcClient::new(store, ClientConfig::default());
     client.initialize();
     let mut inputs = vm_inputs(&trace, VmId(0));
-    assert_eq!(
-        client.predict_single("NOT_A_MODEL", &inputs),
-        PredictionResponse::NoPrediction
-    );
+    assert_eq!(client.predict_single("NOT_A_MODEL", &inputs), PredictionResponse::NoPrediction);
     // A subscription RC has never seen (e.g. created after the last
     // feature push) answers no-prediction rather than guessing.
     inputs.subscription = SubscriptionId(9_999_999);
-    assert_eq!(
-        client.predict_single("VM_AVGUTIL", &inputs),
-        PredictionResponse::NoPrediction
-    );
+    assert_eq!(client.predict_single("VM_AVGUTIL", &inputs), PredictionResponse::NoPrediction);
     assert!(client.no_prediction_count() >= 2);
 }
 
@@ -104,10 +92,7 @@ fn flush_cache_drops_everything() {
     client.predict_single("VM_AVGUTIL", &inputs);
     client.flush_cache();
     assert!(client.get_available_models().is_empty());
-    assert_eq!(
-        client.predict_single("VM_AVGUTIL", &inputs),
-        PredictionResponse::NoPrediction
-    );
+    assert_eq!(client.predict_single("VM_AVGUTIL", &inputs), PredictionResponse::NoPrediction);
     // A re-initialize recovers.
     assert!(client.initialize());
     assert!(client.predict_single("VM_AVGUTIL", &inputs).is_predicted());
@@ -121,18 +106,12 @@ fn force_reload_picks_up_new_feature_data() {
     let mut inputs = vm_inputs(&trace, VmId(3));
     let fresh_sub = SubscriptionId(424_242);
     inputs.subscription = fresh_sub;
-    assert_eq!(
-        client.predict_single("VM_AVGUTIL", &inputs),
-        PredictionResponse::NoPrediction
-    );
+    assert_eq!(client.predict_single("VM_AVGUTIL", &inputs), PredictionResponse::NoPrediction);
     // RC's next offline run publishes feature data for the new
     // subscription; a push refresh makes it predictable.
     let features = rc_core::SubscriptionFeatures::new(fresh_sub);
     store
-        .put(
-            &rc_core::feature_store_key(fresh_sub),
-            serde_json::to_vec(&features).unwrap().into(),
-        )
+        .put(&rc_core::feature_store_key(fresh_sub), serde_json::to_vec(&features).unwrap().into())
         .unwrap();
     client.force_reload_cache();
     assert!(client.predict_single("VM_AVGUTIL", &inputs).is_predicted());
@@ -142,10 +121,7 @@ fn force_reload_picks_up_new_feature_data() {
 fn disk_cache_survives_store_outage_and_restart() {
     let (trace, store) = world();
     let dir = temp_dir("disk");
-    let config = ClientConfig {
-        disk_cache_dir: Some(dir.clone()),
-        ..ClientConfig::default()
-    };
+    let config = ClientConfig { disk_cache_dir: Some(dir.clone()), ..ClientConfig::default() };
     // First client mirrors everything to disk.
     let first = RcClient::new(store.clone(), config.clone());
     assert!(first.initialize());
@@ -184,10 +160,7 @@ fn push_watcher_picks_up_new_publications() {
     // A subscription RC has never seen answers no-prediction.
     let mut inputs = vm_inputs(&trace, VmId(3));
     inputs.subscription = SubscriptionId(777_777);
-    assert_eq!(
-        client.predict_single("VM_AVGUTIL", &inputs),
-        PredictionResponse::NoPrediction
-    );
+    assert_eq!(client.predict_single("VM_AVGUTIL", &inputs), PredictionResponse::NoPrediction);
 
     // RC's next offline run publishes its feature data; the watcher
     // notices the version change and refreshes the caches by itself.
@@ -221,10 +194,7 @@ fn pull_mode_fills_cache_in_background() {
     assert!(client.initialize());
     let inputs = vm_inputs(&trace, VmId(9));
     // First request misses: no-prediction now, background fill.
-    assert_eq!(
-        client.predict_single("VM_AVGUTIL", &inputs),
-        PredictionResponse::NoPrediction
-    );
+    assert_eq!(client.predict_single("VM_AVGUTIL", &inputs), PredictionResponse::NoPrediction);
     client.drain_pull_queue();
     // The identical request now hits the result cache.
     assert!(

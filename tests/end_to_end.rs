@@ -1,10 +1,10 @@
 //! End-to-end integration: generate a workload, run the offline pipeline,
 //! publish, serve predictions through the client, and feed the scheduler.
 
-use resource_central::prelude::*;
 use rc_core::labels::vm_inputs;
 use rc_scheduler::RcSource;
 use rc_types::time::Timestamp;
+use resource_central::prelude::*;
 
 fn small_world() -> (Trace, PipelineOutput, Store) {
     let trace = Trace::generate(&TraceConfig {
@@ -55,10 +55,7 @@ fn client_serves_pipeline_models() {
     }
     // A few subscriptions are new (no feature data) and answer
     // no-prediction, but most requests must be served.
-    assert!(
-        predicted as f64 / total as f64 > 0.8,
-        "served {predicted}/{total}"
-    );
+    assert!(predicted as f64 / total as f64 > 0.8, "served {predicted}/{total}");
 }
 
 #[test]
@@ -72,8 +69,7 @@ fn client_predictions_match_direct_model_execution() {
     let response = client.predict_single("VM_AVGUTIL", &inputs);
     if let Some(p) = response.prediction() {
         let model = output.model(PredictionMetric::AvgCpuUtil);
-        let features =
-            model.spec.features(&inputs, &output.feature_data[&inputs.subscription]);
+        let features = model.spec.features(&inputs, &output.feature_data[&inputs.subscription]);
         let (value, score) = model.predict(&features);
         assert_eq!(p.value, value);
         assert!((p.score - score).abs() < 1e-9);
@@ -113,7 +109,8 @@ fn rc_informed_scheduler_runs_on_live_predictions() {
         util_shift: 0.0,
         tick_stride: 3,
     };
-    let report = simulate(&requests, &config, Box::new(RcSource::new(client.clone())), (from, until));
+    let report =
+        simulate(&requests, &config, Box::new(RcSource::new(client.clone())), (from, until));
     assert_eq!(report.n_arrivals, requests.len() as u64);
     assert!(report.failure_rate() < 0.05, "failure rate {}", report.failure_rate());
     // The scheduler consulted RC for every non-production arrival.
