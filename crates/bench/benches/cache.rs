@@ -2,7 +2,7 @@
 //! costs ~1.3 us at p99 — essentially a key hash plus a table lookup).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rc_core::{ClientInputs, Prediction, ResultCache};
+use rc_core::{ClientInputs, Prediction, ResultCache, ShardedResultCache};
 use rc_types::time::Timestamp;
 use rc_types::vm::{OsType, Party, ProdTag, SubscriptionId, VmRole};
 
@@ -53,6 +53,42 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| {
             k += 1;
             cache.insert(k, Prediction { value: 2, score: 0.8 });
+        })
+    });
+
+    // The sharded cache behind RcClient: same single-thread costs, plus
+    // the batch probe that locks each touched shard once.
+    c.bench_function("sharded_cache_hit", |b| {
+        let cache = ShardedResultCache::new(1 << 20, ShardedResultCache::default_shards());
+        for k in 0..100_000u64 {
+            cache.insert(k, Prediction { value: 1, score: 0.9 });
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 100_000;
+            std::hint::black_box(cache.get(k))
+        })
+    });
+
+    c.bench_function("sharded_cache_insert_with_eviction", |b| {
+        let cache = ShardedResultCache::new(10_000, ShardedResultCache::default_shards());
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            cache.insert(k, Prediction { value: 2, score: 0.8 });
+        })
+    });
+
+    c.bench_function("sharded_cache_get_batch_64", |b| {
+        let cache = ShardedResultCache::new(1 << 20, ShardedResultCache::default_shards());
+        for k in 0..100_000u64 {
+            cache.insert(k, Prediction { value: 1, score: 0.9 });
+        }
+        let mut base = 0u64;
+        b.iter(|| {
+            base = (base + 64) % 100_000;
+            let keys: Vec<u64> = (base..base + 64).collect();
+            std::hint::black_box(cache.get_batch(&keys))
         })
     });
 }

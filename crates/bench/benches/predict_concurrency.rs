@@ -1,0 +1,96 @@
+//! Multi-threaded `predict_single` throughput: the sharded result cache
+//! vs the old single-mutex layout (`result_cache_shards: 1`).
+//!
+//! Not a criterion bench: the unit of interest is aggregate ops/s across
+//! a thread group, so each configuration runs one timed phase over a
+//! pre-warmed cache (the §6.1 steady state, where nearly every request is
+//! a result-cache hit and the lock is the bottleneck).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rc_core::labels::vm_inputs;
+use rc_core::{ClientConfig, RcClient};
+use rc_store::Store;
+use rc_trace::{Trace, TraceConfig};
+use rc_types::vm::VmId;
+
+const MEASURE: Duration = Duration::from_millis(400);
+const WORKING_SET: u64 = 2_048;
+
+fn world() -> (Trace, Store) {
+    let trace = Trace::generate(&TraceConfig {
+        target_vms: 5_000,
+        n_subscriptions: 200,
+        days: 24,
+        ..TraceConfig::small()
+    });
+    let output = rc_core::run_pipeline(&trace, &rc_core::PipelineConfig::fast(24))
+        .expect("pipeline on bench trace");
+    let store = Store::in_memory();
+    output.publish(&store, 0.5).expect("publish");
+    (trace, store)
+}
+
+/// Aggregate ops/s for `n_threads` hammering a pre-warmed client.
+fn run_group(trace: &Trace, store: &Store, n_shards: usize, n_threads: usize) -> f64 {
+    let config = ClientConfig { result_cache_shards: n_shards, ..ClientConfig::default() };
+    let client = RcClient::new(store.clone(), config);
+    assert!(client.initialize());
+
+    // Warm the cache so the timed phase measures hit-path contention.
+    let inputs: Vec<_> =
+        (0..WORKING_SET).map(|i| vm_inputs(trace, VmId(i % trace.n_vms() as u64))).collect();
+    for inp in &inputs {
+        let _ = client.predict_single("VM_P95UTIL", inp);
+    }
+
+    let barrier = Arc::new(Barrier::new(n_threads + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..n_threads)
+        .map(|t| {
+            let c = client.clone();
+            let barrier = barrier.clone();
+            let stop = stop.clone();
+            let inputs = inputs.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut ops = 0u64;
+                // Offset start positions so threads fan out across shards.
+                let mut i = (t as u64 * WORKING_SET) / 4;
+                while !stop.load(Ordering::Relaxed) {
+                    i = (i + 1) % WORKING_SET;
+                    std::hint::black_box(c.predict_single("VM_P95UTIL", &inputs[i as usize]));
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(MEASURE);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    total as f64 / started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let (trace, store) = world();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "predict_single throughput, warmed cache ({cores} cores; \
+         1 shard = old single-mutex layout)"
+    );
+    println!(
+        "{:<10} {:>16} {:>16} {:>9}",
+        "threads", "1 shard (ops/s)", "sharded (ops/s)", "speedup"
+    );
+    rc_bench::rule(56);
+    for n_threads in [1usize, 2, 4, 8] {
+        let single = run_group(&trace, &store, 1, n_threads);
+        let sharded = run_group(&trace, &store, 0, n_threads);
+        println!("{:<10} {:>16.0} {:>16.0} {:>8.2}x", n_threads, single, sharded, sharded / single);
+    }
+}

@@ -1,0 +1,73 @@
+//! Training wall-clock: the worker pool's effect on `RandomForest::fit`
+//! (one task per tree) and on `run_pipeline` (the six per-metric models
+//! trained concurrently).
+
+use std::time::Instant;
+
+use rc_ml::{BinnedDataset, Dataset, RandomForest, RandomForestConfig};
+use rc_trace::{Trace, TraceConfig};
+
+fn synthetic(n: usize, nf: usize) -> Dataset {
+    let mut d = Dataset::new(nf, 4);
+    let mut state = 1u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+    };
+    for _ in 0..n {
+        let row: Vec<f64> = (0..nf).map(|_| next()).collect();
+        let label = ((row[0] + 0.5).clamp(0.0, 0.999) * 4.0) as usize;
+        d.push(&row, label);
+    }
+    d
+}
+
+fn main() {
+    let workers = rc_ml::pool::default_workers();
+    println!("training wall-clock, serial vs worker pool ({workers} workers available)");
+    rc_bench::rule(72);
+
+    // Forest: 32 trees over 20k x 24, one pool task per tree.
+    let data = synthetic(20_000, 24);
+    let binned = BinnedDataset::build(&data);
+    let serial_cfg = RandomForestConfig { n_trees: 32, n_threads: 1, ..Default::default() };
+    let pooled_cfg = RandomForestConfig { n_trees: 32, n_threads: 0, ..Default::default() };
+    let t = Instant::now();
+    let f1 = RandomForest::fit(&binned, &serial_cfg);
+    let serial = t.elapsed();
+    let t = Instant::now();
+    let f2 = RandomForest::fit(&binned, &pooled_cfg);
+    let pooled = t.elapsed();
+    // Same seed, same trees: scheduling must not change the model.
+    assert_eq!(rc_ml::to_bytes(&f1), rc_ml::to_bytes(&f2), "forest must be schedule-invariant");
+    println!(
+        "forest_fit 32 trees, 20k x 24:   1 thread {serial:>8.2?}   pool {pooled:>8.2?}   speedup {:.2}x",
+        serial.as_secs_f64() / pooled.as_secs_f64()
+    );
+
+    // Pipeline: six per-metric models trained and validated concurrently.
+    let trace = Trace::generate(&TraceConfig {
+        target_vms: 8_000,
+        n_subscriptions: 300,
+        days: 24,
+        ..TraceConfig::small()
+    });
+    let mut serial_cfg = rc_core::PipelineConfig::fast(24);
+    serial_cfg.train_workers = 1;
+    let mut pooled_cfg = rc_core::PipelineConfig::fast(24);
+    pooled_cfg.train_workers = 0;
+    let t = Instant::now();
+    let o1 = rc_core::run_pipeline(&trace, &serial_cfg).expect("serial pipeline");
+    let serial = t.elapsed();
+    let t = Instant::now();
+    let o2 = rc_core::run_pipeline(&trace, &pooled_cfg).expect("pooled pipeline");
+    let pooled = t.elapsed();
+    assert_eq!(o1.reports.len(), o2.reports.len());
+    for (a, b) in o1.reports.iter().zip(&o2.reports) {
+        assert_eq!(a.metric, b.metric, "metric order must be preserved under the pool");
+    }
+    println!(
+        "run_pipeline 6 models, 8k VMs:   1 worker {serial:>8.2?}   pool {pooled:>8.2?}   speedup {:.2}x",
+        serial.as_secs_f64() / pooled.as_secs_f64()
+    );
+}

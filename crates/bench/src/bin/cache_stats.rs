@@ -21,6 +21,13 @@ fn main() {
     let registry = rc_obs::global();
 
     println!("Section 6.1 cache statistics (all numbers from the rc-obs registry)");
+    {
+        let probe = RcClient::new(store.clone(), ClientConfig::default());
+        println!(
+            "result cache: {} shards (exact per-shard counters, aggregated)",
+            probe.result_cache_shards()
+        );
+    }
     rc_bench::rule(110);
     // Replay the *test month's* prediction workload per metric: the
     // scheduler asks once per VM, and identical (subscription, size, day)
@@ -43,6 +50,11 @@ fn main() {
         let hits = counter_delta(&after, &before, rc_obs::CLIENT_RESULT_CACHE_HITS);
         let misses = counter_delta(&after, &before, rc_obs::CLIENT_RESULT_CACHE_MISSES);
         let execs = counter_delta(&after, &before, rc_obs::CLIENT_MODEL_EXECS);
+        // The sharded cache's own counters must reconcile exactly with
+        // what the instrumentation layer observed for this replay.
+        let stats = client.result_cache_stats();
+        assert_eq!(stats.hits, hits, "shard-aggregated hits match the registry delta");
+        assert_eq!(stats.misses, misses, "shard-aggregated misses match the registry delta");
         let hit_latency = histogram_delta(&after, &before, rc_obs::CLIENT_PREDICT_HIT_LATENCY_NS);
         let requests = hits + misses;
         let hit_rate = if requests == 0 { 0.0 } else { hits as f64 / requests as f64 };

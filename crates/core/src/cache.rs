@@ -5,6 +5,8 @@ use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::time::{Duration as StdDuration, SystemTime};
 
+use parking_lot::Mutex;
+
 use rc_types::vm::SubscriptionId;
 
 use crate::features::SubscriptionFeatures;
@@ -148,6 +150,167 @@ impl ResultCache {
     }
 }
 
+/// An N-way sharded [`ResultCache`] for concurrent predict paths.
+///
+/// The single-mutex cache serializes every `predict_single` in the
+/// process; §6.1's microsecond in-cache latencies only hold if concurrent
+/// resource managers don't queue on one lock. Each shard is an
+/// independently locked [`ResultCache`] holding `capacity / n_shards`
+/// entries with its own FIFO order; the shard for a key is derived from
+/// the key itself (the key is already an FNV hash of the model name and
+/// inputs, so its bits are well mixed). Statistics stay *exact*: every
+/// lookup/insert updates the owning shard's counters under that shard's
+/// lock, and [`ShardedResultCache::stats`] sums them.
+#[derive(Debug)]
+pub struct ShardedResultCache {
+    shards: Vec<Mutex<ResultCache>>,
+    /// `n_shards - 1`; the shard count is always a power of two.
+    mask: u64,
+}
+
+impl ShardedResultCache {
+    /// Creates a cache of `n_shards` shards (rounded up to a power of
+    /// two) splitting `capacity` entries across them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize, n_shards: usize) -> Self {
+        assert!(capacity > 0, "result cache needs capacity");
+        let n_shards = n_shards.clamp(1, 1 << 16).next_power_of_two();
+        let per_shard = capacity.div_ceil(n_shards).max(1);
+        let shards = (0..n_shards).map(|_| Mutex::new(ResultCache::new(per_shard))).collect();
+        ShardedResultCache { shards, mask: (n_shards - 1) as u64 }
+    }
+
+    /// Picks the default shard count for a machine: enough shards that
+    /// concurrent predictors rarely collide, capped so tiny caches don't
+    /// fragment.
+    pub fn default_shards() -> usize {
+        let cores = std::thread::available_parallelism().map_or(4, |p| p.get());
+        (cores * 8).next_power_of_two().clamp(8, 256)
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key lives in.
+    #[inline]
+    pub fn shard_index(&self, key: u64) -> usize {
+        // Fold the high bits in so the shard choice and the in-shard
+        // HashMap bucket don't depend on the same low bits alone.
+        ((key ^ (key >> 32)) & self.mask) as usize
+    }
+
+    /// Looks a key up, recording hit/miss statistics on its shard.
+    pub fn get(&self, key: u64) -> Option<Prediction> {
+        self.shards[self.shard_index(key)].lock().get(key)
+    }
+
+    /// Inserts a prediction into the owning shard, evicting that shard's
+    /// oldest entry when it is full. Returns `true` on displacement.
+    pub fn insert(&self, key: u64, prediction: Prediction) -> bool {
+        self.shards[self.shard_index(key)].lock().insert(key, prediction)
+    }
+
+    /// Batch lookup: groups keys by shard and locks each touched shard
+    /// once. The result is positional (`out[i]` answers `keys[i]`), and
+    /// each key occurrence records exactly one hit or miss, so
+    /// `hits + misses` still equals total lookups.
+    pub fn get_batch(&self, keys: &[u64]) -> Vec<Option<Prediction>> {
+        let mut out = vec![None; keys.len()];
+        let mut order: Vec<(usize, usize)> =
+            keys.iter().enumerate().map(|(i, &k)| (self.shard_index(k), i)).collect();
+        order.sort_unstable();
+        let mut at = 0;
+        while at < order.len() {
+            let shard = order[at].0;
+            let mut cache = self.shards[shard].lock();
+            while at < order.len() && order[at].0 == shard {
+                let i = order[at].1;
+                out[i] = cache.get(keys[i]);
+                at += 1;
+            }
+        }
+        out
+    }
+
+    /// Batch insert: groups entries by shard, locking each shard once.
+    /// Returns the number of entries whose insert displaced an older one.
+    pub fn insert_batch(&self, entries: &[(u64, Prediction)]) -> u64 {
+        let mut order: Vec<(usize, usize)> =
+            entries.iter().enumerate().map(|(i, &(k, _))| (self.shard_index(k), i)).collect();
+        order.sort_unstable();
+        let mut evicted = 0;
+        let mut at = 0;
+        while at < order.len() {
+            let shard = order[at].0;
+            let mut cache = self.shards[shard].lock();
+            while at < order.len() && order[at].0 == shard {
+                let (key, prediction) = entries[order[at].1];
+                if cache.insert(key, prediction) {
+                    evicted += 1;
+                }
+                at += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Empties every shard (statistics are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Entries currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Exact aggregate counters, summed across shards.
+    pub fn stats(&self) -> ResultCacheStats {
+        let mut total = ResultCacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.insertions += s.insertions;
+        }
+        total
+    }
+
+    /// Per-shard counters, in shard order (for observability dumps).
+    pub fn shard_stats(&self) -> Vec<ResultCacheStats> {
+        self.shards.iter().map(|s| s.lock().stats()).collect()
+    }
+
+    /// Aggregate hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.stats().hits
+    }
+
+    /// Aggregate hit rate over all lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let s = self.stats();
+        let total = s.hits + s.misses;
+        if total == 0 {
+            0.0
+        } else {
+            s.hits as f64 / total as f64
+        }
+    }
+}
+
 /// In-memory feature-data cache with the store version it was loaded at.
 #[derive(Debug, Default, Clone)]
 pub struct FeatureCache {
@@ -199,6 +362,50 @@ impl FeatureCache {
     }
 }
 
+/// Escapes a record name into a filename-safe stem, losslessly.
+///
+/// Store keys contain `/` (e.g. "model/VM_P95UTIL"). The old scheme
+/// flattened `/` to `_`, which collided distinct keys like `a_b` and
+/// `a/b` on disk; percent-escaping the three fs-hostile characters keeps
+/// every key distinct and invertible.
+fn escape_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '/' => out.push_str("%2F"),
+            '\\' => out.push_str("%5C"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverts [`escape_name`]. Malformed escapes are kept verbatim so a
+/// hand-placed file still lists as *something* rather than panicking.
+fn unescape_name(stem: &str) -> String {
+    let bytes = stem.as_bytes();
+    let mut out = String::with_capacity(stem.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 3 <= bytes.len() {
+            if let Ok(hex) = std::str::from_utf8(&bytes[i + 1..i + 3]) {
+                if let Ok(b) = u8::from_str_radix(hex, 16) {
+                    out.push(b as char);
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        // Multi-byte UTF-8 never starts with '%', so byte-wise advance is
+        // only taken on ASCII here; non-ASCII is copied per char below.
+        let c = stem[i..].chars().next().expect("in-bounds char");
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
 /// The local disk cache. RC "stores the content of the model and feature
 /// data caches in the local file system" and consults it only when the
 /// store is unavailable, ignoring it once expired (§4.2).
@@ -217,9 +424,7 @@ impl DiskCache {
     }
 
     fn path_for(&self, kind: &str, name: &str) -> PathBuf {
-        // Keys contain '/' (e.g. "model/VM_P95UTIL"); flatten for the fs.
-        let safe: String = name.chars().map(|c| if c == '/' { '_' } else { c }).collect();
-        self.dir.join(format!("{kind}_{safe}.bin"))
+        self.dir.join(format!("{kind}_{}.bin", escape_name(name)))
     }
 
     /// Persists a record.
@@ -243,7 +448,9 @@ impl DiskCache {
         std::fs::read(&path).ok()
     }
 
-    /// Names of all persisted records of a kind (fresh or not).
+    /// Names of all persisted records of a kind (fresh or not), restored
+    /// to their original (unescaped) form — a listed name can be passed
+    /// straight back to [`DiskCache::load_if_fresh`].
     pub fn list(&self, kind: &str) -> Vec<String> {
         let prefix = format!("{kind}_");
         let Ok(dir) = std::fs::read_dir(&self.dir) else {
@@ -254,7 +461,7 @@ impl DiskCache {
             .filter_map(|e| {
                 let fname = e.file_name().into_string().ok()?;
                 let stem = fname.strip_suffix(".bin")?;
-                stem.strip_prefix(&prefix).map(|s| s.to_string())
+                stem.strip_prefix(&prefix).map(unescape_name)
             })
             .collect();
         names.sort();
@@ -347,7 +554,8 @@ mod tests {
         let cache = DiskCache::new(dir.clone(), StdDuration::from_secs(3_600));
         cache.save("model", "model/VM_P95UTIL", b"abc").unwrap();
         assert_eq!(cache.load_if_fresh("model", "model/VM_P95UTIL").unwrap(), b"abc");
-        assert_eq!(cache.list("model"), vec!["model_VM_P95UTIL".to_string()]);
+        // `list` round-trips the original name, slash intact.
+        assert_eq!(cache.list("model"), vec!["model/VM_P95UTIL".to_string()]);
 
         // An expired cache must be ignored.
         let strict = DiskCache::new(dir.clone(), StdDuration::ZERO);
@@ -357,5 +565,145 @@ mod tests {
         cache.flush();
         assert_eq!(cache.load_if_fresh("model", "model/VM_P95UTIL"), None);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cache_keeps_collision_prone_keys_distinct() {
+        // The old '/'-to-'_' flattening mapped these three keys onto the
+        // same file; percent-escaping must keep them separate and make
+        // `list` invertible.
+        let dir = std::env::temp_dir().join(format!("rc_disk_collide_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(dir.clone(), StdDuration::from_secs(3_600));
+        cache.save("model", "model/a_b", b"underscore").unwrap();
+        cache.save("model", "model/a/b", b"slash").unwrap();
+        cache.save("model", "model_a/b", b"prefix").unwrap();
+        cache.save("model", "model/50%_off", b"percent").unwrap();
+        assert_eq!(cache.load_if_fresh("model", "model/a_b").unwrap(), b"underscore");
+        assert_eq!(cache.load_if_fresh("model", "model/a/b").unwrap(), b"slash");
+        assert_eq!(cache.load_if_fresh("model", "model_a/b").unwrap(), b"prefix");
+        assert_eq!(cache.load_if_fresh("model", "model/50%_off").unwrap(), b"percent");
+        let mut names = cache.list("model");
+        names.sort();
+        assert_eq!(names, vec!["model/50%_off", "model/a/b", "model/a_b", "model_a/b"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for name in ["model/VM_P95UTIL", "a_b", "a/b", "a%2Fb", "100%", "%", "nested/x/y_z"] {
+            assert_eq!(unescape_name(&escape_name(name)), name, "round-trip of {name:?}");
+            assert!(!escape_name(name).contains('/'), "{name:?} escapes to a flat filename");
+        }
+        // Distinct names never escape to the same stem.
+        assert_ne!(escape_name("a_b"), escape_name("a/b"));
+        assert_ne!(escape_name("a%2Fb"), escape_name("a/b"));
+    }
+
+    #[test]
+    fn sharded_cache_routes_and_counts_exactly() {
+        let c = ShardedResultCache::new(1024, 8);
+        assert_eq!(c.n_shards(), 8);
+        for k in 0..500u64 {
+            assert_eq!(c.get(k), None);
+            assert!(!c.insert(k, pred(k as usize)));
+        }
+        for k in 0..500u64 {
+            assert_eq!(c.get(k).unwrap().value, k as usize);
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 500);
+        assert_eq!(s.misses, 500);
+        assert_eq!(s.insertions, 500);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(c.len(), 500);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        // Every lookup was counted on exactly one shard.
+        let per_shard = c.shard_stats();
+        assert_eq!(per_shard.iter().map(|s| s.hits + s.misses).sum::<u64>(), 1000);
+        assert!(per_shard.iter().filter(|s| s.insertions > 0).count() > 1, "keys spread out");
+    }
+
+    #[test]
+    fn sharded_cache_capacity_splits_across_shards() {
+        let c = ShardedResultCache::new(64, 4);
+        // Overfill: per-shard FIFO keeps each shard at 16, so the total
+        // sits at the configured capacity.
+        for k in 0..10_000u64 {
+            c.insert(k, pred(1));
+        }
+        assert_eq!(c.len(), 64);
+        assert_eq!(c.stats().evictions, 10_000 - 64);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().insertions, 10_000, "clear keeps statistics");
+    }
+
+    #[test]
+    fn sharded_cache_rounds_shards_to_power_of_two() {
+        assert_eq!(ShardedResultCache::new(100, 3).n_shards(), 4);
+        assert_eq!(ShardedResultCache::new(100, 1).n_shards(), 1);
+        assert_eq!(ShardedResultCache::new(100, 0).n_shards(), 1);
+        let d = ShardedResultCache::default_shards();
+        assert!(d.is_power_of_two() && (8..=256).contains(&d));
+    }
+
+    #[test]
+    fn sharded_batch_get_is_positional_and_counts_per_occurrence() {
+        let c = ShardedResultCache::new(256, 4);
+        c.insert(7, pred(70));
+        c.insert(9, pred(90));
+        // Duplicate keys and misses interleaved.
+        let keys = [7u64, 1, 9, 7, 2, 7];
+        let out = c.get_batch(&keys);
+        assert_eq!(out.len(), keys.len());
+        assert_eq!(out[0].unwrap().value, 70);
+        assert_eq!(out[1], None);
+        assert_eq!(out[2].unwrap().value, 90);
+        assert_eq!(out[3].unwrap().value, 70);
+        assert_eq!(out[4], None);
+        assert_eq!(out[5].unwrap().value, 70);
+        let s = c.stats();
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn sharded_batch_insert_reports_evictions() {
+        let c = ShardedResultCache::new(4, 4); // one entry per shard
+        let entries: Vec<(u64, Prediction)> = (0..64).map(|k| (k, pred(k as usize))).collect();
+        let evicted = c.insert_batch(&entries);
+        assert_eq!(c.len(), 4);
+        assert_eq!(evicted, c.stats().evictions);
+        assert_eq!(c.stats().insertions, 64);
+    }
+
+    #[test]
+    fn sharded_cache_is_exact_under_contention() {
+        let c = std::sync::Arc::new(ShardedResultCache::new(1 << 12, 8));
+        let n_threads = 8u64;
+        let per_thread = 4_000u64;
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let key = t * per_thread + i;
+                    if c.get(key).is_none() {
+                        c.insert(key, pred(1));
+                    }
+                    let _ = c.get(key);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        // Each thread does exactly 2 lookups and 1 insert per unique key
+        // (keys are disjoint across threads, so the first get misses).
+        assert_eq!(s.hits + s.misses, 2 * n_threads * per_thread, "no lost lookup counts");
+        assert_eq!(s.insertions, n_threads * per_thread, "no lost insert counts");
+        assert!(s.misses >= n_threads * per_thread, "first lookup of each unique key misses");
     }
 }

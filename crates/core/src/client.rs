@@ -16,7 +16,7 @@
 //! unless it has expired — the two cases §4.2 enumerates.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
@@ -26,7 +26,7 @@ use rc_obs::{Counter, Histogram};
 use rc_store::Store;
 use rc_types::vm::SubscriptionId;
 
-use crate::cache::{DiskCache, FeatureCache, ResultCache};
+use crate::cache::{DiskCache, FeatureCache, ShardedResultCache};
 use crate::features::SubscriptionFeatures;
 use crate::inputs::ClientInputs;
 use crate::models::{feature_store_key, TrainedModel};
@@ -48,8 +48,12 @@ pub enum CacheMode {
 pub struct ClientConfig {
     /// Push or pull caching.
     pub mode: CacheMode,
-    /// Result-cache capacity in entries.
+    /// Result-cache capacity in entries (split across the shards).
     pub result_cache_capacity: usize,
+    /// Result-cache shard count (rounded up to a power of two); `0` picks
+    /// a machine-appropriate default. `1` degenerates to the old
+    /// single-mutex cache — useful as a contention baseline.
+    pub result_cache_shards: usize,
     /// Directory for the local disk cache; `None` disables it.
     pub disk_cache_dir: Option<std::path::PathBuf>,
     /// Expiry of disk-cache contents.
@@ -68,6 +72,7 @@ impl Default for ClientConfig {
         ClientConfig {
             mode: CacheMode::Push,
             result_cache_capacity: 1 << 20,
+            result_cache_shards: 0,
             disk_cache_dir: None,
             disk_cache_expiry: StdDuration::from_secs(24 * 3600),
             auto_refresh_interval: None,
@@ -94,6 +99,10 @@ struct ClientMetrics {
     no_predictions: Counter,
     model_execs: Counter,
     background_refreshes: Counter,
+    batch_predicts: Counter,
+    batch_deduped_execs: Counter,
+    workers_started: Counter,
+    workers_stopped: Counter,
 }
 
 impl ClientMetrics {
@@ -115,17 +124,21 @@ impl ClientMetrics {
             no_predictions: reg.counter(rc_obs::CLIENT_NO_PREDICTIONS),
             model_execs: reg.counter(rc_obs::CLIENT_MODEL_EXECS),
             background_refreshes: reg.counter(rc_obs::CLIENT_BACKGROUND_REFRESHES),
+            batch_predicts: reg.counter(rc_obs::CLIENT_BATCH_PREDICTS),
+            batch_deduped_execs: reg.counter(rc_obs::CLIENT_BATCH_DEDUPED_EXECS),
+            workers_started: reg.counter(rc_obs::CLIENT_WORKERS_STARTED),
+            workers_stopped: reg.counter(rc_obs::CLIENT_WORKERS_STOPPED),
         }
     }
 }
 
-/// State shared between the client facade and the pull worker.
+/// State shared between the client facade and the background workers.
 struct Shared {
     store: Store,
     config: ClientConfig,
     models: RwLock<HashMap<String, Arc<TrainedModel>>>,
     features: RwLock<FeatureCache>,
-    results: Mutex<ResultCache>,
+    results: ShardedResultCache,
     in_flight: Mutex<HashSet<u64>>,
     initialized: AtomicBool,
     shutdown: AtomicBool,
@@ -135,17 +148,44 @@ struct Shared {
     refreshes: AtomicU64,
     model_execs: AtomicU64,
     no_predictions: AtomicU64,
+    store_fallbacks: AtomicU64,
+    /// Live facade handles (the original plus clones). The last facade to
+    /// drop signals shutdown and joins the background workers — an exact
+    /// count, unlike the racy `Arc::strong_count` heuristic it replaces
+    /// (two concurrent drops could both read a high count and leak the
+    /// worker threads forever).
+    facades: AtomicUsize,
+    /// Live background worker threads; shared out through
+    /// [`WorkerLifecycle`] so embedders (and tests) can observe shutdown.
+    live_workers: Arc<AtomicUsize>,
+    worker_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     disk: Option<DiskCache>,
     metrics: ClientMetrics,
 }
 
 /// The Resource Central client.
 ///
-/// Cheap to clone; clones share caches and the background worker.
-#[derive(Clone)]
+/// Cheap to clone; clones share caches and the background workers. The
+/// last clone to drop shuts the workers down and joins them.
 pub struct RcClient {
     shared: Arc<Shared>,
     pull_tx: Option<crossbeam_channel_shim::Sender<(String, ClientInputs)>>,
+}
+
+/// Observer for a client's background worker threads.
+///
+/// Obtained from [`RcClient::worker_lifecycle`]; stays valid after every
+/// facade has dropped, which is exactly when it is useful: embedders can
+/// assert the pull worker and push watcher actually exited instead of
+/// leaking.
+#[derive(Clone)]
+pub struct WorkerLifecycle(Arc<AtomicUsize>);
+
+impl WorkerLifecycle {
+    /// Background worker threads currently running for the client.
+    pub fn live(&self) -> usize {
+        self.0.load(Ordering::SeqCst)
+    }
 }
 
 /// Minimal mpsc shim so the pull worker needs no extra dependency: a
@@ -217,9 +257,17 @@ impl RcClient {
     pub fn new(store: Store, config: ClientConfig) -> Self {
         let disk =
             config.disk_cache_dir.clone().map(|dir| DiskCache::new(dir, config.disk_cache_expiry));
+        let n_shards = if config.result_cache_shards == 0 {
+            ShardedResultCache::default_shards()
+        } else {
+            config.result_cache_shards
+        };
+        let results = ShardedResultCache::new(config.result_cache_capacity, n_shards);
+        let metrics = ClientMetrics::new();
+        rc_obs::global().gauge(rc_obs::CLIENT_RESULT_CACHE_SHARDS).set(results.n_shards() as f64);
         let shared = Arc::new(Shared {
             store,
-            results: Mutex::new(ResultCache::new(config.result_cache_capacity)),
+            results,
             config,
             models: RwLock::new(HashMap::new()),
             features: RwLock::new(FeatureCache::default()),
@@ -230,17 +278,27 @@ impl RcClient {
             refreshes: AtomicU64::new(0),
             model_execs: AtomicU64::new(0),
             no_predictions: AtomicU64::new(0),
+            store_fallbacks: AtomicU64::new(0),
+            facades: AtomicUsize::new(1),
+            live_workers: Arc::new(AtomicUsize::new(0)),
+            worker_handles: Mutex::new(Vec::new()),
             disk,
-            metrics: ClientMetrics::new(),
+            metrics,
         });
 
         let pull_tx = if shared.config.mode == CacheMode::Pull {
             let (tx, rx) = crossbeam_channel_shim::unbounded();
             let worker_shared = shared.clone();
-            std::thread::Builder::new()
+            worker_shared.live_workers.fetch_add(1, Ordering::SeqCst);
+            worker_shared.metrics.workers_started.increment();
+            let handle = std::thread::Builder::new()
                 .name("rc-pull-worker".into())
-                .spawn(move || pull_worker(worker_shared, rx))
+                .spawn(move || {
+                    let _guard = WorkerGuard(worker_shared.clone());
+                    pull_worker(worker_shared, rx);
+                })
                 .expect("spawn pull worker");
+            shared.worker_handles.lock().push(handle);
             Some(tx)
         } else {
             None
@@ -248,10 +306,16 @@ impl RcClient {
 
         if let Some(interval) = shared.config.auto_refresh_interval {
             let watcher_shared = shared.clone();
-            std::thread::Builder::new()
+            watcher_shared.live_workers.fetch_add(1, Ordering::SeqCst);
+            watcher_shared.metrics.workers_started.increment();
+            let handle = std::thread::Builder::new()
                 .name("rc-push-watcher".into())
-                .spawn(move || push_watcher(watcher_shared, interval))
+                .spawn(move || {
+                    let _guard = WorkerGuard(watcher_shared.clone());
+                    push_watcher(watcher_shared, interval);
+                })
                 .expect("spawn push watcher");
+            shared.worker_handles.lock().push(handle);
         }
 
         RcClient { shared, pull_tx }
@@ -338,22 +402,12 @@ impl RcClient {
             return false;
         };
         let mut models = HashMap::new();
-        for stem in disk.list("model") {
-            // Stems look like "model_VM_P95UTIL" (slashes flattened).
-            if let Some(bytes) = disk.load_if_fresh("model", &stem.replace('_', "/")) {
+        // `list` returns the original store keys (e.g. "model/VM_P95UTIL")
+        // thanks to the disk cache's lossless name escaping.
+        for name in disk.list("model") {
+            if let Some(bytes) = disk.load_if_fresh("model", &name) {
                 if let Ok(model) = rc_ml::from_bytes::<TrainedModel>(&bytes) {
                     models.insert(model.spec.metric.model_name().to_string(), Arc::new(model));
-                }
-            }
-        }
-        // The flattening above is lossy for names with underscores; retry
-        // with the literal stem (covers "model_model_VM_P95UTIL.bin").
-        if models.is_empty() {
-            for stem in disk.list("model") {
-                if let Some(bytes) = disk.load_if_fresh("model", &stem) {
-                    if let Ok(model) = rc_ml::from_bytes::<TrainedModel>(&bytes) {
-                        models.insert(model.spec.metric.model_name().to_string(), Arc::new(model));
-                    }
                 }
             }
         }
@@ -388,7 +442,7 @@ impl RcClient {
             return self.no_prediction();
         }
         let key = inputs.cache_key(model_name);
-        if let Some(hit) = self.shared.results.lock().get(key) {
+        if let Some(hit) = self.shared.results.get(key) {
             metrics.result_hits.increment();
             metrics.hit_latency.record_duration(start.elapsed());
             return PredictionResponse::Predicted(hit);
@@ -397,7 +451,7 @@ impl RcClient {
         let response = match self.shared.config.mode {
             CacheMode::Push => match self.execute(model_name, inputs) {
                 Some(prediction) => {
-                    let evicted = self.shared.results.lock().insert(key, prediction);
+                    let evicted = self.shared.results.insert(key, prediction);
                     metrics.result_insertions.increment();
                     if evicted {
                         metrics.result_evictions.increment();
@@ -422,20 +476,122 @@ impl RcClient {
         response
     }
 
-    /// Table 2: `predict_many`.
+    /// Table 2: `predict_many` — a real batch path.
+    ///
+    /// Keys are probed shard-by-shard (each touched shard locked once for
+    /// the whole batch instead of once per request), and in push mode
+    /// every *unique* missed key executes its model at most once, however
+    /// many times it recurs in the batch. Responses are positional, and
+    /// counter semantics match `predict_single` exactly: each input
+    /// records one result-cache hit or miss, so `hits + misses` still
+    /// equals total lookups. Per-item latencies are amortized over the
+    /// batch phase they belong to.
     pub fn predict_many(
         &self,
         model_name: &str,
         inputs: &[ClientInputs],
     ) -> Vec<PredictionResponse> {
-        inputs.iter().map(|i| self.predict_single(model_name, i)).collect()
+        let start = Instant::now();
+        let metrics = &self.shared.metrics;
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        if !self.shared.initialized.load(Ordering::SeqCst) {
+            return inputs.iter().map(|_| self.no_prediction()).collect();
+        }
+        metrics.batch_predicts.increment();
+
+        // Probe phase: one lock acquisition per touched shard.
+        let keys: Vec<u64> = inputs.iter().map(|i| i.cache_key(model_name)).collect();
+        let probed = self.shared.results.get_batch(&keys);
+        let n_hits = probed.iter().filter(|p| p.is_some()).count() as u64;
+        let n_misses = inputs.len() as u64 - n_hits;
+        metrics.result_hits.add(n_hits);
+        metrics.result_misses.add(n_misses);
+        let probe_elapsed = start.elapsed();
+        if n_hits > 0 {
+            let per_hit = probe_elapsed / inputs.len() as u32;
+            for _ in 0..n_hits {
+                metrics.hit_latency.record_duration(per_hit);
+            }
+        }
+
+        let mut responses: Vec<Option<PredictionResponse>> =
+            probed.into_iter().map(|p| p.map(PredictionResponse::Predicted)).collect();
+        if n_misses == 0 {
+            return responses.into_iter().map(|r| r.expect("all hits")).collect();
+        }
+
+        // Dedup phase: group missed occurrences by key, first occurrence
+        // carries the inputs the model executes against.
+        let miss_start = Instant::now();
+        let mut unique_missed: Vec<(u64, usize)> = Vec::new();
+        let mut occurrences: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            if responses[i].is_none() {
+                let occ = occurrences.entry(*key).or_default();
+                if occ.is_empty() {
+                    unique_missed.push((*key, i));
+                }
+                occ.push(i);
+            }
+        }
+        metrics.batch_deduped_execs.add(n_misses - unique_missed.len() as u64);
+
+        match self.shared.config.mode {
+            CacheMode::Push => {
+                let mut filled: Vec<(u64, Prediction)> = Vec::with_capacity(unique_missed.len());
+                for &(key, first_idx) in &unique_missed {
+                    match self.execute(model_name, &inputs[first_idx]) {
+                        Some(prediction) => {
+                            filled.push((key, prediction));
+                            for &i in &occurrences[&key] {
+                                responses[i] = Some(PredictionResponse::Predicted(prediction));
+                            }
+                        }
+                        None => {
+                            for &i in &occurrences[&key] {
+                                responses[i] = Some(self.no_prediction());
+                            }
+                        }
+                    }
+                }
+                if !filled.is_empty() {
+                    let evicted = self.shared.results.insert_batch(&filled);
+                    metrics.result_insertions.add(filled.len() as u64);
+                    metrics.result_evictions.add(evicted);
+                }
+            }
+            CacheMode::Pull => {
+                // Enqueue each unique missed key once; answer no-prediction
+                // now so the next identical batch hits the cache.
+                let mut in_flight = self.shared.in_flight.lock();
+                for &(key, first_idx) in &unique_missed {
+                    if in_flight.insert(key) {
+                        if let Some(tx) = &self.pull_tx {
+                            tx.send((model_name.to_string(), inputs[first_idx]));
+                        }
+                    }
+                }
+                drop(in_flight);
+                for response in responses.iter_mut().filter(|r| r.is_none()) {
+                    *response = Some(self.no_prediction());
+                }
+            }
+        }
+
+        let per_miss = miss_start.elapsed() / n_misses.max(1) as u32;
+        for _ in 0..n_misses {
+            metrics.miss_latency.record_duration(per_miss);
+        }
+        responses.into_iter().map(|r| r.expect("every input answered")).collect()
     }
 
     /// Table 2: `force_reload_cache` — refreshes memory and disk caches
     /// from the store.
     pub fn force_reload_cache(&self) {
         if self.load_from_store() {
-            self.shared.results.lock().clear();
+            self.shared.results.clear();
             self.shared.initialized.store(true, Ordering::SeqCst);
         }
     }
@@ -444,7 +600,7 @@ impl RcClient {
     pub fn flush_cache(&self) {
         self.shared.models.write().clear();
         self.shared.features.write().clear();
-        self.shared.results.lock().clear();
+        self.shared.results.clear();
         if let Some(disk) = &self.shared.disk {
             disk.flush();
         }
@@ -491,12 +647,22 @@ impl RcClient {
 
     /// Result-cache hit rate so far.
     pub fn result_cache_hit_rate(&self) -> f64 {
-        self.shared.results.lock().hit_rate()
+        self.shared.results.hit_rate()
     }
 
-    /// Result-cache entry count.
+    /// Result-cache entry count across all shards.
     pub fn result_cache_len(&self) -> usize {
-        self.shared.results.lock().len()
+        self.shared.results.len()
+    }
+
+    /// Exact result-cache counters, aggregated across shards.
+    pub fn result_cache_stats(&self) -> crate::cache::ResultCacheStats {
+        self.shared.results.stats()
+    }
+
+    /// Number of result-cache shards this client was built with.
+    pub fn result_cache_shards(&self) -> usize {
+        self.shared.results.n_shards()
     }
 
     /// Model executions so far (each one is a result-cache fill).
@@ -512,7 +678,7 @@ impl RcClient {
         if execs == 0 {
             return 0.0;
         }
-        self.shared.results.lock().hits() as f64 / execs as f64
+        self.shared.results.hits() as f64 / execs as f64
     }
 
     /// Drops only the result cache, keeping models and feature data.
@@ -520,12 +686,25 @@ impl RcClient {
     /// Useful when the client knows its inputs' behaviour changed (and for
     /// benchmarking the model-execution path).
     pub fn clear_result_cache(&self) {
-        self.shared.results.lock().clear();
+        self.shared.results.clear();
     }
 
     /// No-prediction replies so far.
     pub fn no_prediction_count(&self) -> u64 {
         self.shared.no_predictions.load(Ordering::Relaxed)
+    }
+
+    /// Pull-mode model fetches that fell back to the disk cache because
+    /// the store pull failed. Successful store pulls do not count.
+    pub fn store_fallback_count(&self) -> u64 {
+        self.shared.store_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Handle for observing this client's background worker threads; it
+    /// outlives every facade, so callers can verify the workers exited
+    /// after the last clone dropped.
+    pub fn worker_lifecycle(&self) -> WorkerLifecycle {
+        WorkerLifecycle(self.shared.live_workers.clone())
     }
 
     /// Background cache refreshes performed by the push watcher.
@@ -544,18 +723,41 @@ impl RcClient {
     }
 }
 
+/// Decrements the live-worker count when a background thread exits, even
+/// if the worker body panics.
+struct WorkerGuard(Arc<Shared>);
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.0.live_workers.fetch_sub(1, Ordering::SeqCst);
+        self.0.metrics.workers_stopped.increment();
+    }
+}
+
+impl Clone for RcClient {
+    fn clone(&self) -> Self {
+        self.shared.facades.fetch_add(1, Ordering::SeqCst);
+        RcClient { shared: self.shared.clone(), pull_tx: self.pull_tx.clone() }
+    }
+}
+
 impl Drop for RcClient {
     fn drop(&mut self) {
-        // Count facade-external references: the pull worker and the push
-        // watcher each hold one Arc. When only background threads remain,
-        // shut them down.
-        let background = usize::from(self.pull_tx.is_some())
-            + usize::from(self.shared.config.auto_refresh_interval.is_some());
-        if Arc::strong_count(&self.shared) <= 1 + background {
-            self.shared.shutdown.store(true, Ordering::SeqCst);
-            if let Some(tx) = &self.pull_tx {
-                tx.close();
-            }
+        // Exactly one facade observes the count reach zero, however many
+        // clones drop concurrently; that facade owns shutdown.
+        if self.shared.facades.fetch_sub(1, Ordering::SeqCst) != 1 {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(tx) = &self.pull_tx {
+            tx.close();
+        }
+        // Join the workers so "drop the last facade" deterministically
+        // means "no client threads remain". Workers never own a facade,
+        // so this cannot self-join.
+        let handles = std::mem::take(&mut *self.shared.worker_handles.lock());
+        for handle in handles {
+            let _ = handle.join();
         }
     }
 }
@@ -599,7 +801,7 @@ fn push_watcher(shared: Arc<Shared>, interval: StdDuration) {
         if current != shared.store_fingerprint.load(Ordering::SeqCst)
             && load_from_store_shared(&shared)
         {
-            shared.results.lock().clear();
+            shared.results.clear();
             shared.refreshes.fetch_add(1, Ordering::Relaxed);
             shared.metrics.background_refreshes.increment();
         }
@@ -636,7 +838,7 @@ fn pull_worker(shared: Arc<Shared>, rx: crossbeam_channel_shim::Receiver<(String
                 shared.model_execs.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.model_execs.increment();
                 let (value, score) = rc_ml::Classifier::predict(model.as_ref(), &features);
-                let evicted = shared.results.lock().insert(key, Prediction { value, score });
+                let evicted = shared.results.insert(key, Prediction { value, score });
                 shared.metrics.result_insertions.increment();
                 if evicted {
                     shared.metrics.result_evictions.increment();
@@ -650,10 +852,14 @@ fn pull_worker(shared: Arc<Shared>, rx: crossbeam_channel_shim::Receiver<(String
 /// Fetches and caches a model from the store (or fresh disk cache).
 fn fetch_model(shared: &Arc<Shared>, model_name: &str) -> Option<Arc<TrainedModel>> {
     let key = format!("model/{model_name}");
-    shared.metrics.store_fallbacks.increment();
     let bytes = match shared.store.get_latest(&key) {
         Ok(rec) => Some(rec.data.to_vec()),
         Err(_) => {
+            // Only an actual fall-back to the local disk counts toward
+            // `store_fallbacks`; a successful store pull is the normal
+            // pull-mode path, not a fallback.
+            shared.metrics.store_fallbacks.increment();
+            shared.store_fallbacks.fetch_add(1, Ordering::Relaxed);
             let recovered = shared.disk.as_ref().and_then(|d| d.load_if_fresh("model", &key));
             if recovered.is_some() {
                 shared.metrics.disk_recoveries.increment();

@@ -26,7 +26,7 @@ pub mod models;
 pub mod pipeline;
 pub mod prediction;
 
-pub use cache::{DiskCache, FeatureCache, ResultCache};
+pub use cache::{DiskCache, FeatureCache, ResultCache, ShardedResultCache};
 pub use client::{CacheMode, ClientConfig, RcClient};
 pub use features::SubscriptionFeatures;
 pub use inputs::ClientInputs;

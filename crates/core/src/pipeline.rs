@@ -62,6 +62,10 @@ pub struct PipelineConfig {
     /// per-bucket history fractions are the most important attributes;
     /// comparing a run with this flag quantifies that claim.
     pub ablate_history: bool,
+    /// Worker threads for the train/validate fan-out across the six
+    /// per-metric models; `0` picks the available parallelism. `1`
+    /// reproduces the old strictly-sequential training loop.
+    pub train_workers: usize,
 }
 
 impl PipelineConfig {
@@ -77,6 +81,7 @@ impl PipelineConfig {
             interactive_oversample: 3,
             refresh_every_days: 7.0,
             ablate_history: false,
+            train_workers: 0,
         }
     }
 
@@ -396,8 +401,11 @@ pub fn run_pipeline(
     registry.counter(rc_obs::PIPELINE_FEATURE_REFRESHES).add(feature_refreshes.len() as u64);
 
     // --- Training & validation ---
-    let mut models = Vec::with_capacity(6);
-    let mut reports = Vec::with_capacity(6);
+    // The six per-metric models are independent, so they train and
+    // validate concurrently on the scoped worker pool; output order stays
+    // [`PredictionMetric::index`] order because the pool returns results
+    // by task index. Spans and the shared train-latency histogram are
+    // lock-free, so per-metric observability is unchanged.
     let splits: [(&Split, PredictionMetric); 6] = [
         (&avg, PredictionMetric::AvgCpuUtil),
         (&p95, PredictionMetric::P95MaxCpuUtil),
@@ -406,35 +414,50 @@ pub fn run_pipeline(
         (&life, PredictionMetric::Lifetime),
         (&class, PredictionMetric::WorkloadClass),
     ];
-    let train_latency = registry.histogram(rc_obs::PIPELINE_TRAIN_LATENCY_NS);
-    let models_trained = registry.counter(rc_obs::PIPELINE_MODELS_TRAINED);
-    for (split, metric) in splits {
+    for (split, metric) in &splits {
         if split.train.len() < 50 || split.test.is_empty() {
             return Err(PipelineError::InsufficientData { what: metric.label() });
         }
-        let mut span = tracer.span("pipeline.train");
-        span.record("metric", metric.label()).record("n_train", split.train.len() as u64);
-        let train_start = std::time::Instant::now();
-        let spec = ModelSpec::for_metric(metric);
-        let binned = BinnedDataset::build(&split.train);
-        let estimator = match spec.approach {
-            ModelApproach::RandomForest => {
-                Estimator::Forest(RandomForest::fit(&binned, &config.forest))
-            }
-            ModelApproach::GradientBoosting | ModelApproach::FftGradientBoosting => {
-                Estimator::Boosted(GradientBoosting::fit(&binned, &config.gbt))
-            }
-        };
-        let model = TrainedModel { spec, estimator };
-        train_latency.record_duration(train_start.elapsed());
-        models_trained.increment();
-        span.finish();
+    }
+    let train_latency = registry.histogram(rc_obs::PIPELINE_TRAIN_LATENCY_NS);
+    let models_trained = registry.counter(rc_obs::PIPELINE_MODELS_TRAINED);
+    let n_workers = if config.train_workers == 0 {
+        rc_ml::pool::default_workers().min(splits.len())
+    } else {
+        config.train_workers.min(splits.len())
+    };
+    registry.gauge(rc_obs::PIPELINE_TRAIN_WORKERS).set(n_workers as f64);
+    let trained: Vec<(TrainedModel, MetricReport)> =
+        rc_ml::pool::map(n_workers, &splits, |_, &(split, metric)| {
+            let mut span = tracer.span("pipeline.train");
+            span.record("metric", metric.label()).record("n_train", split.train.len() as u64);
+            let train_start = std::time::Instant::now();
+            let spec = ModelSpec::for_metric(metric);
+            let binned = BinnedDataset::build(&split.train);
+            let estimator = match spec.approach {
+                ModelApproach::RandomForest => {
+                    Estimator::Forest(RandomForest::fit(&binned, &config.forest))
+                }
+                ModelApproach::GradientBoosting | ModelApproach::FftGradientBoosting => {
+                    Estimator::Boosted(GradientBoosting::fit(&binned, &config.gbt))
+                }
+            };
+            let model = TrainedModel { spec, estimator };
+            train_latency.record_duration(train_start.elapsed());
+            models_trained.increment();
+            span.finish();
 
-        let mut span = tracer.span("pipeline.validate");
-        span.record("metric", metric.label()).record("n_test", split.test.len() as u64);
-        reports.push(evaluate(&model, &split.test, config.theta, split.train.len()));
-        span.finish();
+            let mut span = tracer.span("pipeline.validate");
+            span.record("metric", metric.label()).record("n_test", split.test.len() as u64);
+            let report = evaluate(&model, &split.test, config.theta, split.train.len());
+            span.finish();
+            (model, report)
+        });
+    let mut models = Vec::with_capacity(splits.len());
+    let mut reports = Vec::with_capacity(splits.len());
+    for (model, report) in trained {
         models.push(model);
+        reports.push(report);
     }
 
     let feature_data_bytes = feature_data

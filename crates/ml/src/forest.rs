@@ -3,7 +3,8 @@
 //! Each member tree trains on a bootstrap resample of the rows and examines
 //! a random subset of features at every split (`sqrt(n_features)` by
 //! default, the standard Breiman setting). Member training is embarrassingly
-//! parallel and uses crossbeam scoped threads.
+//! parallel and runs on the scoped worker pool ([`crate::pool`]), one task
+//! per tree so deep and shallow members load-balance dynamically.
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -68,43 +69,24 @@ impl RandomForest {
             .max(1);
         let sample = ((n as f64) * config.bootstrap_fraction).round().max(1.0) as usize;
 
-        let n_threads = if config.n_threads == 0 {
-            std::thread::available_parallelism().map_or(4, |p| p.get())
-        } else {
-            config.n_threads
-        };
-        let n_threads = n_threads.min(config.n_trees).max(1);
+        let n_threads =
+            if config.n_threads == 0 { crate::pool::default_workers() } else { config.n_threads };
 
-        let mut trees: Vec<Option<DecisionTree>> = vec![None; config.n_trees];
-        let chunk = config.n_trees.div_ceil(n_threads);
-        crossbeam::thread::scope(|scope| {
-            for (t, slot_chunk) in trees.chunks_mut(chunk).enumerate() {
-                let base = t * chunk;
-                let tree_cfg = &config.tree;
-                scope.spawn(move |_| {
-                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                        let k = base + off;
-                        let seed =
-                            config.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(k as u64);
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        let indices: Vec<u32> =
-                            (0..sample).map(|_| rng.gen_range(0..n) as u32).collect();
-                        let cfg = TreeConfig {
-                            features_per_split: Some(per_split),
-                            seed: seed ^ 0xabcd_1234,
-                            ..tree_cfg.clone()
-                        };
-                        *slot = Some(DecisionTree::fit_on(data, &indices, &cfg));
-                    }
-                });
-            }
-        })
-        .expect("forest worker panicked");
+        // One pool task per tree: member seeds derive from the tree index,
+        // so the forest is identical however the tasks are scheduled.
+        let trees = crate::pool::run(n_threads, config.n_trees, |k| {
+            let seed = config.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(k as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let indices: Vec<u32> = (0..sample).map(|_| rng.gen_range(0..n) as u32).collect();
+            let cfg = TreeConfig {
+                features_per_split: Some(per_split),
+                seed: seed ^ 0xabcd_1234,
+                ..config.tree.clone()
+            };
+            DecisionTree::fit_on(data, &indices, &cfg)
+        });
 
-        RandomForest {
-            trees: trees.into_iter().map(|t| t.expect("tree trained")).collect(),
-            n_classes,
-        }
+        RandomForest { trees, n_classes }
     }
 
     /// Number of member trees.

@@ -9,7 +9,10 @@
 //! - [`dataset`]: feature matrices with quantile binning for fast splits.
 //! - [`tree`]: CART classification trees (gini impurity).
 //! - [`forest`]: bagged random forests with per-split feature subsampling,
-//!   trained in parallel with crossbeam scoped threads.
+//!   trained in parallel on the scoped worker pool.
+//! - [`pool`]: a minimal scoped worker pool (dynamic dispatch over
+//!   `std::thread::scope`) shared by forest training and the offline
+//!   pipeline's per-metric fan-out.
 //! - [`gbt`]: second-order gradient boosting with softmax multi-class loss
 //!   (the XGBoost formulation: leaf value = -G / (H + lambda)).
 //! - [`fft`]: an iterative radix-2 FFT and a diurnal periodicity detector.
@@ -25,6 +28,7 @@ pub mod eval;
 pub mod fft;
 pub mod forest;
 pub mod gbt;
+pub mod pool;
 pub mod tree;
 
 pub use dataset::{BinnedDataset, Dataset};

@@ -1,0 +1,166 @@
+//! A minimal scoped worker pool.
+//!
+//! The registry dependencies are vendored shims, so there is no rayon;
+//! this module provides the one primitive the workspace's parallel code
+//! needs: run `n_tasks` independent closures across `n_workers` scoped
+//! threads and collect the results *in task order*. Dispatch is dynamic
+//! (a shared atomic cursor), so uneven tasks — trees of different depth,
+//! models of different family — load-balance without any up-front
+//! chunking. Workers borrow from the caller's stack via
+//! [`std::thread::scope`], which also guarantees every worker is joined
+//! before `run` returns; a panicking task is resumed on the caller.
+//!
+//! With `n_workers <= 1` (or a single task) the pool degrades to a plain
+//! serial loop on the calling thread — no spawn cost, identical results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Picks the pool width for "use whatever the machine has" callers.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |p| p.get())
+}
+
+/// Runs `task(0..n_tasks)` across `n_workers` scoped threads and returns
+/// the results ordered by task index.
+///
+/// The worker count is clamped to `[1, n_tasks]`. Results are collected
+/// per worker and reassembled by index, so the output order is
+/// deterministic regardless of scheduling.
+///
+/// # Panics
+///
+/// Re-raises the panic of any panicking task on the calling thread.
+pub fn run<R, F>(n_workers: usize, n_tasks: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let n_workers = n_workers.clamp(1, n_tasks);
+    let registry = rc_obs::global();
+    registry.counter(rc_obs::ML_POOL_SCOPES).increment();
+    registry.counter(rc_obs::ML_POOL_TASKS).add(n_tasks as u64);
+    if n_workers == 1 {
+        return (0..n_tasks).map(task).collect();
+    }
+    registry.counter(rc_obs::ML_POOL_WORKERS_SPAWNED).add(n_workers as u64);
+
+    let cursor = AtomicUsize::new(0);
+    let task = &task;
+    let cursor = &cursor;
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tasks {
+                            return done;
+                        }
+                        done.push((i, task(i)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n_tasks);
+    slots.resize_with(n_tasks, || None);
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("pool dispatched every task index")).collect()
+}
+
+/// Maps `f` over `items` with [`run`], preserving item order.
+pub fn map<T, R, F>(n_workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run(n_workers, items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn preserves_task_order() {
+        let out = super::run(4, 100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let seen = Mutex::new(HashSet::new());
+        super::run(3, 64, |i| {
+            assert!(seen.lock().unwrap().insert(i), "task {i} dispatched twice");
+        });
+        assert_eq!(seen.lock().unwrap().len(), 64);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = super::run(1, 33, |i| i as u64 * i as u64);
+        let parallel = super::run(8, 33, |i| i as u64 * i as u64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn map_passes_items_through() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = super::map(2, &items, |i, s| (i, s.len()));
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn workers_clamp_to_task_count() {
+        // 100 workers over 2 tasks must not panic or lose results.
+        let out = super::run(100, 2, |i| i);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_task_list_is_a_no_op() {
+        let out: Vec<u8> = super::run(4, 0, |_| unreachable!("no tasks to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn load_balances_dynamically() {
+        // One deliberately slow task must not serialize the rest behind
+        // it: with 2 workers the fast tasks drain on the other thread.
+        let concurrent_peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        super::run(2, 16, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            concurrent_peak.fetch_max(now, Ordering::SeqCst);
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(concurrent_peak.load(Ordering::SeqCst) >= 2, "workers never overlapped");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn task_panic_propagates() {
+        super::run(2, 4, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+        });
+    }
+}

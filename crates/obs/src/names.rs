@@ -32,8 +32,8 @@ pub const CLIENT_FEATURE_CACHE_HITS: &str = "rc_client_feature_cache_hits";
 /// Feature-cache misses: no feature record for the subscription
 /// (counter).
 pub const CLIENT_FEATURE_CACHE_MISSES: &str = "rc_client_feature_cache_misses";
-/// Synchronous store pulls taken when a model was absent in Pull mode
-/// (counter).
+/// Pull-mode model fetches whose store pull failed and fell back to the
+/// local disk cache (counter). Successful store pulls do not count.
 pub const CLIENT_STORE_FALLBACKS: &str = "rc_client_store_fallbacks";
 /// Models recovered from the on-disk cache while the store was
 /// unavailable (counter).
@@ -44,6 +44,19 @@ pub const CLIENT_NO_PREDICTIONS: &str = "rc_client_no_predictions";
 pub const CLIENT_MODEL_EXECS: &str = "rc_client_model_execs";
 /// Background model refreshes applied by pull/push workers (counter).
 pub const CLIENT_BACKGROUND_REFRESHES: &str = "rc_client_background_refreshes";
+/// Number of result-cache shards the most recently built client uses
+/// (gauge).
+pub const CLIENT_RESULT_CACHE_SHARDS: &str = "rc_client_result_cache_shards";
+/// `predict_many` calls that took the shard-grouped batch path (counter).
+pub const CLIENT_BATCH_PREDICTS: &str = "rc_client_batch_predicts";
+/// Model executions avoided because a batch deduplicated identical missed
+/// keys (counter).
+pub const CLIENT_BATCH_DEDUPED_EXECS: &str = "rc_client_batch_deduped_execs";
+/// Background worker threads (pull worker, push watcher) started
+/// (counter).
+pub const CLIENT_WORKERS_STARTED: &str = "rc_client_workers_started";
+/// Background worker threads that observed shutdown and exited (counter).
+pub const CLIENT_WORKERS_STOPPED: &str = "rc_client_workers_stopped";
 
 // --- rc-core pipeline (offline training) ---
 
@@ -59,6 +72,19 @@ pub const PIPELINE_MODELS_TRAINED: &str = "rc_pipeline_models_trained";
 pub const PIPELINE_MODELS_PUBLISHED: &str = "rc_pipeline_models_published";
 /// Weekly feature refreshes generated (counter).
 pub const PIPELINE_FEATURE_REFRESHES: &str = "rc_pipeline_feature_refreshes";
+/// Worker threads the last pipeline run used to train the six per-metric
+/// models concurrently (gauge).
+pub const PIPELINE_TRAIN_WORKERS: &str = "rc_pipeline_train_workers";
+
+// --- rc-ml worker pool ---
+
+/// Scoped pool invocations — one per parallel fit or train fan-out
+/// (counter).
+pub const ML_POOL_SCOPES: &str = "rc_ml_pool_scopes";
+/// Tasks dispatched through the scoped pool (counter).
+pub const ML_POOL_TASKS: &str = "rc_ml_pool_tasks";
+/// Worker threads spawned by the scoped pool across all scopes (counter).
+pub const ML_POOL_WORKERS_SPAWNED: &str = "rc_ml_pool_workers_spawned";
 
 // --- rc-store ---
 

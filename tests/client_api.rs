@@ -84,6 +84,32 @@ fn predict_many_matches_predict_single() {
 }
 
 #[test]
+fn predict_many_deduplicates_repeated_inputs() {
+    let (trace, store) = world();
+    let client = RcClient::new(store, ClientConfig::default());
+    client.initialize();
+    let a = vm_inputs(&trace, VmId(3));
+    let b = vm_inputs(&trace, VmId(5));
+    let batch = vec![a, b, a, b, a];
+    let out = client.predict_many("VM_AVGUTIL", &batch);
+    assert_eq!(out.len(), 5);
+    assert!(out[0].is_predicted() && out[1].is_predicted());
+    assert_eq!(out[0], out[2]);
+    assert_eq!(out[0], out[4]);
+    assert_eq!(out[1], out[3]);
+    // Five misses, but only the two unique keys execute their model.
+    assert_eq!(client.model_exec_count(), 2);
+    let stats = client.result_cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, 5));
+    // An identical batch is then pure cache hits: no new executions.
+    let again = client.predict_many("VM_AVGUTIL", &batch);
+    assert_eq!(again, out);
+    assert_eq!(client.model_exec_count(), 2);
+    let stats = client.result_cache_stats();
+    assert_eq!((stats.hits, stats.misses), (5, 5));
+}
+
+#[test]
 fn flush_cache_drops_everything() {
     let (trace, store) = world();
     let client = RcClient::new(store, ClientConfig::default());
