@@ -406,9 +406,43 @@ fn unescape_name(stem: &str) -> String {
     out
 }
 
+/// How a disk-cache load resolved (see [`DiskCache::load_graced`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskLoadResult {
+    /// Present, checksum valid, younger than the expiry.
+    Fresh(Vec<u8>),
+    /// Present and valid, but past the expiry — inside the caller's grace
+    /// window (stale-while-revalidate serving).
+    Stale(Vec<u8>),
+    /// Present and valid, but older than expiry + grace.
+    Expired,
+    /// Present but torn, truncated, or checksum-mismatched.
+    Corrupt,
+    /// No entry on disk.
+    Missing,
+}
+
+/// Frame magic for disk-cache entries ("RC cache v1").
+const DISK_MAGIC: [u8; 4] = *b"RCC1";
+
+/// FNV-1a over a payload — the disk frame's integrity checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The local disk cache. RC "stores the content of the model and feature
 /// data caches in the local file system" and consults it only when the
 /// store is unavailable, ignoring it once expired (§4.2).
+///
+/// Entries are framed (`RCC1` magic + FNV-1a checksum + payload) and
+/// written atomically (temp file in the same directory, then rename), so
+/// a crash mid-write can never leave a truncated entry that later loads
+/// as data — a torn or hand-mangled file surfaces as
+/// [`DiskLoadResult::Corrupt`] instead.
 #[derive(Debug, Clone)]
 pub struct DiskCache {
     dir: PathBuf,
@@ -427,25 +461,75 @@ impl DiskCache {
         self.dir.join(format!("{kind}_{}.bin", escape_name(name)))
     }
 
-    /// Persists a record.
+    /// Persists a record crash-safely: the framed entry is written to a
+    /// unique temp file in the cache directory and renamed into place, so
+    /// readers only ever observe a complete frame (rename is atomic on
+    /// POSIX within one filesystem).
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save(&self, kind: &str, name: &str, bytes: &[u8]) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
-        std::fs::write(self.path_for(kind, name), bytes)
+        let mut framed = Vec::with_capacity(12 + bytes.len());
+        framed.extend_from_slice(&DISK_MAGIC);
+        framed.extend_from_slice(&fnv1a(bytes).to_le_bytes());
+        framed.extend_from_slice(bytes);
+        static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.dir.join(format!(".tmp_{}_{seq}", std::process::id()));
+        std::fs::write(&tmp, &framed)?;
+        let result = std::fs::rename(&tmp, self.path_for(kind, name));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
-    /// Loads a record if present *and* younger than the expiry.
-    pub fn load_if_fresh(&self, kind: &str, name: &str) -> Option<Vec<u8>> {
-        let path = self.path_for(kind, name);
-        let meta = std::fs::metadata(&path).ok()?;
-        let age = SystemTime::now().duration_since(meta.modified().ok()?).ok()?;
-        if age > self.expiry {
+    /// Unframes one entry's file contents, verifying magic and checksum.
+    fn unframe(raw: &[u8]) -> Option<Vec<u8>> {
+        if raw.len() < 12 || raw[..4] != DISK_MAGIC {
             return None;
         }
-        std::fs::read(&path).ok()
+        let stored = u64::from_le_bytes(raw[4..12].try_into().expect("8 bytes"));
+        let payload = &raw[12..];
+        (fnv1a(payload) == stored).then(|| payload.to_vec())
+    }
+
+    /// Loads a record, classifying it by age against the expiry and a
+    /// caller-supplied grace window: younger than `expiry` is
+    /// [`DiskLoadResult::Fresh`], within `expiry + grace` is
+    /// [`DiskLoadResult::Stale`], older is [`DiskLoadResult::Expired`].
+    /// Frame or checksum violations are [`DiskLoadResult::Corrupt`].
+    pub fn load_graced(&self, kind: &str, name: &str, grace: StdDuration) -> DiskLoadResult {
+        let path = self.path_for(kind, name);
+        let Ok(meta) = std::fs::metadata(&path) else {
+            return DiskLoadResult::Missing;
+        };
+        let age = meta
+            .modified()
+            .ok()
+            .and_then(|m| SystemTime::now().duration_since(m).ok())
+            .unwrap_or(StdDuration::MAX);
+        if age > self.expiry.saturating_add(grace) {
+            return DiskLoadResult::Expired;
+        }
+        let Ok(raw) = std::fs::read(&path) else {
+            return DiskLoadResult::Missing;
+        };
+        match Self::unframe(&raw) {
+            None => DiskLoadResult::Corrupt,
+            Some(payload) if age > self.expiry => DiskLoadResult::Stale(payload),
+            Some(payload) => DiskLoadResult::Fresh(payload),
+        }
+    }
+
+    /// Loads a record if present, intact, *and* younger than the expiry.
+    pub fn load_if_fresh(&self, kind: &str, name: &str) -> Option<Vec<u8>> {
+        match self.load_graced(kind, name, StdDuration::ZERO) {
+            DiskLoadResult::Fresh(bytes) => Some(bytes),
+            _ => None,
+        }
     }
 
     /// Names of all persisted records of a kind (fresh or not), restored
@@ -586,6 +670,82 @@ mod tests {
         let mut names = cache.list("model");
         names.sort();
         assert_eq!(names, vec!["model/50%_off", "model/a/b", "model/a_b", "model_a/b"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cache_detects_torn_writes() {
+        let dir = std::env::temp_dir().join(format!("rc_disk_torn_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(dir.clone(), StdDuration::from_secs(3_600));
+        cache.save("model", "m", b"intact payload").unwrap();
+        let path = dir.join("model_m.bin");
+        let full = std::fs::read(&path).unwrap();
+
+        // A crash mid-write leaves a prefix of the frame: every prefix
+        // must classify as Corrupt (or Missing for the empty file), never
+        // as data.
+        for cut in [0, 3, 11, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert_eq!(
+                cache.load_graced("model", "m", StdDuration::ZERO),
+                DiskLoadResult::Corrupt,
+                "torn at {cut} bytes"
+            );
+            assert_eq!(cache.load_if_fresh("model", "m"), None);
+        }
+
+        // Bit rot inside the payload trips the checksum.
+        let mut rotted = full.clone();
+        let last = rotted.len() - 1;
+        rotted[last] ^= 0x40;
+        std::fs::write(&path, &rotted).unwrap();
+        assert_eq!(cache.load_graced("model", "m", StdDuration::ZERO), DiskLoadResult::Corrupt);
+
+        // The intact frame still round-trips.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(cache.load_if_fresh("model", "m").unwrap(), b"intact payload");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cache_save_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("rc_disk_tmp_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(dir.clone(), StdDuration::from_secs(3_600));
+        for i in 0..20 {
+            cache.save("model", &format!("m{i}"), b"x").unwrap();
+        }
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp_"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away");
+        assert_eq!(cache.list("model").len(), 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cache_grace_window_serves_stale() {
+        let dir = std::env::temp_dir().join(format!("rc_disk_grace_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Expiry zero: everything is stale the moment it lands.
+        let cache = DiskCache::new(dir.clone(), StdDuration::ZERO);
+        cache.save("model", "m", b"old but usable").unwrap();
+        std::thread::sleep(StdDuration::from_millis(15));
+        assert_eq!(cache.load_if_fresh("model", "m"), None, "fresh load rejects expired");
+        assert_eq!(
+            cache.load_graced("model", "m", StdDuration::from_secs(3_600)),
+            DiskLoadResult::Stale(b"old but usable".to_vec()),
+            "grace window serves it as stale"
+        );
+        assert_eq!(
+            cache.load_graced("model", "m", StdDuration::ZERO),
+            DiskLoadResult::Expired,
+            "no grace, no serve"
+        );
+        assert_eq!(cache.load_graced("model", "nope", StdDuration::ZERO), DiskLoadResult::Missing);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

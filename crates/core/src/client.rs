@@ -12,25 +12,36 @@
 //!   immediately while a background worker fetches the model/feature data
 //!   and executes the model, so a later identical request hits the cache.
 //!
-//! When the store is unavailable, loads fall back to the disk cache
-//! unless it has expired — the two cases §4.2 enumerates.
+//! When the store misbehaves, the client walks a degradation ladder
+//! instead of failing (§4.3: RC is non-mission-critical): store pulls are
+//! retried with jittered exponential backoff under a per-call deadline,
+//! guarded by per-key circuit breakers; failed pulls fall back to the
+//! local disk cache, serving entries past their expiry inside a
+//! configurable stale-grace window; corrupt or undecodable payloads are
+//! counted and treated as fetch failures; and when nothing is loadable at
+//! all, every lookup still answers the no-prediction default. The
+//! [`RcClient::health`] probe summarizes the ladder for schedulers.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration as StdDuration, Instant};
+use std::time::{Duration as StdDuration, Instant, SystemTime};
 
 use parking_lot::{Mutex, RwLock};
 
 use rc_obs::{Counter, Histogram};
-use rc_store::Store;
+use rc_store::{Store, StoreBackend};
 use rc_types::vm::SubscriptionId;
 
-use crate::cache::{DiskCache, FeatureCache, ShardedResultCache};
+use crate::cache::{DiskCache, DiskLoadResult, FeatureCache, ShardedResultCache};
 use crate::features::SubscriptionFeatures;
 use crate::inputs::ClientInputs;
 use crate::models::{feature_store_key, TrainedModel};
-use crate::prediction::{Prediction, PredictionResponse};
+use crate::prediction::{Prediction, PredictionResponse, Served};
+use crate::resilience::{
+    Admission, BreakerConfig, CircuitBreakers, ClientHealth, DegradedReason, RetryJitter,
+    RetryPolicy,
+};
 
 /// Caching mode (§4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +52,11 @@ pub enum CacheMode {
     /// Models and feature data are fetched on demand in the background; a
     /// result-cache miss answers no-prediction.
     Pull,
+    /// Models and feature data are fetched on demand *synchronously*: a
+    /// result-cache miss blocks on the resilient fetch path (retry +
+    /// breaker + disk fallback) and always resolves to a prediction or
+    /// the default in one call. The mode the chaos suite exercises.
+    PullSync,
 }
 
 /// Client configuration.
@@ -65,6 +81,19 @@ pub struct ClientConfig {
     /// the caches in the client DLL", §4.2). `None` disables the watcher;
     /// `force_reload_cache` still refreshes on demand.
     pub auto_refresh_interval: Option<StdDuration>,
+    /// Retry/backoff/deadline policy for on-demand store pulls.
+    pub retry: RetryPolicy,
+    /// Per-key circuit-breaker thresholds for on-demand store pulls.
+    pub breaker: BreakerConfig,
+    /// Stale-while-revalidate window: a disk-cache entry past its expiry
+    /// but within `expiry + stale_grace` may still be served (counted as
+    /// a stale serve, flagged in [`RcClient::health`]). Zero keeps the
+    /// strict §4.2 behaviour: expired means ignored.
+    pub stale_grace: StdDuration,
+    /// Mirror successful on-demand fetches to the disk cache. Disable to
+    /// run against a read-only, pre-primed disk cache (chaos and
+    /// reproducibility runs do this so a run never perturbs the next).
+    pub disk_write_through: bool,
 }
 
 impl Default for ClientConfig {
@@ -76,6 +105,10 @@ impl Default for ClientConfig {
             disk_cache_dir: None,
             disk_cache_expiry: StdDuration::from_secs(24 * 3600),
             auto_refresh_interval: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            stale_grace: StdDuration::ZERO,
+            disk_write_through: true,
         }
     }
 }
@@ -103,6 +136,12 @@ struct ClientMetrics {
     batch_deduped_execs: Counter,
     workers_started: Counter,
     workers_stopped: Counter,
+    lookups: Counter,
+    fresh_fetches: Counter,
+    stale_serves: Counter,
+    defaults: Counter,
+    retries: Counter,
+    corrupt_payloads: Counter,
 }
 
 impl ClientMetrics {
@@ -128,13 +167,19 @@ impl ClientMetrics {
             batch_deduped_execs: reg.counter(rc_obs::CLIENT_BATCH_DEDUPED_EXECS),
             workers_started: reg.counter(rc_obs::CLIENT_WORKERS_STARTED),
             workers_stopped: reg.counter(rc_obs::CLIENT_WORKERS_STOPPED),
+            lookups: reg.counter(rc_obs::CLIENT_LOOKUPS),
+            fresh_fetches: reg.counter(rc_obs::CLIENT_FRESH_FETCHES),
+            stale_serves: reg.counter(rc_obs::CLIENT_STALE_SERVES),
+            defaults: reg.counter(rc_obs::CLIENT_DEFAULTS),
+            retries: reg.counter(rc_obs::CLIENT_RETRIES),
+            corrupt_payloads: reg.counter(rc_obs::CLIENT_CORRUPT_PAYLOADS),
         }
     }
 }
 
 /// State shared between the client facade and the background workers.
 struct Shared {
-    store: Store,
+    backend: Arc<dyn StoreBackend>,
     config: ClientConfig,
     models: RwLock<HashMap<String, Arc<TrainedModel>>>,
     features: RwLock<FeatureCache>,
@@ -149,6 +194,19 @@ struct Shared {
     model_execs: AtomicU64,
     no_predictions: AtomicU64,
     store_fallbacks: AtomicU64,
+    lookups: AtomicU64,
+    fresh_fetches: AtomicU64,
+    stale_serves: AtomicU64,
+    retries: AtomicU64,
+    corrupt_payloads: AtomicU64,
+    /// Model names currently resident from *stale* disk data.
+    stale_models: Mutex<HashSet<String>>,
+    /// Subscriptions whose resident feature record is stale disk data.
+    stale_subs: Mutex<HashSet<SubscriptionId>>,
+    /// First observed degradation since the last all-clear.
+    degraded: Mutex<Option<(SystemTime, DegradedReason)>>,
+    breakers: CircuitBreakers,
+    jitter: RetryJitter,
     /// Live facade handles (the original plus clones). The last facade to
     /// drop signals shutdown and joins the background workers — an exact
     /// count, unlike the racy `Arc::strong_count` heuristic it replaces
@@ -252,9 +310,16 @@ mod crossbeam_channel_shim {
 }
 
 impl RcClient {
-    /// Creates a client bound to a store. Call
+    /// Creates a client bound to a plain store. Call
     /// [`RcClient::initialize`] before requesting predictions.
     pub fn new(store: Store, config: ClientConfig) -> Self {
+        Self::with_backend(Arc::new(store), config)
+    }
+
+    /// Creates a client bound to any [`StoreBackend`] — a plain
+    /// [`Store`], or a fault-injecting wrapper like
+    /// `rc_store::FaultyStore` for chaos runs.
+    pub fn with_backend(backend: Arc<dyn StoreBackend>, config: ClientConfig) -> Self {
         let disk =
             config.disk_cache_dir.clone().map(|dir| DiskCache::new(dir, config.disk_cache_expiry));
         let n_shards = if config.result_cache_shards == 0 {
@@ -265,8 +330,10 @@ impl RcClient {
         let results = ShardedResultCache::new(config.result_cache_capacity, n_shards);
         let metrics = ClientMetrics::new();
         rc_obs::global().gauge(rc_obs::CLIENT_RESULT_CACHE_SHARDS).set(results.n_shards() as f64);
+        let breakers = CircuitBreakers::new(config.breaker);
+        let jitter = RetryJitter::new(&config.retry);
         let shared = Arc::new(Shared {
-            store,
+            backend,
             results,
             config,
             models: RwLock::new(HashMap::new()),
@@ -279,6 +346,16 @@ impl RcClient {
             model_execs: AtomicU64::new(0),
             no_predictions: AtomicU64::new(0),
             store_fallbacks: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            fresh_fetches: AtomicU64::new(0),
+            stale_serves: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            corrupt_payloads: AtomicU64::new(0),
+            stale_models: Mutex::new(HashSet::new()),
+            stale_subs: Mutex::new(HashSet::new()),
+            degraded: Mutex::new(None),
+            breakers,
+            jitter,
             facades: AtomicUsize::new(1),
             live_workers: Arc::new(AtomicUsize::new(0)),
             worker_handles: Mutex::new(Vec::new()),
@@ -350,20 +427,26 @@ impl RcClient {
 /// without constructing a facade.
 fn load_from_store_shared(shared: &Shared) -> bool {
     {
-        let store = &shared.store;
+        let store = shared.backend.as_ref();
         if !store.is_available() {
             return false;
         }
+        let write_through = shared.config.disk_write_through;
         let keys = store.keys();
         let mut models = HashMap::new();
         for key in keys.iter().filter(|k| k.starts_with("model/")) {
             if let Ok(rec) = store.get_latest(key) {
-                if let Ok(model) = rc_ml::from_bytes::<TrainedModel>(&rec.data) {
-                    let name = key.trim_start_matches("model/").to_string();
-                    if let Some(disk) = &shared.disk {
-                        let _ = disk.save("model", key, &rec.data);
+                match rc_ml::from_bytes::<TrainedModel>(&rec.data) {
+                    Ok(model) => {
+                        let name = key.trim_start_matches("model/").to_string();
+                        if write_through {
+                            if let Some(disk) = &shared.disk {
+                                let _ = disk.save("model", key, &rec.data);
+                            }
+                        }
+                        models.insert(name, Arc::new(model));
                     }
-                    models.insert(name, Arc::new(model));
+                    Err(_) => note_corrupt(shared),
                 }
             }
         }
@@ -375,15 +458,20 @@ fn load_from_store_shared(shared: &Shared) -> bool {
         if shared.config.mode == CacheMode::Push {
             for key in keys.iter().filter(|k| k.starts_with("features/")) {
                 if let Ok(rec) = store.get_latest(key) {
-                    if let Ok(f) = serde_json::from_slice::<SubscriptionFeatures>(&rec.data) {
-                        version = version.max(rec.version);
-                        features.insert(f.subscription, f);
+                    match serde_json::from_slice::<SubscriptionFeatures>(&rec.data) {
+                        Ok(f) => {
+                            version = version.max(rec.version);
+                            features.insert(f.subscription, f);
+                        }
+                        Err(_) => note_corrupt(shared),
                     }
                 }
             }
-            if let Some(disk) = &shared.disk {
-                if let Ok(blob) = serde_json::to_vec(&features.values().collect::<Vec<_>>()) {
-                    let _ = disk.save("features", "all", &blob);
+            if write_through {
+                if let Some(disk) = &shared.disk {
+                    if let Ok(blob) = serde_json::to_vec(&features.values().collect::<Vec<_>>()) {
+                        let _ = disk.save("features", "all", &blob);
+                    }
                 }
             }
         }
@@ -391,39 +479,113 @@ fn load_from_store_shared(shared: &Shared) -> bool {
         if shared.config.mode == CacheMode::Push {
             shared.features.write().replace(features, version);
         }
+        // A full reload from the store means the reloaded caches are
+        // fresh again (feature records are only replaced in push mode).
+        shared.stale_models.lock().clear();
+        if shared.config.mode == CacheMode::Push {
+            shared.stale_subs.lock().clear();
+            *shared.degraded.lock() = None;
+        } else {
+            maybe_clear_degraded(shared);
+        }
         shared.store_fingerprint.store(store_fingerprint(store), Ordering::SeqCst);
         true
     }
 }
 
+/// Records one corrupt/undecodable payload (store pull or disk entry).
+fn note_corrupt(shared: &Shared) {
+    shared.corrupt_payloads.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.corrupt_payloads.increment();
+}
+
+/// Marks the client degraded (first cause wins until the next all-clear).
+fn note_degraded(shared: &Shared, reason: DegradedReason) {
+    let mut degraded = shared.degraded.lock();
+    if degraded.is_none() {
+        *degraded = Some((SystemTime::now(), reason));
+    }
+}
+
+/// Clears the degraded mark once the store answers, no breaker is open,
+/// and nothing stale is resident.
+fn maybe_clear_degraded(shared: &Shared) {
+    if shared.breakers.open_count() == 0
+        && shared.stale_models.lock().is_empty()
+        && shared.stale_subs.lock().is_empty()
+    {
+        *shared.degraded.lock() = None;
+    }
+}
+
 impl RcClient {
     fn load_from_disk(&self) -> bool {
-        let Some(disk) = &self.shared.disk else {
+        let shared = &self.shared;
+        let Some(disk) = &shared.disk else {
             return false;
         };
+        let grace = shared.config.stale_grace;
         let mut models = HashMap::new();
+        let mut stale_names = HashSet::new();
         // `list` returns the original store keys (e.g. "model/VM_P95UTIL")
         // thanks to the disk cache's lossless name escaping.
         for name in disk.list("model") {
-            if let Some(bytes) = disk.load_if_fresh("model", &name) {
-                if let Ok(model) = rc_ml::from_bytes::<TrainedModel>(&bytes) {
-                    models.insert(model.spec.metric.model_name().to_string(), Arc::new(model));
+            let (bytes, stale) = match disk.load_graced("model", &name, grace) {
+                DiskLoadResult::Fresh(bytes) => (bytes, false),
+                DiskLoadResult::Stale(bytes) => (bytes, true),
+                DiskLoadResult::Corrupt => {
+                    note_corrupt(shared);
+                    continue;
                 }
+                DiskLoadResult::Expired | DiskLoadResult::Missing => continue,
+            };
+            match rc_ml::from_bytes::<TrainedModel>(&bytes) {
+                Ok(model) => {
+                    let model_name = model.spec.metric.model_name().to_string();
+                    if stale {
+                        stale_names.insert(model_name.clone());
+                    }
+                    models.insert(model_name, Arc::new(model));
+                }
+                Err(_) => note_corrupt(shared),
             }
         }
         if models.is_empty() {
             return false;
         }
         let mut features = HashMap::new();
-        if let Some(blob) = disk.load_if_fresh("features", "all") {
-            if let Ok(records) = serde_json::from_slice::<Vec<SubscriptionFeatures>>(&blob) {
-                for f in records {
-                    features.insert(f.subscription, f);
+        let mut features_stale = false;
+        let blob = match disk.load_graced("features", "all", grace) {
+            DiskLoadResult::Fresh(blob) => Some(blob),
+            DiskLoadResult::Stale(blob) => {
+                features_stale = true;
+                Some(blob)
+            }
+            DiskLoadResult::Corrupt => {
+                note_corrupt(shared);
+                None
+            }
+            DiskLoadResult::Expired | DiskLoadResult::Missing => None,
+        };
+        if let Some(blob) = blob {
+            match serde_json::from_slice::<Vec<SubscriptionFeatures>>(&blob) {
+                Ok(records) => {
+                    for f in records {
+                        features.insert(f.subscription, f);
+                    }
                 }
+                Err(_) => note_corrupt(shared),
             }
         }
-        *self.shared.models.write() = models;
-        self.shared.features.write().replace(features, 0);
+        if !stale_names.is_empty() || features_stale {
+            note_degraded(shared, DegradedReason::StaleData);
+        }
+        if features_stale {
+            shared.stale_subs.lock().extend(features.keys().copied());
+        }
+        *shared.stale_models.lock() = stale_names;
+        *shared.models.write() = models;
+        shared.features.write().replace(features, 0);
         true
     }
 
@@ -436,19 +598,34 @@ impl RcClient {
 
     /// Table 2: `predict_single`.
     pub fn predict_single(&self, model_name: &str, inputs: &ClientInputs) -> PredictionResponse {
+        self.predict_single_traced(model_name, inputs).0
+    }
+
+    /// `predict_single` plus the degradation-ladder rung the lookup
+    /// landed on. Every call resolves to exactly one [`Served`] class, so
+    /// tallies of the second element reconcile exactly with the
+    /// `rc_client_lookups` / `..._fresh_fetches` / `..._stale_serves` /
+    /// `..._defaults` counters.
+    pub fn predict_single_traced(
+        &self,
+        model_name: &str,
+        inputs: &ClientInputs,
+    ) -> (PredictionResponse, Served) {
         let start = Instant::now();
         let metrics = &self.shared.metrics;
+        self.shared.lookups.fetch_add(1, Ordering::Relaxed);
+        metrics.lookups.increment();
         if !self.shared.initialized.load(Ordering::SeqCst) {
-            return self.no_prediction();
+            return (self.no_prediction(), Served::Default);
         }
         let key = inputs.cache_key(model_name);
         if let Some(hit) = self.shared.results.get(key) {
             metrics.result_hits.increment();
             metrics.hit_latency.record_duration(start.elapsed());
-            return PredictionResponse::Predicted(hit);
+            return (PredictionResponse::Predicted(hit), Served::Hit);
         }
         metrics.result_misses.increment();
-        let response = match self.shared.config.mode {
+        let (response, served) = match self.shared.config.mode {
             CacheMode::Push => match self.execute(model_name, inputs) {
                 Some(prediction) => {
                     let evicted = self.shared.results.insert(key, prediction);
@@ -456,9 +633,22 @@ impl RcClient {
                     if evicted {
                         metrics.result_evictions.increment();
                     }
-                    PredictionResponse::Predicted(prediction)
+                    let served = self.count_serve(model_name, inputs.subscription, 1);
+                    (PredictionResponse::Predicted(prediction), served)
                 }
-                None => self.no_prediction(),
+                None => (self.no_prediction(), Served::Default),
+            },
+            CacheMode::PullSync => match self.resolve_sync(model_name, inputs) {
+                Some(prediction) => {
+                    let evicted = self.shared.results.insert(key, prediction);
+                    metrics.result_insertions.increment();
+                    if evicted {
+                        metrics.result_evictions.increment();
+                    }
+                    let served = self.count_serve(model_name, inputs.subscription, 1);
+                    (PredictionResponse::Predicted(prediction), served)
+                }
+                None => (self.no_prediction(), Served::Default),
             },
             CacheMode::Pull => {
                 // Answer no-prediction now; fill the cache in the
@@ -469,11 +659,46 @@ impl RcClient {
                         tx.send((model_name.to_string(), *inputs));
                     }
                 }
-                self.no_prediction()
+                drop(in_flight);
+                (self.no_prediction(), Served::Default)
             }
         };
         metrics.miss_latency.record_duration(start.elapsed());
-        response
+        (response, served)
+    }
+
+    /// Classifies (and counts) `n` served lookups as fresh or stale,
+    /// depending on whether the model or the subscription's feature
+    /// record is resident from stale disk data.
+    fn count_serve(&self, model_name: &str, sub: SubscriptionId, n: u64) -> Served {
+        let stale = self.shared.stale_models.lock().contains(model_name)
+            || self.shared.stale_subs.lock().contains(&sub);
+        if stale {
+            self.shared.stale_serves.fetch_add(n, Ordering::Relaxed);
+            self.shared.metrics.stale_serves.add(n);
+            note_degraded(&self.shared, DegradedReason::StaleData);
+            Served::Stale
+        } else {
+            self.shared.fresh_fetches.fetch_add(n, Ordering::Relaxed);
+            self.shared.metrics.fresh_fetches.add(n);
+            Served::Fresh
+        }
+    }
+
+    /// Synchronous pull: makes the model and the subscription's feature
+    /// record resident (store → retry/backoff → disk fallback), then
+    /// executes. `None` when every rung of the ladder failed.
+    fn resolve_sync(&self, model_name: &str, inputs: &ClientInputs) -> Option<Prediction> {
+        let shared = &self.shared;
+        if shared.models.read().get(model_name).is_none() {
+            resilient_fetch_model(shared, model_name)?;
+        }
+        if shared.features.read().get(inputs.subscription).is_none()
+            && !resilient_fetch_features(shared, inputs.subscription)
+        {
+            return None;
+        }
+        self.execute(model_name, inputs)
     }
 
     /// Table 2: `predict_many` — a real batch path.
@@ -496,6 +721,8 @@ impl RcClient {
         if inputs.is_empty() {
             return Vec::new();
         }
+        self.shared.lookups.fetch_add(inputs.len() as u64, Ordering::Relaxed);
+        metrics.lookups.add(inputs.len() as u64);
         if !self.shared.initialized.load(Ordering::SeqCst) {
             return inputs.iter().map(|_| self.no_prediction()).collect();
         }
@@ -539,12 +766,25 @@ impl RcClient {
         metrics.batch_deduped_execs.add(n_misses - unique_missed.len() as u64);
 
         match self.shared.config.mode {
-            CacheMode::Push => {
+            CacheMode::Push | CacheMode::PullSync => {
+                let sync_pull = self.shared.config.mode == CacheMode::PullSync;
                 let mut filled: Vec<(u64, Prediction)> = Vec::with_capacity(unique_missed.len());
                 for &(key, first_idx) in &unique_missed {
-                    match self.execute(model_name, &inputs[first_idx]) {
+                    let resolved = if sync_pull {
+                        self.resolve_sync(model_name, &inputs[first_idx])
+                    } else {
+                        self.execute(model_name, &inputs[first_idx])
+                    };
+                    match resolved {
                         Some(prediction) => {
                             filled.push((key, prediction));
+                            // Every occurrence of the key is one lookup
+                            // resolved at this rung.
+                            self.count_serve(
+                                model_name,
+                                inputs[first_idx].subscription,
+                                occurrences[&key].len() as u64,
+                            );
                             for &i in &occurrences[&key] {
                                 responses[i] = Some(PredictionResponse::Predicted(prediction));
                             }
@@ -596,7 +836,8 @@ impl RcClient {
         }
     }
 
-    /// Table 2: `flush_cache` — drops memory and disk caches.
+    /// Table 2: `flush_cache` — drops memory and disk caches. The client
+    /// reports [`ClientHealth::Offline`] until re-initialized.
     pub fn flush_cache(&self) {
         self.shared.models.write().clear();
         self.shared.features.write().clear();
@@ -604,7 +845,32 @@ impl RcClient {
         if let Some(disk) = &self.shared.disk {
             disk.flush();
         }
+        self.shared.stale_models.lock().clear();
+        self.shared.stale_subs.lock().clear();
+        self.shared.breakers.reset();
+        *self.shared.degraded.lock() = None;
         self.shared.initialized.store(false, Ordering::SeqCst);
+    }
+
+    /// The health probe (§4.3): `Offline` when uninitialized or flushed
+    /// (every lookup answers the default — schedulers should take their
+    /// conservative no-prediction path without asking), `Degraded` while
+    /// serving from fallbacks (stale data, disk, open breakers), else
+    /// `Healthy`.
+    pub fn health(&self) -> ClientHealth {
+        if !self.shared.initialized.load(Ordering::SeqCst) {
+            return ClientHealth::Offline;
+        }
+        if let Some((since, reason)) = *self.shared.degraded.lock() {
+            return ClientHealth::Degraded { since, reason };
+        }
+        if self.shared.breakers.open_count() > 0 {
+            return ClientHealth::Degraded {
+                since: SystemTime::now(),
+                reason: DegradedReason::BreakerOpen,
+            };
+        }
+        ClientHealth::Healthy
     }
 
     /// Executes a model synchronously against cached feature data.
@@ -642,6 +908,7 @@ impl RcClient {
     fn no_prediction(&self) -> PredictionResponse {
         self.shared.no_predictions.fetch_add(1, Ordering::Relaxed);
         self.shared.metrics.no_predictions.increment();
+        self.shared.metrics.defaults.increment();
         PredictionResponse::NoPrediction
     }
 
@@ -698,6 +965,38 @@ impl RcClient {
     /// the store pull failed. Successful store pulls do not count.
     pub fn store_fallback_count(&self) -> u64 {
         self.shared.store_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Lookups so far — every `predict_single` call and every element of
+    /// a `predict_many` batch.
+    pub fn lookup_count(&self) -> u64 {
+        self.shared.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Lookups resolved by executing a model against fresh data.
+    pub fn fresh_fetch_count(&self) -> u64 {
+        self.shared.fresh_fetches.load(Ordering::Relaxed)
+    }
+
+    /// Lookups resolved against stale (grace-window) disk data.
+    pub fn stale_serve_count(&self) -> u64 {
+        self.shared.stale_serves.load(Ordering::Relaxed)
+    }
+
+    /// Store-pull retries performed beyond first attempts.
+    pub fn retry_count(&self) -> u64 {
+        self.shared.retries.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt or undecodable payloads skipped (store pulls and disk
+    /// entries).
+    pub fn corrupt_payload_count(&self) -> u64 {
+        self.shared.corrupt_payloads.load(Ordering::Relaxed)
+    }
+
+    /// Per-key circuit breakers currently open.
+    pub fn open_breaker_count(&self) -> usize {
+        self.shared.breakers.open_count()
     }
 
     /// Handle for observing this client's background worker threads; it
@@ -763,7 +1062,7 @@ impl Drop for RcClient {
 }
 
 /// FNV fingerprint over every (key, latest version) pair in the store.
-fn store_fingerprint(store: &Store) -> u64 {
+fn store_fingerprint(store: &dyn StoreBackend) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -794,10 +1093,10 @@ fn push_watcher(shared: Arc<Shared>, interval: StdDuration) {
             continue;
         }
         elapsed = StdDuration::ZERO;
-        if !shared.initialized.load(Ordering::SeqCst) || !shared.store.is_available() {
+        if !shared.initialized.load(Ordering::SeqCst) || !shared.backend.is_available() {
             continue;
         }
-        let current = store_fingerprint(&shared.store);
+        let current = store_fingerprint(shared.backend.as_ref());
         if current != shared.store_fingerprint.load(Ordering::SeqCst)
             && load_from_store_shared(&shared)
         {
@@ -818,7 +1117,7 @@ fn pull_worker(shared: Arc<Shared>, rx: crossbeam_channel_shim::Receiver<(String
             let cached = shared.models.read().get(&model_name).cloned();
             match cached {
                 Some(m) => Some(m),
-                None => fetch_model(&shared, &model_name),
+                None => resilient_fetch_model(&shared, &model_name),
             }
         };
         // Ensure the subscription's feature data is cached.
@@ -826,7 +1125,7 @@ fn pull_worker(shared: Arc<Shared>, rx: crossbeam_channel_shim::Receiver<(String
             if shared.features.read().get(inputs.subscription).is_some() {
                 true
             } else {
-                fetch_features(&shared, inputs.subscription)
+                resilient_fetch_features(&shared, inputs.subscription)
             }
         };
         if let (Some(model), true) = (model, have_features) {
@@ -849,41 +1148,177 @@ fn pull_worker(shared: Arc<Shared>, rx: crossbeam_channel_shim::Receiver<(String
     }
 }
 
-/// Fetches and caches a model from the store (or fresh disk cache).
-fn fetch_model(shared: &Arc<Shared>, model_name: &str) -> Option<Arc<TrainedModel>> {
+/// How one resilient store pull resolved.
+enum FetchOutcome<T> {
+    /// The store answered with a payload that decoded.
+    Data(T),
+    /// The store answered authoritatively: the key does not exist. Not a
+    /// failure — no retry, no disk fallback.
+    NotFound,
+    /// Every attempt failed (unavailability, transient errors, corrupt
+    /// payloads, breaker rejection): time for the next ladder rung.
+    Failed,
+}
+
+/// One resilient store pull: circuit-breaker admission, then up to
+/// `retry.max_attempts` tries under `retry.call_deadline`, with jittered
+/// exponential backoff between tries. A payload that fails `decode` is a
+/// corrupt payload — counted and retried (the corruption may be
+/// per-request; the next pull can return a clean copy).
+fn resilient_get<T>(
+    shared: &Shared,
+    key: &str,
+    decode: impl Fn(&[u8]) -> Option<T>,
+) -> FetchOutcome<T> {
+    if shared.breakers.admit(key) == Admission::Reject {
+        return FetchOutcome::Failed;
+    }
+    let policy = &shared.config.retry;
+    let start = Instant::now();
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match shared.backend.get_latest(key) {
+            Ok(rec) => match decode(&rec.data) {
+                Some(value) => {
+                    shared.breakers.record(key, true);
+                    maybe_clear_degraded(shared);
+                    return FetchOutcome::Data(value);
+                }
+                None => note_corrupt(shared),
+            },
+            Err(err) if !err.is_retryable() => {
+                // The store answered; the key just isn't there.
+                shared.breakers.record(key, true);
+                return FetchOutcome::NotFound;
+            }
+            Err(_) => {}
+        }
+        if attempt >= policy.max_attempts {
+            break;
+        }
+        let backoff = shared.jitter.backoff(policy, attempt);
+        if start.elapsed() + backoff >= policy.call_deadline {
+            break;
+        }
+        shared.retries.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.retries.increment();
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+    }
+    shared.breakers.record(key, false);
+    FetchOutcome::Failed
+}
+
+/// Fetches and caches a model: store (with retry/backoff/breaker), then
+/// the disk cache (fresh first, stale within the grace window).
+fn resilient_fetch_model(shared: &Shared, model_name: &str) -> Option<Arc<TrainedModel>> {
     let key = format!("model/{model_name}");
-    let bytes = match shared.store.get_latest(&key) {
-        Ok(rec) => Some(rec.data.to_vec()),
-        Err(_) => {
+    let decode =
+        |bytes: &[u8]| rc_ml::from_bytes::<TrainedModel>(bytes).ok().map(|m| (m, bytes.to_vec()));
+    match resilient_get(shared, &key, decode) {
+        FetchOutcome::Data((model, bytes)) => {
+            let model = Arc::new(model);
+            shared.models.write().insert(model_name.to_string(), model.clone());
+            shared.stale_models.lock().remove(model_name);
+            if shared.config.disk_write_through {
+                if let Some(disk) = &shared.disk {
+                    let _ = disk.save("model", &key, &bytes);
+                }
+            }
+            Some(model)
+        }
+        FetchOutcome::NotFound => None,
+        FetchOutcome::Failed => {
             // Only an actual fall-back to the local disk counts toward
             // `store_fallbacks`; a successful store pull is the normal
             // pull-mode path, not a fallback.
             shared.metrics.store_fallbacks.increment();
             shared.store_fallbacks.fetch_add(1, Ordering::Relaxed);
-            let recovered = shared.disk.as_ref().and_then(|d| d.load_if_fresh("model", &key));
-            if recovered.is_some() {
-                shared.metrics.disk_recoveries.increment();
-                let mut span = rc_obs::global_tracer().span("client.disk_cache_recovery");
-                span.record("model", model_name);
-                span.finish();
+            let (bytes, stale) = disk_fallback(shared, "model", &key)?;
+            let model = match rc_ml::from_bytes::<TrainedModel>(&bytes) {
+                Ok(model) => Arc::new(model),
+                Err(_) => {
+                    note_corrupt(shared);
+                    return None;
+                }
+            };
+            shared.models.write().insert(model_name.to_string(), model.clone());
+            let mut stale_models = shared.stale_models.lock();
+            if stale {
+                stale_models.insert(model_name.to_string());
+            } else {
+                stale_models.remove(model_name);
             }
-            recovered
+            drop(stale_models);
+            let mut span = rc_obs::global_tracer().span("client.disk_cache_recovery");
+            span.record("model", model_name);
+            span.finish();
+            Some(model)
         }
-    }?;
-    let model = Arc::new(rc_ml::from_bytes::<TrainedModel>(&bytes).ok()?);
-    shared.models.write().insert(model_name.to_string(), model.clone());
-    Some(model)
+    }
 }
 
-/// Fetches and caches one subscription's feature data.
-fn fetch_features(shared: &Arc<Shared>, sub: SubscriptionId) -> bool {
+/// Fetches and caches one subscription's feature data, with the same
+/// ladder as [`resilient_fetch_model`].
+fn resilient_fetch_features(shared: &Shared, sub: SubscriptionId) -> bool {
     let key = feature_store_key(sub);
-    let Ok(rec) = shared.store.get_latest(&key) else {
-        return false;
+    let decode = |bytes: &[u8]| serde_json::from_slice::<SubscriptionFeatures>(bytes).ok();
+    match resilient_get(shared, &key, decode) {
+        FetchOutcome::Data(features) => {
+            if shared.config.disk_write_through {
+                if let Some(disk) = &shared.disk {
+                    if let Ok(blob) = serde_json::to_vec(&features) {
+                        let _ = disk.save("features", &key, &blob);
+                    }
+                }
+            }
+            shared.features.write().insert(features);
+            shared.stale_subs.lock().remove(&sub);
+            true
+        }
+        FetchOutcome::NotFound => false,
+        FetchOutcome::Failed => {
+            shared.metrics.store_fallbacks.increment();
+            shared.store_fallbacks.fetch_add(1, Ordering::Relaxed);
+            let Some((bytes, stale)) = disk_fallback(shared, "features", &key) else {
+                return false;
+            };
+            let Some(features) = decode(&bytes) else {
+                note_corrupt(shared);
+                return false;
+            };
+            shared.features.write().insert(features);
+            let mut stale_subs = shared.stale_subs.lock();
+            if stale {
+                stale_subs.insert(sub);
+            } else {
+                stale_subs.remove(&sub);
+            }
+            true
+        }
+    }
+}
+
+/// The disk rung of the ladder: a fresh entry if there is one, else a
+/// stale entry within the grace window. Returns the payload and whether
+/// it was stale; records recovery metrics and the degraded mark.
+fn disk_fallback(shared: &Shared, kind: &str, key: &str) -> Option<(Vec<u8>, bool)> {
+    let disk = shared.disk.as_ref()?;
+    let (bytes, stale) = match disk.load_graced(kind, key, shared.config.stale_grace) {
+        DiskLoadResult::Fresh(bytes) => (bytes, false),
+        DiskLoadResult::Stale(bytes) => (bytes, true),
+        DiskLoadResult::Corrupt => {
+            note_corrupt(shared);
+            return None;
+        }
+        DiskLoadResult::Expired | DiskLoadResult::Missing => return None,
     };
-    let Ok(features) = serde_json::from_slice::<SubscriptionFeatures>(&rec.data) else {
-        return false;
-    };
-    shared.features.write().insert(features);
-    true
+    shared.metrics.disk_recoveries.increment();
+    note_degraded(
+        shared,
+        if stale { DegradedReason::StaleData } else { DegradedReason::DiskFallback },
+    );
+    Some((bytes, stale))
 }

@@ -25,8 +25,9 @@ pub mod labels;
 pub mod models;
 pub mod pipeline;
 pub mod prediction;
+pub mod resilience;
 
-pub use cache::{DiskCache, FeatureCache, ResultCache, ShardedResultCache};
+pub use cache::{DiskCache, DiskLoadResult, FeatureCache, ResultCache, ShardedResultCache};
 pub use client::{CacheMode, ClientConfig, RcClient};
 pub use features::SubscriptionFeatures;
 pub use inputs::ClientInputs;
@@ -35,4 +36,5 @@ pub use models::{feature_store_key, Estimator, ModelApproach, ModelSpec, Trained
 pub use pipeline::{
     run_pipeline, BucketStats, MetricReport, PipelineConfig, PipelineError, PipelineOutput,
 };
-pub use prediction::{Prediction, PredictionResponse};
+pub use prediction::{Prediction, PredictionResponse, Served};
+pub use resilience::{BreakerConfig, BreakerState, ClientHealth, DegradedReason, RetryPolicy};

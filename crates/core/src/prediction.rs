@@ -25,6 +25,25 @@ pub enum PredictionResponse {
     NoPrediction,
 }
 
+/// How a lookup was resolved — the degradation ladder rung it landed on.
+///
+/// Every lookup lands on exactly one rung, so over any interval
+/// `Hit + Fresh + Stale + Default` equals the number of lookups; the
+/// chaos suite asserts that reconciliation from registry deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Served {
+    /// Result-cache hit (no model executed).
+    Hit,
+    /// Model executed against fresh data (in-memory or store/disk within
+    /// expiry).
+    Fresh,
+    /// Model executed against stale data (disk past expiry, inside the
+    /// grace window).
+    Stale,
+    /// The no-prediction default.
+    Default,
+}
+
 impl PredictionResponse {
     /// The prediction, if one was produced.
     pub fn prediction(&self) -> Option<Prediction> {

@@ -58,6 +58,33 @@ pub const CLIENT_WORKERS_STARTED: &str = "rc_client_workers_started";
 /// Background worker threads that observed shutdown and exited (counter).
 pub const CLIENT_WORKERS_STOPPED: &str = "rc_client_workers_stopped";
 
+// --- rc-core client (resilience layer) ---
+
+/// Predict lookups — every `predict_single` call and every element of a
+/// `predict_many` batch (counter). Reconciles exactly:
+/// `lookups == result_cache_hits + fresh_fetches + stale_serves + defaults`.
+pub const CLIENT_LOOKUPS: &str = "rc_client_lookups";
+/// Lookups resolved by executing a model against *fresh* data — data
+/// loaded from the store, or from a disk-cache entry still inside its
+/// expiry (counter).
+pub const CLIENT_FRESH_FETCHES: &str = "rc_client_fresh_fetches";
+/// Lookups resolved by executing a model against *stale* data — a
+/// disk-cache entry past its expiry but inside the stale-grace window
+/// (counter).
+pub const CLIENT_STALE_SERVES: &str = "rc_client_stale_serves";
+/// Lookups that degraded to the no-prediction default (counter).
+pub const CLIENT_DEFAULTS: &str = "rc_client_defaults";
+/// Store-pull retry attempts beyond each call's first try (counter).
+pub const CLIENT_RETRIES: &str = "rc_client_retries";
+/// Circuit-breaker state transitions (Closed→Open, Open→HalfOpen,
+/// HalfOpen→Closed, HalfOpen→Open) across all keys (counter).
+pub const CLIENT_BREAKER_TRANSITIONS: &str = "rc_client_breaker_transitions";
+/// Per-key circuit breakers currently in the Open state (gauge).
+pub const CLIENT_BREAKER_OPEN: &str = "rc_client_breaker_open";
+/// Payloads (store pulls or disk-cache entries) that failed checksum or
+/// decode validation and were skipped instead of served (counter).
+pub const CLIENT_CORRUPT_PAYLOADS: &str = "rc_client_corrupt_payloads";
+
 // --- rc-core pipeline (offline training) ---
 
 /// Completed pipeline runs (counter).
@@ -102,6 +129,16 @@ pub const STORE_PUTS: &str = "rc_store_puts";
 pub const STORE_UNAVAILABLE: &str = "rc_store_unavailable_errors";
 /// Puts that superseded an existing version — version bumps (counter).
 pub const STORE_VERSION_BUMPS: &str = "rc_store_version_bumps";
+/// Faults injected by a `FaultyStore` wrapper, all kinds (counter).
+pub const STORE_INJECTED_FAULTS: &str = "rc_store_injected_faults";
+/// Injected per-op unavailability errors (counter).
+pub const STORE_INJECTED_UNAVAILABILITY: &str = "rc_store_injected_unavailability";
+/// Injected transient errors, including burst continuations (counter).
+pub const STORE_INJECTED_TRANSIENTS: &str = "rc_store_injected_transients";
+/// Injected latency spikes (counter).
+pub const STORE_INJECTED_LATENCY_SPIKES: &str = "rc_store_injected_latency_spikes";
+/// Injected payload corruptions on GETs (counter).
+pub const STORE_INJECTED_CORRUPTIONS: &str = "rc_store_injected_corruptions";
 
 // --- rc-scheduler ---
 

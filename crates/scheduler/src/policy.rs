@@ -6,7 +6,7 @@
 //! prediction-quality endpoints (always-right, always-wrong). The policy
 //! picks the rule behaviour; a [`P95Source`] supplies the predictions.
 
-use rc_core::{PredictionResponse, RcClient};
+use rc_core::{ClientHealth, PredictionResponse, RcClient};
 use rc_types::metrics::PredictionMetric;
 
 use crate::request::VmRequest;
@@ -38,6 +38,13 @@ impl RcSource {
 
 impl P95Source for RcSource {
     fn predict_p95(&self, req: &VmRequest) -> Option<(usize, f64)> {
+        // §4.3: an Offline client answers the default for everything;
+        // skip the lookup entirely so Algorithm 1 degrades to its
+        // conservative no-prediction path (assume 100% utilization)
+        // exactly as it would with no prediction source at all.
+        if self.client.health() == ClientHealth::Offline {
+            return None;
+        }
         match self.client.predict_single(PredictionMetric::P95MaxCpuUtil.model_name(), &req.inputs)
         {
             PredictionResponse::Predicted(p) => Some((p.value, p.score)),

@@ -1,0 +1,494 @@
+//! Deterministic fault injection for the store.
+//!
+//! §4.3 of the paper insists RC must be non-mission-critical: consumers
+//! keep working (degraded) when the store misbehaves. To *demonstrate*
+//! that, this module wraps a [`Store`] in a [`FaultyStore`] driven by a
+//! seeded [`FaultPlan`]: per-operation unavailability, transient error
+//! bursts, latency spikes (composing with any [`crate::LatencyModel`]
+//! already attached to the wrapped store), and payload corruption on
+//! reads. Every decision comes from one seeded RNG drawing a fixed number
+//! of uniforms per operation, so a schedule is bit-reproducible across
+//! runs given the same sequence of store calls.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rc_obs::Counter;
+
+use crate::kv::{Store, StoreBackend, StoreError, VersionedRecord};
+
+/// A seeded schedule of store misbehaviour.
+///
+/// All probabilities are per-operation and independent; the plan is inert
+/// when every probability is zero.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Seed for the injector's RNG; two injectors with the same plan
+    /// produce identical decision streams.
+    pub seed: u64,
+    /// Probability an operation is rejected with
+    /// [`StoreError::Unavailable`].
+    pub p_unavailable: f64,
+    /// Probability an operation *starts* a transient error burst: it and
+    /// the next `transient_burst` operations fail with
+    /// [`StoreError::Transient`].
+    pub p_transient: f64,
+    /// Extra operations that fail after a burst starts.
+    pub transient_burst: u32,
+    /// Probability an operation pays `latency_spike` extra wall time.
+    pub p_latency_spike: f64,
+    /// The extra latency of a spike.
+    pub latency_spike: Duration,
+    /// Probability a GET's payload is corrupted (truncated and
+    /// bit-mangled) before the caller sees it.
+    pub p_corrupt: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline sweep point).
+    pub fn reliable(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            p_unavailable: 0.0,
+            p_transient: 0.0,
+            transient_burst: 0,
+            p_latency_spike: 0.0,
+            latency_spike: Duration::ZERO,
+            p_corrupt: 0.0,
+        }
+    }
+
+    /// Convenience: only per-op unavailability, probability `p`.
+    pub fn unavailability(seed: u64, p: f64) -> Self {
+        FaultPlan { p_unavailable: p, ..FaultPlan::reliable(seed) }
+    }
+}
+
+/// What the injector decided for one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Injected failure, if any; the wrapped store is not consulted.
+    pub error: Option<StoreError>,
+    /// Extra latency to pay before the operation (spike).
+    pub extra_latency: Option<Duration>,
+    /// `Some(salt)` corrupts a GET payload deterministically from `salt`.
+    pub corrupt_salt: Option<u64>,
+}
+
+/// Exact counts of injected faults, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Operations rejected as unavailable.
+    pub unavailable: u64,
+    /// Operations failed transiently (burst starts + continuations).
+    pub transient: u64,
+    /// Operations that paid a latency spike.
+    pub latency_spikes: u64,
+    /// GET payloads corrupted.
+    pub corruptions: u64,
+}
+
+impl InjectedFaults {
+    /// All injected faults (spikes included: they perturb an operation
+    /// even though it succeeds).
+    pub fn total(&self) -> u64 {
+        self.unavailable + self.transient + self.latency_spikes + self.corruptions
+    }
+}
+
+/// The deterministic decision engine behind a [`FaultyStore`].
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<InjectorState>,
+    unavailable: AtomicU64,
+    transient: AtomicU64,
+    latency_spikes: AtomicU64,
+    corruptions: AtomicU64,
+    metrics: InjectorMetrics,
+}
+
+struct InjectorState {
+    rng: StdRng,
+    burst_remaining: u32,
+}
+
+struct InjectorMetrics {
+    total: Counter,
+    unavailable: Counter,
+    transients: Counter,
+    latency_spikes: Counter,
+    corruptions: Counter,
+}
+
+impl InjectorMetrics {
+    fn new() -> Self {
+        let reg = rc_obs::global();
+        InjectorMetrics {
+            total: reg.counter(rc_obs::STORE_INJECTED_FAULTS),
+            unavailable: reg.counter(rc_obs::STORE_INJECTED_UNAVAILABILITY),
+            transients: reg.counter(rc_obs::STORE_INJECTED_TRANSIENTS),
+            latency_spikes: reg.counter(rc_obs::STORE_INJECTED_LATENCY_SPIKES),
+            corruptions: reg.counter(rc_obs::STORE_INJECTED_CORRUPTIONS),
+        }
+    }
+}
+
+impl FaultInjector {
+    /// Builds an injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            state: Mutex::new(InjectorState {
+                rng: StdRng::seed_from_u64(plan.seed),
+                burst_remaining: 0,
+            }),
+            plan,
+            unavailable: AtomicU64::new(0),
+            transient: AtomicU64::new(0),
+            latency_spikes: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            metrics: InjectorMetrics::new(),
+        }
+    }
+
+    /// Decides one operation's fate. Always consumes exactly five RNG
+    /// draws, whatever the outcome, so two injectors with the same plan
+    /// stay in lock-step across any sequence of outcomes.
+    pub fn decide(&self, is_get: bool) -> FaultDecision {
+        let plan = &self.plan;
+        let (u_unavail, u_transient, u_latency, u_corrupt, salt, in_burst) = {
+            let mut state = self.state.lock();
+            let u1: f64 = state.rng.gen();
+            let u2: f64 = state.rng.gen();
+            let u3: f64 = state.rng.gen();
+            let u4: f64 = state.rng.gen();
+            let salt: u64 = state.rng.gen();
+            let in_burst = state.burst_remaining > 0;
+            if in_burst {
+                state.burst_remaining -= 1;
+            } else if u2 < plan.p_transient {
+                state.burst_remaining = plan.transient_burst;
+            }
+            (u1, u2, u3, u4, salt, in_burst)
+        };
+
+        let error = if in_burst || u_transient < plan.p_transient {
+            self.transient.fetch_add(1, Ordering::Relaxed);
+            self.metrics.transients.increment();
+            self.metrics.total.increment();
+            Some(StoreError::Transient)
+        } else if u_unavail < plan.p_unavailable {
+            self.unavailable.fetch_add(1, Ordering::Relaxed);
+            self.metrics.unavailable.increment();
+            self.metrics.total.increment();
+            Some(StoreError::Unavailable)
+        } else {
+            None
+        };
+
+        let extra_latency = if error.is_none() && u_latency < plan.p_latency_spike {
+            self.latency_spikes.fetch_add(1, Ordering::Relaxed);
+            self.metrics.latency_spikes.increment();
+            self.metrics.total.increment();
+            Some(plan.latency_spike)
+        } else {
+            None
+        };
+
+        let corrupt_salt = if error.is_none() && is_get && u_corrupt < plan.p_corrupt {
+            self.corruptions.fetch_add(1, Ordering::Relaxed);
+            self.metrics.corruptions.increment();
+            self.metrics.total.increment();
+            Some(salt)
+        } else {
+            None
+        };
+
+        FaultDecision { error, extra_latency, corrupt_salt }
+    }
+
+    /// The plan this injector runs.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Exact injected-fault counts so far.
+    pub fn injected(&self) -> InjectedFaults {
+        InjectedFaults {
+            unavailable: self.unavailable.load(Ordering::Relaxed),
+            transient: self.transient.load(Ordering::Relaxed),
+            latency_spikes: self.latency_spikes.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Deterministically mangles a payload so it can never decode: truncate
+/// to half (at least one byte) and XOR a salt-derived pattern over what
+/// remains. JSON and any framed format fail validation immediately.
+pub fn corrupt_payload(data: &Bytes, salt: u64) -> Bytes {
+    let keep = (data.len() / 2).max(1).min(data.len());
+    let mut out = Vec::with_capacity(keep);
+    let mut x = salt | 1;
+    for (i, b) in data.iter().take(keep).enumerate() {
+        // xorshift over the salt so every byte gets a different mask.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out.push(b ^ (x as u8) ^ ((i as u8).wrapping_mul(31)) ^ 0xA5);
+    }
+    Bytes::from(out)
+}
+
+/// A [`Store`] wrapper that injects faults per a seeded [`FaultPlan`].
+///
+/// Cheap to clone; clones share the wrapped store *and* the injector, so
+/// the fault schedule is global across handles. Data-plane operations
+/// (`get_latest`, `get_version`, `put`) pass through the injector;
+/// metadata scans (`keys`, `latest_version`) do not — they model the
+/// cheap, cached version check the client's push watcher performs.
+#[derive(Clone)]
+pub struct FaultyStore {
+    store: Store,
+    injector: Arc<FaultInjector>,
+}
+
+impl FaultyStore {
+    /// Wraps `store` with a fault plan.
+    pub fn new(store: Store, plan: FaultPlan) -> Self {
+        FaultyStore { store, injector: Arc::new(FaultInjector::new(plan)) }
+    }
+
+    /// The underlying (un-faulted) store.
+    pub fn inner(&self) -> &Store {
+        &self.store
+    }
+
+    /// The shared injector (for fault counts).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    fn pay(&self, decision: &FaultDecision) {
+        if let Some(extra) = decision.extra_latency {
+            std::thread::sleep(extra);
+        }
+    }
+
+    /// `put` with injection (corruption does not apply to writes).
+    pub fn put(&self, key: &str, data: Bytes) -> Result<u64, StoreError> {
+        let decision = self.injector.decide(false);
+        self.pay(&decision);
+        if let Some(err) = decision.error {
+            return Err(err);
+        }
+        self.store.put(key, data)
+    }
+
+    /// `get_latest` with injection.
+    pub fn get_latest(&self, key: &str) -> Result<VersionedRecord, StoreError> {
+        let decision = self.injector.decide(true);
+        self.pay(&decision);
+        if let Some(err) = decision.error {
+            return Err(err);
+        }
+        let mut rec = self.store.get_latest(key)?;
+        if let Some(salt) = decision.corrupt_salt {
+            rec.data = corrupt_payload(&rec.data, salt);
+        }
+        Ok(rec)
+    }
+
+    /// `get_version` with injection.
+    pub fn get_version(&self, key: &str, version: u64) -> Result<VersionedRecord, StoreError> {
+        let decision = self.injector.decide(true);
+        self.pay(&decision);
+        if let Some(err) = decision.error {
+            return Err(err);
+        }
+        let mut rec = self.store.get_version(key, version)?;
+        if let Some(salt) = decision.corrupt_salt {
+            rec.data = corrupt_payload(&rec.data, salt);
+        }
+        Ok(rec)
+    }
+
+    /// Whether the wrapped store accepts requests (the binary switch; the
+    /// injector's per-op unavailability is separate).
+    pub fn is_available(&self) -> bool {
+        self.store.is_available()
+    }
+
+    /// Flips the wrapped store's binary availability switch.
+    pub fn set_available(&self, available: bool) {
+        self.store.set_available(available);
+    }
+
+    /// Keys of the wrapped store (not injected).
+    pub fn keys(&self) -> Vec<String> {
+        self.store.keys()
+    }
+
+    /// Latest version in the wrapped store (not injected).
+    pub fn latest_version(&self, key: &str) -> Option<u64> {
+        self.store.latest_version(key)
+    }
+}
+
+impl StoreBackend for FaultyStore {
+    fn is_available(&self) -> bool {
+        FaultyStore::is_available(self)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        FaultyStore::keys(self)
+    }
+
+    fn get_latest(&self, key: &str) -> Result<VersionedRecord, StoreError> {
+        FaultyStore::get_latest(self, key)
+    }
+
+    fn latest_version(&self, key: &str) -> Option<u64> {
+        FaultyStore::latest_version(self, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan {
+            seed: 42,
+            p_unavailable: 0.3,
+            p_transient: 0.05,
+            transient_burst: 2,
+            p_latency_spike: 0.1,
+            latency_spike: Duration::from_micros(50),
+            p_corrupt: 0.1,
+        }
+    }
+
+    #[test]
+    fn schedules_are_bit_reproducible() {
+        let a = FaultInjector::new(plan());
+        let b = FaultInjector::new(plan());
+        let sa: Vec<FaultDecision> = (0..2_000).map(|i| a.decide(i % 3 != 0)).collect();
+        let sb: Vec<FaultDecision> = (0..2_000).map(|i| b.decide(i % 3 != 0)).collect();
+        assert_eq!(sa, sb, "same plan must give the same schedule");
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected().total() > 0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultInjector::new(plan());
+        let b = FaultInjector::new(FaultPlan { seed: 43, ..plan() });
+        let sa: Vec<FaultDecision> = (0..500).map(|_| a.decide(true)).collect();
+        let sb: Vec<FaultDecision> = (0..500).map(|_| b.decide(true)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn probabilities_land_near_expectation() {
+        let injector =
+            FaultInjector::new(FaultPlan { p_transient: 0.0, transient_burst: 0, ..plan() });
+        let n = 20_000;
+        let failures =
+            (0..n).filter(|_| injector.decide(true).error.is_some()).count() as f64 / n as f64;
+        assert!((failures - 0.3).abs() < 0.02, "unavailability rate {failures}");
+    }
+
+    #[test]
+    fn transient_bursts_extend_failures() {
+        let injector = FaultInjector::new(FaultPlan {
+            seed: 7,
+            p_unavailable: 0.0,
+            p_transient: 0.05,
+            transient_burst: 3,
+            p_latency_spike: 0.0,
+            latency_spike: Duration::ZERO,
+            p_corrupt: 0.0,
+        });
+        let decisions: Vec<FaultDecision> = (0..5_000).map(|_| injector.decide(true)).collect();
+        // Every transient failure is part of a run of >= 1 + burst
+        // whenever it starts a burst; check that runs of exactly length
+        // burst+1 dominate isolated failures.
+        let mut run = 0usize;
+        let mut runs = Vec::new();
+        for d in &decisions {
+            if d.error == Some(StoreError::Transient) {
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+        }
+        assert!(!runs.is_empty());
+        assert!(runs.iter().all(|&r| r >= 4 || r % 4 == 0), "runs: {runs:?}");
+    }
+
+    #[test]
+    fn reliable_plan_injects_nothing() {
+        let store = Store::in_memory();
+        store.put("k", Bytes::from_static(b"v")).unwrap();
+        let faulty = FaultyStore::new(store, FaultPlan::reliable(1));
+        for _ in 0..200 {
+            assert_eq!(faulty.get_latest("k").unwrap().data.as_ref(), b"v");
+        }
+        assert_eq!(faulty.injector().injected().total(), 0);
+    }
+
+    #[test]
+    fn corruption_changes_payload_without_touching_store() {
+        let store = Store::in_memory();
+        let payload = br#"[1.0,2.0,3.0,4.0,5.0,6.0,7.0,8.0]"#;
+        store.put("k", Bytes::from_static(payload)).unwrap();
+        let faulty = FaultyStore::new(
+            store.clone(),
+            FaultPlan { p_unavailable: 0.0, p_transient: 0.0, p_corrupt: 1.0, ..plan() },
+        );
+        let rec = faulty.get_latest("k").unwrap();
+        assert_ne!(rec.data.as_ref(), payload, "payload must be mangled");
+        assert!(serde_json::from_slice::<Vec<f64>>(&rec.data).is_err());
+        // The store itself still holds the pristine record.
+        assert_eq!(store.get_latest("k").unwrap().data.as_ref(), payload);
+    }
+
+    #[test]
+    fn corrupt_payload_never_decodes_as_json() {
+        for salt in 0..64u64 {
+            let data = Bytes::from_static(br#"[1.5,2.5,3.5,4.5,5.5,6.5]"#);
+            let mangled = corrupt_payload(&data, salt);
+            assert!(
+                serde_json::from_slice::<Vec<f64>>(&mangled).is_err(),
+                "salt {salt} produced decodable corruption"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_store_surfaces_underlying_errors() {
+        let store = Store::in_memory();
+        let faulty = FaultyStore::new(store.clone(), FaultPlan::reliable(1));
+        assert_eq!(faulty.get_latest("missing").unwrap_err(), StoreError::NotFound);
+        store.set_available(false);
+        assert!(!StoreBackend::is_available(&faulty));
+        assert_eq!(faulty.get_latest("missing").unwrap_err(), StoreError::Unavailable);
+    }
+
+    #[test]
+    fn clones_share_the_schedule() {
+        let store = Store::in_memory();
+        store.put("k", Bytes::from_static(b"v")).unwrap();
+        let a = FaultyStore::new(store, FaultPlan::unavailability(9, 1.0));
+        let b = a.clone();
+        let _ = a.get_latest("k");
+        let _ = b.get_latest("k");
+        assert_eq!(a.injector().injected().unavailable, 2);
+    }
+}

@@ -26,6 +26,17 @@ pub enum StoreError {
     Unavailable,
     /// No record exists for the key (or key/version pair).
     NotFound,
+    /// A transient error (timeout, throttle, connection reset): the store
+    /// is up, but this particular access failed. Retryable.
+    Transient,
+}
+
+impl StoreError {
+    /// True for errors a client may reasonably retry; `NotFound` is an
+    /// authoritative answer, not a failure.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StoreError::Unavailable | StoreError::Transient)
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -33,11 +44,46 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Unavailable => write!(f, "store unavailable"),
             StoreError::NotFound => write!(f, "record not found"),
+            StoreError::Transient => write!(f, "transient store error"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+/// The read-side store surface the client library depends on.
+///
+/// Abstracting it lets a [`crate::FaultyStore`] (or any future remote
+/// backend) slot in where a plain [`Store`] is expected, without the
+/// client knowing whether faults are being injected underneath it.
+pub trait StoreBackend: Send + Sync {
+    /// Whether the store currently accepts requests.
+    fn is_available(&self) -> bool;
+    /// All keys with at least one version, sorted.
+    fn keys(&self) -> Vec<String>;
+    /// Reads the latest version of `key`.
+    fn get_latest(&self, key: &str) -> Result<VersionedRecord, StoreError>;
+    /// Latest version number of `key`, if any.
+    fn latest_version(&self, key: &str) -> Option<u64>;
+}
+
+impl StoreBackend for Store {
+    fn is_available(&self) -> bool {
+        Store::is_available(self)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        Store::keys(self)
+    }
+
+    fn get_latest(&self, key: &str) -> Result<VersionedRecord, StoreError> {
+        Store::get_latest(self, key)
+    }
+
+    fn latest_version(&self, key: &str) -> Option<u64> {
+        Store::latest_version(self, key)
+    }
+}
 
 /// A versioned record.
 #[derive(Debug, Clone)]

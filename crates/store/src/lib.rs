@@ -11,8 +11,15 @@
 //! - an availability switch for exercising the client library's degraded
 //!   paths (local disk cache, no-prediction replies).
 
+//!
+//! For robustness experiments, [`FaultyStore`] wraps a [`Store`] with a
+//! seeded, deterministic [`FaultPlan`] (per-op unavailability, transient
+//! error bursts, latency spikes, payload corruption).
+
+pub mod fault;
 pub mod kv;
 pub mod latency;
 
-pub use kv::{Store, StoreError, VersionedRecord};
+pub use fault::{corrupt_payload, FaultDecision, FaultInjector, FaultPlan, FaultyStore};
+pub use kv::{Store, StoreBackend, StoreError, VersionedRecord};
 pub use latency::LatencyModel;

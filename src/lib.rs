@@ -52,15 +52,16 @@ pub use rc_types as types;
 pub mod prelude {
     pub use rc_analysis::{Cdf, CorrelationMatrix};
     pub use rc_core::{
-        run_pipeline, CacheMode, ClientConfig, ClientInputs, PipelineConfig, PipelineOutput,
-        Prediction, PredictionResponse, RcClient,
+        run_pipeline, BreakerConfig, CacheMode, ClientConfig, ClientHealth, ClientInputs,
+        DegradedReason, PipelineConfig, PipelineOutput, Prediction, PredictionResponse, RcClient,
+        RetryPolicy, Served,
     };
     pub use rc_ml::Classifier;
     pub use rc_scheduler::{
         simulate, suggest_server_count, PolicyKind, SchedulerConfig, SimConfig, SimReport,
         VmRequest,
     };
-    pub use rc_store::{LatencyModel, Store};
+    pub use rc_store::{FaultPlan, FaultyStore, LatencyModel, Store, StoreBackend};
     pub use rc_trace::{Trace, TraceConfig};
     pub use rc_types::{PredictionMetric, Timestamp, VmId};
 }
