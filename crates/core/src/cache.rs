@@ -760,6 +760,42 @@ mod tests {
         assert_ne!(escape_name("a%2Fb"), escape_name("a/b"));
     }
 
+    /// Alphabet for the percent-escaping properties: every fs-hostile
+    /// character the scheme handles, the escape characters themselves,
+    /// hex digits (so malformed-looking sequences like `%2F` arise
+    /// naturally), and ordinary name characters.
+    const HOSTILE: &[char] =
+        &['%', '/', '\\', '2', '5', 'F', 'C', 'f', 'c', 'a', '_', '.', '-', 'Z', '0'];
+
+    proptest::proptest! {
+        #[test]
+        fn escape_round_trips_arbitrary_keys(
+            picks in proptest::collection::vec(0usize..HOSTILE.len(), 0..24)
+        ) {
+            let name: String = picks.iter().map(|&i| HOSTILE[i]).collect();
+            let escaped = escape_name(&name);
+            proptest::prop_assert_eq!(unescape_name(&escaped), name.clone());
+            proptest::prop_assert!(!escaped.contains('/'), "escaped stem must be flat: {:?}", escaped);
+            proptest::prop_assert!(!escaped.contains('\\'));
+        }
+
+        #[test]
+        fn escape_and_path_for_are_injective(
+            a in proptest::collection::vec(0usize..HOSTILE.len(), 0..16),
+            b in proptest::collection::vec(0usize..HOSTILE.len(), 0..16)
+        ) {
+            let na: String = a.iter().map(|&i| HOSTILE[i]).collect();
+            let nb: String = b.iter().map(|&i| HOSTILE[i]).collect();
+            let cache = DiskCache::new(std::path::PathBuf::from("/tmp/rc-prop"), StdDuration::ZERO);
+            if na != nb {
+                proptest::prop_assert!(escape_name(&na) != escape_name(&nb));
+                proptest::prop_assert!(cache.path_for("model", &na) != cache.path_for("model", &nb));
+            } else {
+                proptest::prop_assert_eq!(cache.path_for("model", &na), cache.path_for("model", &nb));
+            }
+        }
+    }
+
     #[test]
     fn sharded_cache_routes_and_counts_exactly() {
         let c = ShardedResultCache::new(1024, 8);

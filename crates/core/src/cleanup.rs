@@ -1,0 +1,216 @@
+//! The pipeline's cleanup stage: dirty-telemetry quarantine.
+//!
+//! §4.2's pipeline runs "extraction, cleanup, aggregation" before any
+//! featurization; production telemetry arrives with dropped and duplicated
+//! readings, impossible utilization values, clock-skewed lifetimes,
+//! truncated records, and dangling references. This module detects each
+//! of those categories, quarantines the offending VM records (the
+//! downstream stages never see them), and accounts for every record
+//! exactly: `extracted == cleaned + quarantined`, per category, with a
+//! first-matching-category-wins rule so each record lands in exactly one
+//! bucket.
+//!
+//! Detection is by *invariant*, not by provenance: the generator only
+//! emits sanitized utilization parameters (finite, in `[0, 1]`),
+//! lifetimes with `created <= deleted`, non-zero SKUs, and in-bounds
+//! deployment indices — so on a clean trace every check passes and
+//! cleanup is the identity (it does not even copy the trace).
+
+use std::borrow::Cow;
+use std::collections::HashSet;
+
+use rc_trace::Trace;
+
+/// Exact per-category accounting of what cleanup quarantined.
+///
+/// Categories are checked in field-declaration order and each quarantined
+/// record is counted once, under the first category that matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuarantineReport {
+    /// VM records extracted from the raw trace.
+    pub extracted: u64,
+    /// Records that passed every check and feed the rest of the pipeline.
+    pub cleaned: u64,
+    /// Second and later sightings of an already-seen VM id (duplicated
+    /// telemetry deliveries; the first sighting is kept).
+    pub duplicates: u64,
+    /// Non-finite or out-of-`[0, 1]` utilization parameters — the values
+    /// that would otherwise poison `UtilParams::reading`'s clamp and the
+    /// summary sort with NaN.
+    pub invalid_util: u64,
+    /// Records deleted before they were created (collector clock skew;
+    /// `Timestamp::since` would silently saturate their lifetime to 0).
+    pub clock_skew: u64,
+    /// Truncated records: a SKU with zero cores carries no capacity
+    /// signal and breaks per-core normalization.
+    pub truncated: u64,
+    /// Records referencing a deployment id past the deployment table
+    /// (dangling reference; indexing it would panic the labelling stage).
+    pub orphaned: u64,
+}
+
+impl QuarantineReport {
+    /// Total quarantined records, summed over every category.
+    pub fn quarantined(&self) -> u64 {
+        self.duplicates + self.invalid_util + self.clock_skew + self.truncated + self.orphaned
+    }
+
+    /// The accounting invariant every cleanup run must satisfy.
+    pub fn balanced(&self) -> bool {
+        self.extracted == self.cleaned + self.quarantined()
+    }
+}
+
+impl std::fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "extracted {} = cleaned {} + quarantined {} \
+             (dup {}, util {}, skew {}, trunc {}, orphan {})",
+            self.extracted,
+            self.cleaned,
+            self.quarantined(),
+            self.duplicates,
+            self.invalid_util,
+            self.clock_skew,
+            self.truncated,
+            self.orphaned,
+        )
+    }
+}
+
+fn in_unit(x: f64) -> bool {
+    x.is_finite() && (0.0..=1.0).contains(&x)
+}
+
+/// Scrubs a raw trace: quarantines every VM record that violates a
+/// telemetry invariant and returns the cleaned trace plus the exact
+/// accounting. A fully clean trace is returned by reference — cleanup is
+/// observably (and bit-identically) the identity on it.
+///
+/// The deployment table is passed through uncompacted: surviving records
+/// index into it by position, so dropping rows would dangle every
+/// reference behind the dropped row.
+pub fn cleanup(trace: &Trace) -> (Cow<'_, Trace>, QuarantineReport) {
+    let n = trace.vms.len();
+    let mut report = QuarantineReport { extracted: n as u64, ..QuarantineReport::default() };
+    let n_deployments = trace.deployments.len() as u64;
+
+    let mut seen = HashSet::with_capacity(n);
+    let mut keep = vec![true; n];
+    for (i, vm) in trace.vms.iter().enumerate() {
+        let util = &trace.util[i];
+        if !seen.insert(vm.vm_id) {
+            report.duplicates += 1;
+        } else if !in_unit(util.base) || !in_unit(util.p95_level) {
+            report.invalid_util += 1;
+        } else if vm.deleted.as_secs() < vm.created.as_secs() {
+            report.clock_skew += 1;
+        } else if vm.sku.cores == 0 {
+            report.truncated += 1;
+        } else if vm.deployment.0 >= n_deployments {
+            report.orphaned += 1;
+        } else {
+            report.cleaned += 1;
+            continue;
+        }
+        keep[i] = false;
+    }
+    debug_assert!(report.balanced(), "quarantine accounting must balance: {report}");
+
+    let registry = rc_obs::global();
+    registry.counter(rc_obs::PIPELINE_EXTRACTED_RECORDS).add(report.extracted);
+    registry.counter(rc_obs::PIPELINE_CLEANED_RECORDS).add(report.cleaned);
+    registry.counter(rc_obs::PIPELINE_QUARANTINED_RECORDS).add(report.quarantined());
+    registry.counter(rc_obs::PIPELINE_QUARANTINED_DUPLICATES).add(report.duplicates);
+    registry.counter(rc_obs::PIPELINE_QUARANTINED_INVALID_UTIL).add(report.invalid_util);
+    registry.counter(rc_obs::PIPELINE_QUARANTINED_CLOCK_SKEW).add(report.clock_skew);
+    registry.counter(rc_obs::PIPELINE_QUARANTINED_TRUNCATED).add(report.truncated);
+    registry.counter(rc_obs::PIPELINE_QUARANTINED_ORPHANED).add(report.orphaned);
+
+    if report.quarantined() == 0 {
+        return (Cow::Borrowed(trace), report);
+    }
+
+    let mut cleaned = trace.clone();
+    let mut keep_vms = keep.iter().copied();
+    cleaned.vms.retain(|_| keep_vms.next().unwrap());
+    let mut keep_util = keep.iter().copied();
+    cleaned.util.retain(|_| keep_util.next().unwrap());
+    let mut keep_intent = keep.iter().copied();
+    cleaned.interactive_intent.retain(|_| keep_intent.next().unwrap());
+    (Cow::Owned(cleaned), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_trace::{DirtyPlan, TraceConfig};
+
+    fn small_trace() -> Trace {
+        let config =
+            TraceConfig { target_vms: 600, n_subscriptions: 40, days: 10, ..TraceConfig::small() };
+        Trace::generate(&config)
+    }
+
+    #[test]
+    fn clean_trace_passes_untouched() {
+        let trace = small_trace();
+        let (cleaned, report) = cleanup(&trace);
+        assert!(matches!(cleaned, Cow::Borrowed(_)), "clean trace must not be copied");
+        assert_eq!(report.quarantined(), 0);
+        assert_eq!(report.extracted, trace.vms.len() as u64);
+        assert_eq!(report.cleaned, report.extracted);
+        assert!(report.balanced());
+    }
+
+    #[test]
+    fn dirty_trace_quarantine_balances_and_matches_the_plan() {
+        let trace = small_trace();
+        let plan = DirtyPlan::uniform(0xC1EA1, 0.25);
+        let (dirty, dirty_report) = plan.apply(&trace);
+        let (cleaned, report) = cleanup(&dirty);
+        assert!(report.balanced(), "{report}");
+        assert_eq!(report.extracted, dirty.vms.len() as u64);
+        // Every detectable corruption is caught, category by category.
+        // (Drops are invisible to cleanup: the record simply isn't there.)
+        assert_eq!(report.duplicates, dirty_report.duplicated);
+        assert_eq!(report.invalid_util, dirty_report.nan_util + dirty_report.out_of_range_util);
+        assert_eq!(report.clock_skew, dirty_report.clock_skew);
+        assert_eq!(report.truncated, dirty_report.truncated);
+        assert_eq!(report.orphaned, dirty_report.orphaned);
+        assert_eq!(report.quarantined(), dirty_report.detectable());
+        // The cleaned output is itself clean: a second pass is the identity.
+        let (again, second) = cleanup(&cleaned);
+        assert!(matches!(again, Cow::Borrowed(_)));
+        assert_eq!(second.quarantined(), 0);
+        // Parallel arrays stay parallel.
+        assert_eq!(cleaned.vms.len(), cleaned.util.len());
+        assert_eq!(cleaned.vms.len(), cleaned.interactive_intent.len());
+    }
+
+    #[test]
+    fn same_seed_cleanup_is_bit_identical() {
+        let trace = small_trace();
+        let plan = DirtyPlan::uniform(77, 0.2);
+        let (dirty_a, _) = plan.apply(&trace);
+        let (dirty_b, _) = plan.apply(&trace);
+        let (clean_a, report_a) = cleanup(&dirty_a);
+        let (clean_b, report_b) = cleanup(&dirty_b);
+        assert_eq!(report_a, report_b);
+        assert_eq!(rc_trace::trace_fingerprint(&clean_a), rc_trace::trace_fingerprint(&clean_b));
+    }
+
+    #[test]
+    fn deployments_survive_uncompacted() {
+        let trace = small_trace();
+        let plan = DirtyPlan::uniform(3, 0.3);
+        let (dirty, _) = plan.apply(&trace);
+        let (cleaned, _) = cleanup(&dirty);
+        assert_eq!(cleaned.deployments.len(), dirty.deployments.len());
+        // Every surviving reference resolves.
+        for vm in &cleaned.vms {
+            assert!((vm.deployment.0 as usize) < cleaned.deployments.len());
+        }
+    }
+}

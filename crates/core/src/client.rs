@@ -30,7 +30,7 @@ use std::time::{Duration as StdDuration, Instant, SystemTime};
 use parking_lot::{Mutex, RwLock};
 
 use rc_obs::{Counter, Histogram};
-use rc_store::{Store, StoreBackend};
+use rc_store::{checksum, Manifest, ModelEntry, Store, StoreBackend, MANIFEST_KEY};
 use rc_types::vm::SubscriptionId;
 
 use crate::cache::{DiskCache, DiskLoadResult, FeatureCache, ShardedResultCache};
@@ -142,6 +142,7 @@ struct ClientMetrics {
     defaults: Counter,
     retries: Counter,
     corrupt_payloads: Counter,
+    model_rejected: Counter,
 }
 
 impl ClientMetrics {
@@ -173,6 +174,7 @@ impl ClientMetrics {
             defaults: reg.counter(rc_obs::CLIENT_DEFAULTS),
             retries: reg.counter(rc_obs::CLIENT_RETRIES),
             corrupt_payloads: reg.counter(rc_obs::CLIENT_CORRUPT_PAYLOADS),
+            model_rejected: reg.counter(rc_obs::CLIENT_MODEL_REJECTED),
         }
     }
 }
@@ -190,6 +192,11 @@ struct Shared {
     /// FNV fingerprint over (key, version) pairs at the last load; the
     /// push watcher reloads when the store's fingerprint changes.
     store_fingerprint: AtomicU64,
+    /// The publish manifest the resident caches were loaded through, when
+    /// the store has one; directs on-demand fetches to the right version
+    /// and carries the checksums payloads are verified against.
+    manifest: RwLock<Option<Manifest>>,
+    model_rejected: AtomicU64,
     refreshes: AtomicU64,
     model_execs: AtomicU64,
     no_predictions: AtomicU64,
@@ -342,6 +349,8 @@ impl RcClient {
             initialized: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             store_fingerprint: AtomicU64::new(0),
+            manifest: RwLock::new(None),
+            model_rejected: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
             model_execs: AtomicU64::new(0),
             no_predictions: AtomicU64::new(0),
@@ -432,21 +441,54 @@ fn load_from_store_shared(shared: &Shared) -> bool {
             return false;
         }
         let write_through = shared.config.disk_write_through;
-        let keys = store.keys();
+        // Prefer the publish manifest: it names exactly the payloads of
+        // one complete version, with checksums. Stores without one (or
+        // with an unreadable pointer) fall back to the flat-key scan.
+        let manifest = match store.get_latest(MANIFEST_KEY) {
+            Ok(rec) => Manifest::from_bytes(&rec.data),
+            Err(_) => None,
+        };
         let mut models = HashMap::new();
-        for key in keys.iter().filter(|k| k.starts_with("model/")) {
-            if let Ok(rec) = store.get_latest(key) {
-                match rc_ml::from_bytes::<TrainedModel>(&rec.data) {
-                    Ok(model) => {
-                        let name = key.trim_start_matches("model/").to_string();
-                        if write_through {
-                            if let Some(disk) = &shared.disk {
-                                let _ = disk.save("model", key, &rec.data);
+        if let Some(m) = &manifest {
+            for entry in &m.models {
+                let name = entry.key.trim_start_matches("model/").to_string();
+                let fetched = store.get_latest(&m.versioned_key(&entry.key)).ok().and_then(|rec| {
+                    match validate_model_payload(&rec.data, entry, &name) {
+                        Some(model) => {
+                            if write_through {
+                                if let Some(disk) = &shared.disk {
+                                    let _ = disk.save("model", &entry.key, &rec.data);
+                                }
                             }
+                            Some(Arc::new(model))
                         }
-                        models.insert(name, Arc::new(model));
+                        None => {
+                            note_rejected(shared, &name);
+                            None
+                        }
                     }
-                    Err(_) => note_corrupt(shared),
+                });
+                // Containment: a rejected (or unfetchable) payload never
+                // replaces a resident model — the old one keeps serving.
+                if let Some(model) = fetched.or_else(|| shared.models.read().get(&name).cloned()) {
+                    models.insert(name, model);
+                }
+            }
+        } else {
+            for key in store.keys().iter().filter(|k| k.starts_with("model/")) {
+                if let Ok(rec) = store.get_latest(key) {
+                    match rc_ml::from_bytes::<TrainedModel>(&rec.data) {
+                        Ok(model) => {
+                            let name = key.trim_start_matches("model/").to_string();
+                            if write_through {
+                                if let Some(disk) = &shared.disk {
+                                    let _ = disk.save("model", key, &rec.data);
+                                }
+                            }
+                            models.insert(name, Arc::new(model));
+                        }
+                        Err(_) => note_corrupt(shared),
+                    }
                 }
             }
         }
@@ -456,14 +498,32 @@ fn load_from_store_shared(shared: &Shared) -> bool {
         let mut features = HashMap::new();
         let mut version = 0;
         if shared.config.mode == CacheMode::Push {
-            for key in keys.iter().filter(|k| k.starts_with("features/")) {
-                if let Ok(rec) = store.get_latest(key) {
-                    match serde_json::from_slice::<SubscriptionFeatures>(&rec.data) {
-                        Ok(f) => {
-                            version = version.max(rec.version);
-                            features.insert(f.subscription, f);
+            if let Some(m) = &manifest {
+                version = m.version;
+                for entry in &m.features {
+                    if let Ok(rec) = store.get_latest(&m.versioned_key(&entry.key)) {
+                        if checksum(&rec.data) != entry.checksum {
+                            note_corrupt(shared);
+                            continue;
                         }
-                        Err(_) => note_corrupt(shared),
+                        match serde_json::from_slice::<SubscriptionFeatures>(&rec.data) {
+                            Ok(f) => {
+                                features.insert(f.subscription, f);
+                            }
+                            Err(_) => note_corrupt(shared),
+                        }
+                    }
+                }
+            } else {
+                for key in store.keys().iter().filter(|k| k.starts_with("features/")) {
+                    if let Ok(rec) = store.get_latest(key) {
+                        match serde_json::from_slice::<SubscriptionFeatures>(&rec.data) {
+                            Ok(f) => {
+                                version = version.max(rec.version);
+                                features.insert(f.subscription, f);
+                            }
+                            Err(_) => note_corrupt(shared),
+                        }
                     }
                 }
             }
@@ -488,9 +548,45 @@ fn load_from_store_shared(shared: &Shared) -> bool {
         } else {
             maybe_clear_degraded(shared);
         }
+        *shared.manifest.write() = manifest;
         shared.store_fingerprint.store(store_fingerprint(store), Ordering::SeqCst);
         true
     }
+}
+
+/// Sanity-checks a fetched model payload before it may be swapped in:
+/// the bytes must match the manifest entry's checksum, decode to a model,
+/// be the model the manifest slot names, and produce finite outputs on a
+/// probe batch. `None` means the payload is poisoned and must not serve.
+fn validate_model_payload(
+    bytes: &[u8],
+    entry: &ModelEntry,
+    expected_name: &str,
+) -> Option<TrainedModel> {
+    if checksum(bytes) != entry.checksum {
+        return None;
+    }
+    let model = rc_ml::from_bytes::<TrainedModel>(bytes).ok()?;
+    if model.spec.metric.model_name() != expected_name {
+        return None;
+    }
+    let n = model.spec.n_features();
+    for probe in [vec![0.0; n], vec![0.5; n]] {
+        let (_, score) = rc_ml::Classifier::predict(&model, &probe);
+        if !score.is_finite() {
+            return None;
+        }
+    }
+    Some(model)
+}
+
+/// Records one rejected model payload (poisoned-model containment).
+fn note_rejected(shared: &Shared, model_name: &str) {
+    shared.model_rejected.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.model_rejected.increment();
+    let mut span = rc_obs::global_tracer().span("client.model_rejected");
+    span.record("model", model_name);
+    span.finish();
 }
 
 /// Records one corrupt/undecodable payload (store pull or disk entry).
@@ -849,6 +945,7 @@ impl RcClient {
         self.shared.stale_subs.lock().clear();
         self.shared.breakers.reset();
         *self.shared.degraded.lock() = None;
+        *self.shared.manifest.write() = None;
         self.shared.initialized.store(false, Ordering::SeqCst);
     }
 
@@ -992,6 +1089,19 @@ impl RcClient {
     /// entries).
     pub fn corrupt_payload_count(&self) -> u64 {
         self.shared.corrupt_payloads.load(Ordering::Relaxed)
+    }
+
+    /// Fetched model payloads rejected by the pre-swap sanity check
+    /// (checksum mismatch, wrong model in the slot, non-finite outputs).
+    /// Each rejection left the previously resident model serving.
+    pub fn model_rejected_count(&self) -> u64 {
+        self.shared.model_rejected.load(Ordering::Relaxed)
+    }
+
+    /// The manifest version the resident caches were loaded through, when
+    /// the store publishes one.
+    pub fn manifest_version(&self) -> Option<u64> {
+        self.shared.manifest.read().as_ref().map(|m| m.version)
     }
 
     /// Per-key circuit breakers currently open.
@@ -1179,6 +1289,11 @@ fn resilient_get<T>(
     loop {
         attempt += 1;
         match shared.backend.get_latest(key) {
+            // A reply that arrives after the per-call deadline has already
+            // blown (e.g. a latency spike sat on the wire longer than the
+            // caller will wait) is a *failure*, not data: the attempt
+            // counts against the circuit breaker like any other timeout.
+            Ok(_) if start.elapsed() >= policy.call_deadline => {}
             Ok(rec) => match decode(&rec.data) {
                 Some(value) => {
                     shared.breakers.record(key, true);
@@ -1211,12 +1326,49 @@ fn resilient_get<T>(
     FetchOutcome::Failed
 }
 
+/// The manifest the on-demand paths resolve keys through: the cached one
+/// when a load already read it, else one resilient pull of the pointer
+/// record. `None` on legacy stores (no manifest) or when the store is
+/// unreachable — callers then use the flat logical keys directly.
+fn cached_manifest(shared: &Shared) -> Option<Manifest> {
+    if let Some(m) = shared.manifest.read().as_ref() {
+        return Some(m.clone());
+    }
+    match resilient_get(shared, MANIFEST_KEY, Manifest::from_bytes) {
+        FetchOutcome::Data(m) => {
+            *shared.manifest.write() = Some(m.clone());
+            Some(m)
+        }
+        FetchOutcome::NotFound | FetchOutcome::Failed => None,
+    }
+}
+
 /// Fetches and caches a model: store (with retry/backoff/breaker), then
-/// the disk cache (fresh first, stale within the grace window).
+/// the disk cache (fresh first, stale within the grace window). When the
+/// store publishes a manifest, the pull goes to the manifest's versioned
+/// key and the payload must pass [`validate_model_payload`] — a poisoned
+/// payload is rejected without touching the resident model.
 fn resilient_fetch_model(shared: &Shared, model_name: &str) -> Option<Arc<TrainedModel>> {
-    let key = format!("model/{model_name}");
-    let decode =
-        |bytes: &[u8]| rc_ml::from_bytes::<TrainedModel>(bytes).ok().map(|m| (m, bytes.to_vec()));
+    let logical = format!("model/{model_name}");
+    let manifest = cached_manifest(shared);
+    let entry = manifest.as_ref().and_then(|m| m.model_entry(&logical).cloned());
+    // A manifest entry directs the pull to its versioned key; names the
+    // manifest does not list (out-of-band models, quarantined metrics)
+    // fall back to the flat logical key, as do manifest-less stores.
+    let key = match (&manifest, &entry) {
+        (Some(m), Some(e)) => m.versioned_key(&e.key),
+        _ => logical.clone(),
+    };
+    let decode = |bytes: &[u8]| match &entry {
+        Some(e) => match validate_model_payload(bytes, e, model_name) {
+            Some(model) => Some((model, bytes.to_vec())),
+            None => {
+                note_rejected(shared, model_name);
+                None
+            }
+        },
+        None => rc_ml::from_bytes::<TrainedModel>(bytes).ok().map(|m| (m, bytes.to_vec())),
+    };
     match resilient_get(shared, &key, decode) {
         FetchOutcome::Data((model, bytes)) => {
             let model = Arc::new(model);
@@ -1224,7 +1376,10 @@ fn resilient_fetch_model(shared: &Shared, model_name: &str) -> Option<Arc<Traine
             shared.stale_models.lock().remove(model_name);
             if shared.config.disk_write_through {
                 if let Some(disk) = &shared.disk {
-                    let _ = disk.save("model", &key, &bytes);
+                    // Disk entries key by the *logical* name so a cached
+                    // copy survives version flips and serves as the
+                    // fallback whatever version published it.
+                    let _ = disk.save("model", &logical, &bytes);
                 }
             }
             Some(model)
@@ -1236,41 +1391,65 @@ fn resilient_fetch_model(shared: &Shared, model_name: &str) -> Option<Arc<Traine
             // pull-mode path, not a fallback.
             shared.metrics.store_fallbacks.increment();
             shared.store_fallbacks.fetch_add(1, Ordering::Relaxed);
-            let (bytes, stale) = disk_fallback(shared, "model", &key)?;
-            let model = match rc_ml::from_bytes::<TrainedModel>(&bytes) {
-                Ok(model) => Arc::new(model),
-                Err(_) => {
-                    note_corrupt(shared);
-                    return None;
-                }
-            };
-            shared.models.write().insert(model_name.to_string(), model.clone());
-            let mut stale_models = shared.stale_models.lock();
-            if stale {
-                stale_models.insert(model_name.to_string());
-            } else {
-                stale_models.remove(model_name);
-            }
-            drop(stale_models);
-            let mut span = rc_obs::global_tracer().span("client.disk_cache_recovery");
-            span.record("model", model_name);
-            span.finish();
-            Some(model)
+            let (bytes, stale) = disk_fallback(shared, "model", &logical)?;
+            install_disk_model(shared, model_name, &bytes, stale)
         }
     }
+}
+
+/// Decodes a disk-cache model payload and makes it resident, tracking
+/// whether it is stale-grace data.
+fn install_disk_model(
+    shared: &Shared,
+    model_name: &str,
+    bytes: &[u8],
+    stale: bool,
+) -> Option<Arc<TrainedModel>> {
+    let model = match rc_ml::from_bytes::<TrainedModel>(bytes) {
+        Ok(model) => Arc::new(model),
+        Err(_) => {
+            note_corrupt(shared);
+            return None;
+        }
+    };
+    shared.models.write().insert(model_name.to_string(), model.clone());
+    let mut stale_models = shared.stale_models.lock();
+    if stale {
+        stale_models.insert(model_name.to_string());
+    } else {
+        stale_models.remove(model_name);
+    }
+    drop(stale_models);
+    let mut span = rc_obs::global_tracer().span("client.disk_cache_recovery");
+    span.record("model", model_name);
+    span.finish();
+    Some(model)
 }
 
 /// Fetches and caches one subscription's feature data, with the same
 /// ladder as [`resilient_fetch_model`].
 fn resilient_fetch_features(shared: &Shared, sub: SubscriptionId) -> bool {
-    let key = feature_store_key(sub);
-    let decode = |bytes: &[u8]| serde_json::from_slice::<SubscriptionFeatures>(bytes).ok();
+    let logical = feature_store_key(sub);
+    let manifest = cached_manifest(shared);
+    let entry = manifest.as_ref().and_then(|m| m.feature_entry(&logical).cloned());
+    let key = match (&manifest, &entry) {
+        (Some(m), Some(e)) => m.versioned_key(&e.key),
+        _ => logical.clone(),
+    };
+    let decode = |bytes: &[u8]| {
+        if let Some(e) = &entry {
+            if checksum(bytes) != e.checksum {
+                return None;
+            }
+        }
+        serde_json::from_slice::<SubscriptionFeatures>(bytes).ok()
+    };
     match resilient_get(shared, &key, decode) {
         FetchOutcome::Data(features) => {
             if shared.config.disk_write_through {
                 if let Some(disk) = &shared.disk {
                     if let Ok(blob) = serde_json::to_vec(&features) {
-                        let _ = disk.save("features", &key, &blob);
+                        let _ = disk.save("features", &logical, &blob);
                     }
                 }
             }
@@ -1282,7 +1461,7 @@ fn resilient_fetch_features(shared: &Shared, sub: SubscriptionId) -> bool {
         FetchOutcome::Failed => {
             shared.metrics.store_fallbacks.increment();
             shared.store_fallbacks.fetch_add(1, Ordering::Relaxed);
-            let Some((bytes, stale)) = disk_fallback(shared, "features", &key) else {
+            let Some((bytes, stale)) = disk_fallback(shared, "features", &logical) else {
                 return false;
             };
             let Some(features) = decode(&bytes) else {

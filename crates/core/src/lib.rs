@@ -18,6 +18,7 @@
 //!   consulted when the store is unavailable.
 
 pub mod cache;
+pub mod cleanup;
 pub mod client;
 pub mod features;
 pub mod inputs;
@@ -28,6 +29,7 @@ pub mod prediction;
 pub mod resilience;
 
 pub use cache::{DiskCache, DiskLoadResult, FeatureCache, ResultCache, ShardedResultCache};
+pub use cleanup::{cleanup, QuarantineReport};
 pub use client::{CacheMode, ClientConfig, RcClient};
 pub use features::SubscriptionFeatures;
 pub use inputs::ClientInputs;
@@ -35,6 +37,7 @@ pub use labels::{label_deployments, label_vms, LabeledDeployment, LabeledVm};
 pub use models::{feature_store_key, Estimator, ModelApproach, ModelSpec, TrainedModel};
 pub use pipeline::{
     run_pipeline, BucketStats, MetricReport, PipelineConfig, PipelineError, PipelineOutput,
+    PublishGate,
 };
 pub use prediction::{Prediction, PredictionResponse, Served};
 pub use resilience::{BreakerConfig, BreakerState, ClientHealth, DegradedReason, RetryPolicy};

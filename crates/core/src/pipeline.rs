@@ -19,11 +19,12 @@ use rc_ml::{
     BinnedDataset, Classifier, ConfusionMatrix, Dataset, GradientBoosting, GradientBoostingConfig,
     RandomForest, RandomForestConfig, ThresholdedEval,
 };
-use rc_store::Store;
+use rc_store::{checksum, FeatureEntry, Manifest, ModelEntry, StoreBackend, MANIFEST_KEY};
 use rc_trace::Trace;
 use rc_types::metrics::PredictionMetric;
 use rc_types::vm::SubscriptionId;
 
+use crate::cleanup::{cleanup, QuarantineReport};
 use crate::features::SubscriptionFeatures;
 use crate::labels::{label_deployments, label_vms, LabeledDeployment, LabeledVm};
 use crate::models::{feature_store_key, Estimator, ModelApproach, ModelSpec, TrainedModel};
@@ -66,6 +67,10 @@ pub struct PipelineConfig {
     /// per-metric models; `0` picks the available parallelism. `1`
     /// reproduces the old strictly-sequential training loop.
     pub train_workers: usize,
+    /// Deterministic fault hook: metrics listed here have their training
+    /// task panic, exercising per-metric fault isolation (the other
+    /// metrics must train, validate, and publish). Empty in production.
+    pub fail_train: Vec<PredictionMetric>,
 }
 
 impl PipelineConfig {
@@ -82,6 +87,7 @@ impl PipelineConfig {
             refresh_every_days: 7.0,
             ablate_history: false,
             train_workers: 0,
+            fail_train: Vec::new(),
         }
     }
 
@@ -135,7 +141,8 @@ pub struct MetricReport {
 /// Everything the offline pipeline produces.
 #[derive(Debug, Clone)]
 pub struct PipelineOutput {
-    /// Six trained models, indexed by [`PredictionMetric::index`].
+    /// The trained models in [`PredictionMetric::index`] order, minus any
+    /// quarantined metrics (see [`PipelineOutput::quarantined_metrics`]).
     pub models: Vec<TrainedModel>,
     /// The published per-subscription feature data.
     pub feature_data: HashMap<SubscriptionId, SubscriptionFeatures>,
@@ -151,6 +158,13 @@ pub struct PipelineOutput {
     pub feature_refreshes: Vec<(u64, HashMap<SubscriptionId, SubscriptionFeatures>)>,
     /// Version string stamped on this publication.
     pub version_tag: String,
+    /// Exact accounting of what the cleanup stage quarantined
+    /// (`extracted == cleaned + quarantined`, per category).
+    pub quarantine: QuarantineReport,
+    /// Metrics whose training failed, with the captured failure message.
+    /// Their models are absent from [`PipelineOutput::models`] and from
+    /// any publication; the surviving metrics are unaffected.
+    pub quarantined_metrics: Vec<(PredictionMetric, String)>,
 }
 
 /// Errors the pipeline can raise.
@@ -168,6 +182,21 @@ pub enum PipelineError {
         /// Its measured accuracy.
         accuracy: f64,
     },
+    /// A model regressed too far below the currently published version,
+    /// so the publish was blocked and `last_good` keeps serving.
+    PublishBlocked {
+        /// The regressing metric.
+        metric: PredictionMetric,
+        /// The candidate model's accuracy.
+        accuracy: f64,
+        /// The currently published model's accuracy.
+        previous: f64,
+    },
+    /// A payload could not be serialized for publication.
+    SerializationFailed {
+        /// Which payload failed.
+        what: &'static str,
+    },
     /// The backing store rejected a publish write.
     StoreFailed(rc_store::StoreError),
 }
@@ -180,6 +209,16 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::SanityCheckFailed { metric, accuracy } => {
                 write!(f, "sanity check failed for {metric}: accuracy {accuracy:.3}")
+            }
+            PipelineError::PublishBlocked { metric, accuracy, previous } => {
+                write!(
+                    f,
+                    "publish blocked: {metric} regressed to {accuracy:.3} \
+                     from published {previous:.3}"
+                )
+            }
+            PipelineError::SerializationFailed { what } => {
+                write!(f, "could not serialize {what}")
             }
             PipelineError::StoreFailed(e) => write!(f, "store failed: {e}"),
         }
@@ -218,6 +257,17 @@ pub fn run_pipeline(
     let registry = rc_obs::global();
     let train_end_secs = (config.train_days * 86_400.0) as u64;
 
+    // --- Cleanup (quarantine dirty telemetry before anything indexes,
+    // sorts, or clamps it — a NaN utilization parameter or a dangling
+    // deployment id would panic the stages below) ---
+    let mut span = tracer.span("pipeline.cleanup");
+    let (trace_cow, quarantine) = cleanup(trace);
+    let trace: &Trace = trace_cow.as_ref();
+    span.record("extracted", quarantine.extracted)
+        .record("cleaned", quarantine.cleaned)
+        .record("quarantined", quarantine.quarantined());
+    span.finish();
+
     // --- Extraction (telemetry → labelled VMs/deployments) ---
     let mut span = tracer.span("pipeline.extract");
     let vms = label_vms(trace, config.max_util_samples);
@@ -225,12 +275,12 @@ pub fn run_pipeline(
     span.record("vms", vms.len() as u64).record("deployments", deployments.len() as u64);
     span.finish();
 
-    // --- Cleanup: order the creation stream in time ---
+    // --- Aggregation prologue: order the creation stream in time ---
     enum Created<'a> {
         Vm(&'a LabeledVm),
         Dep(&'a LabeledDeployment),
     }
-    let mut span = tracer.span("pipeline.cleanup");
+    let mut span = tracer.span("pipeline.order");
     let mut events: Vec<(u64, Created<'_>)> = Vec::with_capacity(vms.len() + deployments.len());
     events.extend(vms.iter().map(|v| (v.obs.created_secs, Created::Vm(v))));
     events.extend(deployments.iter().map(|d| (d.obs.created_secs, Created::Dep(d))));
@@ -318,10 +368,12 @@ pub fn run_pipeline(
             refreshes.push((next_refresh, running.clone()));
             next_refresh += refresh_step;
         }
-        let features_map: &HashMap<_, _> = if is_test {
-            snapshot.as_ref().expect("snapshot exists in test phase")
-        } else {
-            &running
+        // Test examples featurize against the frozen snapshot (set the
+        // instant the sweep first crossed the boundary, just above);
+        // train examples see the live aggregates.
+        let features_map: &HashMap<_, _> = match &snapshot {
+            Some(s) if is_test => s,
+            _ => &running,
         };
         match event {
             Created::Vm(v) => {
@@ -427,8 +479,11 @@ pub fn run_pipeline(
         config.train_workers.min(splits.len())
     };
     registry.gauge(rc_obs::PIPELINE_TRAIN_WORKERS).set(n_workers as f64);
-    let trained: Vec<(TrainedModel, MetricReport)> =
-        rc_ml::pool::map(n_workers, &splits, |_, &(split, metric)| {
+    let trained: Vec<rc_ml::pool::TaskResult<(TrainedModel, MetricReport)>> =
+        rc_ml::pool::try_map(n_workers, &splits, |_, &(split, metric)| {
+            if config.fail_train.contains(&metric) {
+                panic!("injected training fault for {metric}");
+            }
             let mut span = tracer.span("pipeline.train");
             span.record("metric", metric.label()).record("n_train", split.train.len() as u64);
             let train_start = std::time::Instant::now();
@@ -453,17 +508,40 @@ pub fn run_pipeline(
             span.finish();
             (model, report)
         });
+    // Per-metric fault isolation: a metric whose training panicked or
+    // failed is quarantined — counted, reported with its failure message,
+    // absent from the output — while the surviving metrics proceed to
+    // validation and publication untouched.
     let mut models = Vec::with_capacity(splits.len());
     let mut reports = Vec::with_capacity(splits.len());
-    for (model, report) in trained {
-        models.push(model);
-        reports.push(report);
+    let mut quarantined_metrics = Vec::new();
+    let metric_quarantined = registry.counter(rc_obs::PIPELINE_METRIC_QUARANTINED);
+    for (result, &(_, metric)) in trained.into_iter().zip(&splits) {
+        match result {
+            Ok((model, report)) => {
+                models.push(model);
+                reports.push(report);
+            }
+            Err(message) => {
+                metric_quarantined.increment();
+                tracer.event(
+                    "pipeline.metric_quarantined",
+                    vec![("metric".to_string(), serde::Value::Str(metric.label().to_string()))],
+                );
+                quarantined_metrics.push((metric, message));
+            }
+        }
+    }
+    if models.is_empty() {
+        return Err(PipelineError::InsufficientData { what: "every metric quarantined" });
     }
 
-    let feature_data_bytes = feature_data
-        .values()
-        .map(|f| serde_json::to_vec(f).expect("feature serialization").len())
-        .sum();
+    let mut feature_data_bytes = 0usize;
+    for f in feature_data.values() {
+        feature_data_bytes += serde_json::to_vec(f)
+            .map_err(|_| PipelineError::SerializationFailed { what: "feature data" })?
+            .len();
+    }
 
     registry.counter(rc_obs::PIPELINE_RUNS).increment();
     registry.histogram(rc_obs::PIPELINE_RUN_LATENCY_NS).record_duration(run_start.elapsed());
@@ -475,6 +553,8 @@ pub fn run_pipeline(
         feature_data_bytes,
         feature_refreshes,
         version_tag: format!("trace-{}-train-{}d", trace.config.seed, config.train_days as u64),
+        quarantine,
+        quarantined_metrics,
     })
 }
 
@@ -499,7 +579,7 @@ fn evaluate(model: &TrainedModel, test: &Dataset, theta: f64, n_train: usize) ->
     let names = model.spec.feature_names();
     let importance = model.feature_importance();
     let mut ranked: Vec<(f64, &String)> = importance.iter().copied().zip(names.iter()).collect();
-    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite importances"));
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
     let top_features = ranked.iter().take(8).map(|(_, n)| (*n).clone()).collect();
 
     MetricReport {
@@ -516,61 +596,179 @@ fn evaluate(model: &TrainedModel, test: &Dataset, theta: f64, n_train: usize) ->
     }
 }
 
+/// The accuracy gates a publication must pass before anything is written.
+#[derive(Debug, Clone, Copy)]
+pub struct PublishGate {
+    /// Absolute accuracy floor every model must clear.
+    pub min_accuracy: f64,
+    /// Maximum tolerated accuracy drop versus the same model in the
+    /// currently published version (ε): a candidate more than this much
+    /// worse blocks the whole publication, leaving `last_good` serving.
+    pub max_regression: f64,
+}
+
+impl Default for PublishGate {
+    fn default() -> Self {
+        PublishGate { min_accuracy: 0.5, max_regression: 0.05 }
+    }
+}
+
 impl PipelineOutput {
     /// The trained model for a metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric was quarantined (its training failed); check
+    /// [`PipelineOutput::quarantined_metrics`] first when that is possible.
     pub fn model(&self, metric: PredictionMetric) -> &TrainedModel {
-        &self.models[metric.index()]
+        self.models
+            .iter()
+            .find(|m| m.spec.metric == metric)
+            .unwrap_or_else(|| panic!("model for quarantined metric {metric}"))
     }
 
     /// The evaluation report for a metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric was quarantined, as [`PipelineOutput::model`].
     pub fn report(&self, metric: PredictionMetric) -> &MetricReport {
-        &self.reports[metric.index()]
+        self.reports
+            .iter()
+            .find(|r| r.metric == metric)
+            .unwrap_or_else(|| panic!("report for quarantined metric {metric}"))
     }
 
-    /// Sanity-checks the models and publishes models + feature data to the
-    /// store with version numbers (§4.2).
+    /// Sanity-checks the models and publishes them with the default
+    /// regression tolerance; see [`PipelineOutput::publish_gated`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelineOutput::publish_gated`].
+    pub fn publish<B: StoreBackend + ?Sized>(
+        &self,
+        store: &B,
+        min_accuracy: f64,
+    ) -> Result<u64, PipelineError> {
+        self.publish_gated(store, PublishGate { min_accuracy, ..PublishGate::default() })
+    }
+
+    /// Two-phase atomic versioned publish (§4.2: "sanity-checks the
+    /// models and feature data, and publishes them (with version numbers)
+    /// to an existing highly available store").
+    ///
+    /// Every gate is evaluated *before* the first write: a blocked
+    /// publication leaves the store byte-for-byte untouched and the
+    /// currently published version serving. Then phase one writes every
+    /// model and feature payload under the new `v{N}/` prefix — invisible
+    /// to readers, so a crash mid-phase leaves only unreachable garbage —
+    /// and phase two flips the single checksummed [`Manifest`] pointer,
+    /// which also records the previous version as `last_good` for
+    /// [`rc_store::rollback`]. Returns the new manifest version.
     ///
     /// # Errors
     ///
     /// [`PipelineError::SanityCheckFailed`] when a model's accuracy falls
-    /// below `min_accuracy`; [`PipelineError::StoreFailed`] on store
-    /// errors. Nothing is written unless all checks pass.
-    pub fn publish(&self, store: &Store, min_accuracy: f64) -> Result<u64, PipelineError> {
+    /// below the floor; [`PipelineError::PublishBlocked`] when a model
+    /// regresses more than ε below its currently published accuracy;
+    /// [`PipelineError::StoreFailed`] on store errors (phase-one failures
+    /// never move the manifest).
+    pub fn publish_gated<B: StoreBackend + ?Sized>(
+        &self,
+        store: &B,
+        gate: PublishGate,
+    ) -> Result<u64, PipelineError> {
+        let registry = rc_obs::global();
+        let previous = Manifest::read_current(store).map_err(PipelineError::StoreFailed)?;
+
+        // --- Validation gates, all before any write ---
         for report in &self.reports {
-            if report.accuracy < min_accuracy {
+            if report.accuracy < gate.min_accuracy {
+                registry.counter(rc_obs::PIPELINE_PUBLISH_BLOCKED).increment();
                 return Err(PipelineError::SanityCheckFailed {
                     metric: report.metric,
                     accuracy: report.accuracy,
                 });
             }
+            let logical = ModelSpec::for_metric(report.metric).store_key();
+            if let Some(entry) = previous.as_ref().and_then(|m| m.model_entry(&logical)) {
+                if report.accuracy < entry.accuracy - gate.max_regression {
+                    registry.counter(rc_obs::PIPELINE_PUBLISH_BLOCKED).increment();
+                    return Err(PipelineError::PublishBlocked {
+                        metric: report.metric,
+                        accuracy: report.accuracy,
+                        previous: entry.accuracy,
+                    });
+                }
+            }
         }
+
         let mut span = rc_obs::global_tracer().span("pipeline.publish");
-        let published = rc_obs::global().counter(rc_obs::PIPELINE_MODELS_PUBLISHED);
-        let mut last_version = 0;
-        for model in &self.models {
+        let published = registry.counter(rc_obs::PIPELINE_MODELS_PUBLISHED);
+        let (new_version, last_good) = match &previous {
+            Some(m) => (m.version + 1, m.version),
+            None => (1, 0),
+        };
+
+        // --- Phase one: payloads under the unreferenced v{N}/ prefix ---
+        let mut model_entries = Vec::with_capacity(self.models.len());
+        for (model, report) in self.models.iter().zip(&self.reports) {
+            let logical = model.spec.store_key();
             let bytes = rc_ml::to_bytes(model);
-            last_version = store
-                .put(&model.spec.store_key(), bytes.into())
+            store
+                .put(
+                    &format!("{}{logical}", Manifest::version_prefix(new_version)),
+                    bytes.clone().into(),
+                )
                 .map_err(PipelineError::StoreFailed)?;
+            model_entries.push(ModelEntry {
+                key: logical,
+                checksum: checksum(&bytes),
+                accuracy: report.accuracy,
+            });
             published.increment();
         }
-        for (sub, features) in &self.feature_data {
-            let bytes = serde_json::to_vec(features).expect("feature serialization");
+        // Feature records publish in subscription order so a same-seed
+        // rerun produces a bit-identical store and manifest.
+        let mut subs: Vec<SubscriptionId> = self.feature_data.keys().copied().collect();
+        subs.sort_by_key(|s| s.0);
+        let mut feature_entries = Vec::with_capacity(subs.len());
+        for sub in subs {
+            let features = &self.feature_data[&sub];
+            let bytes = serde_json::to_vec(features)
+                .map_err(|_| PipelineError::SerializationFailed { what: "feature data" })?;
+            let logical = feature_store_key(sub);
             store
-                .put(&feature_store_key(*sub), bytes.into())
+                .put(
+                    &format!("{}{logical}", Manifest::version_prefix(new_version)),
+                    bytes.clone().into(),
+                )
                 .map_err(PipelineError::StoreFailed)?;
+            feature_entries.push(FeatureEntry { key: logical, checksum: checksum(&bytes) });
         }
+
+        // --- Phase two: the atomic flip ---
+        let manifest = Manifest::new(
+            new_version,
+            last_good,
+            self.version_tag.clone(),
+            model_entries,
+            feature_entries,
+        );
+        store.put(MANIFEST_KEY, manifest.to_bytes()).map_err(PipelineError::StoreFailed)?;
+
         span.record("models", self.models.len() as u64)
             .record("feature_records", self.feature_data.len() as u64)
-            .record("version", last_version);
+            .record("version", new_version);
         span.finish();
-        Ok(last_version)
+        Ok(new_version)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rc_store::Store;
     use rc_trace::TraceConfig;
 
     fn pipeline_output() -> PipelineOutput {
@@ -587,6 +785,12 @@ mod tests {
     fn pipeline_trains_six_models_with_decent_accuracy() {
         let out = pipeline_output();
         assert_eq!(out.models.len(), 6);
+        assert!(out.quarantined_metrics.is_empty());
+        // The generator emits only sanitized telemetry, so cleanup is the
+        // identity on it — and accounts for that exactly.
+        assert_eq!(out.quarantine.quarantined(), 0);
+        assert!(out.quarantine.balanced());
+        assert_eq!(out.quarantine.extracted, out.quarantine.cleaned);
         for report in &out.reports {
             assert!(report.n_train > 100, "{}: n_train {}", report.metric, report.n_train);
             assert!(report.n_test > 20, "{}: n_test {}", report.metric, report.n_test);
@@ -619,12 +823,27 @@ mod tests {
         let out = pipeline_output();
         let store = Store::in_memory();
         let version = out.publish(&store, 0.5).expect("publish");
-        assert!(version >= 1);
+        assert_eq!(version, 1);
+        let manifest = Manifest::read_current(&store).expect("store up").expect("manifest");
+        assert_eq!(manifest.version, 1);
+        assert_eq!(manifest.last_good, 0, "first publication has nothing to roll back to");
+        assert_eq!(manifest.models.len(), 6);
+        assert_eq!(manifest.features.len(), out.feature_data.len());
         for metric in PredictionMetric::ALL {
-            let key = ModelSpec::for_metric(metric).store_key();
-            assert!(store.get_latest(&key).is_ok(), "missing {key}");
+            let logical = ModelSpec::for_metric(metric).store_key();
+            let entry = manifest.model_entry(&logical).unwrap_or_else(|| panic!("entry {logical}"));
+            let rec = store.get_latest(&manifest.versioned_key(&logical)).expect("payload");
+            assert_eq!(checksum(&rec.data), entry.checksum, "checksum mismatch for {logical}");
         }
-        assert!(store.keys().len() >= 6 + out.feature_data.len());
+        // manifest + 6 models + one feature record per subscription.
+        assert_eq!(store.keys().len(), 7 + out.feature_data.len());
+
+        // A second publication bumps the version and records the first as
+        // the rollback target.
+        let v2 = out.publish(&store, 0.5).expect("second publish");
+        assert_eq!(v2, 2);
+        let m2 = Manifest::read_current(&store).expect("store up").expect("manifest");
+        assert_eq!((m2.version, m2.last_good), (2, 1));
     }
 
     #[test]

@@ -89,6 +89,45 @@ where
     run(n_workers, items.len(), |i| f(i, &items[i]))
 }
 
+/// What one fault-isolated task produced: the result, or the panic
+/// payload rendered as a message.
+pub type TaskResult<R> = Result<R, String>;
+
+/// Like [`run`], but with per-task fault isolation: a panicking task is
+/// caught and reported as `Err(message)` in its slot instead of taking
+/// the whole fan-out (and its sibling tasks' results) down with it.
+///
+/// Output order is task-index order, exactly as [`run`]. The pipeline
+/// uses this to quarantine one metric's failed training while the other
+/// five train, validate, and publish.
+pub fn try_run<R, F>(n_workers: usize, n_tasks: usize, task: F) -> Vec<TaskResult<R>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    run(n_workers, n_tasks, |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))).map_err(|panic| {
+            if let Some(msg) = panic.downcast_ref::<&str>() {
+                (*msg).to_string()
+            } else if let Some(msg) = panic.downcast_ref::<String>() {
+                msg.clone()
+            } else {
+                "task panicked".to_string()
+            }
+        })
+    })
+}
+
+/// Maps `f` over `items` with [`try_run`], preserving item order.
+pub fn try_map<T, R, F>(n_workers: usize, items: &[T], f: F) -> Vec<TaskResult<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    try_run(n_workers, items.len(), |i| f(i, &items[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::HashSet;
@@ -162,5 +201,37 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn try_run_isolates_a_panicking_task() {
+        // Silence the default panic hook for the intentional panic so the
+        // test log stays readable; restore it afterwards.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = super::try_run(2, 5, |i| {
+            if i == 2 {
+                panic!("metric {i} exploded");
+            }
+            i * 10
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(out.len(), 5);
+        for (i, slot) in out.iter().enumerate() {
+            if i == 2 {
+                let err = slot.as_ref().unwrap_err();
+                assert!(err.contains("exploded"), "got: {err}");
+            } else {
+                assert_eq!(*slot.as_ref().unwrap(), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_matches_map_when_nothing_panics() {
+        let items = vec![1u64, 2, 3, 4];
+        let safe: Vec<u64> =
+            super::try_map(3, &items, |_, x| x * x).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(safe, super::map(3, &items, |_, x| x * x));
     }
 }

@@ -84,6 +84,10 @@ pub const CLIENT_BREAKER_OPEN: &str = "rc_client_breaker_open";
 /// Payloads (store pulls or disk-cache entries) that failed checksum or
 /// decode validation and were skipped instead of served (counter).
 pub const CLIENT_CORRUPT_PAYLOADS: &str = "rc_client_corrupt_payloads";
+/// Fetched models rejected by the pre-swap sanity check (undecodable,
+/// checksum/identity mismatch with the manifest, or non-finite probe
+/// outputs); the previously resident model keeps serving (counter).
+pub const CLIENT_MODEL_REJECTED: &str = "rc_client_model_rejected";
 
 // --- rc-core pipeline (offline training) ---
 
@@ -102,6 +106,36 @@ pub const PIPELINE_FEATURE_REFRESHES: &str = "rc_pipeline_feature_refreshes";
 /// Worker threads the last pipeline run used to train the six per-metric
 /// models concurrently (gauge).
 pub const PIPELINE_TRAIN_WORKERS: &str = "rc_pipeline_train_workers";
+/// Raw records (VMs + deployments) the extract stage pulled from
+/// telemetry (counter). Reconciles exactly:
+/// `extracted == cleaned + quarantined`.
+pub const PIPELINE_EXTRACTED_RECORDS: &str = "rc_pipeline_extracted_records";
+/// Records that passed the cleanup stage into aggregation (counter).
+pub const PIPELINE_CLEANED_RECORDS: &str = "rc_pipeline_cleaned_records";
+/// Records the cleanup stage quarantined, all categories (counter).
+pub const PIPELINE_QUARANTINED_RECORDS: &str = "rc_pipeline_quarantined_records";
+/// Quarantined: duplicated VM records — a vm_id already ingested
+/// (counter).
+pub const PIPELINE_QUARANTINED_DUPLICATES: &str = "rc_pipeline_quarantined_duplicates";
+/// Quarantined: NaN or out-of-range utilization parameters (counter).
+pub const PIPELINE_QUARANTINED_INVALID_UTIL: &str = "rc_pipeline_quarantined_invalid_util";
+/// Quarantined: clock-skewed timestamps — deletion before creation
+/// (counter).
+pub const PIPELINE_QUARANTINED_CLOCK_SKEW: &str = "rc_pipeline_quarantined_clock_skew";
+/// Quarantined: truncated VM records with zeroed/sentinel fields
+/// (counter).
+pub const PIPELINE_QUARANTINED_TRUNCATED: &str = "rc_pipeline_quarantined_truncated";
+/// Quarantined: VM records whose deployment id points past the deployment
+/// table (counter).
+pub const PIPELINE_QUARANTINED_ORPHANED: &str = "rc_pipeline_quarantined_orphaned";
+/// Metrics whose train/validate task panicked or failed and were excluded
+/// from publication while the rest proceeded (counter).
+pub const PIPELINE_METRIC_QUARANTINED: &str = "rc_pipeline_metric_quarantined";
+/// Publishes refused by the validation gate — accuracy floor or
+/// regression versus the currently published version (counter).
+pub const PIPELINE_PUBLISH_BLOCKED: &str = "rc_pipeline_publish_blocked";
+/// Manifest rollbacks to `last_good` (counter).
+pub const PIPELINE_ROLLBACKS: &str = "rc_pipeline_rollbacks";
 
 // --- rc-ml worker pool ---
 

@@ -352,8 +352,16 @@ impl StoreBackend for FaultyStore {
         FaultyStore::get_latest(self, key)
     }
 
+    fn get_version(&self, key: &str, version: u64) -> Result<VersionedRecord, StoreError> {
+        FaultyStore::get_version(self, key, version)
+    }
+
     fn latest_version(&self, key: &str) -> Option<u64> {
         FaultyStore::latest_version(self, key)
+    }
+
+    fn put(&self, key: &str, data: Bytes) -> Result<u64, StoreError> {
+        FaultyStore::put(self, key, data)
     }
 }
 

@@ -51,11 +51,15 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
-/// The read-side store surface the client library depends on.
+/// The store surface the client library and the pipeline's publish path
+/// depend on.
 ///
 /// Abstracting it lets a [`crate::FaultyStore`] (or any future remote
 /// backend) slot in where a plain [`Store`] is expected, without the
-/// client knowing whether faults are being injected underneath it.
+/// caller knowing whether faults are being injected underneath it. The
+/// client only reads; the pipeline's two-phase publish also writes
+/// through [`StoreBackend::put`], so torn-publish tests can inject a
+/// failure at any write index.
 pub trait StoreBackend: Send + Sync {
     /// Whether the store currently accepts requests.
     fn is_available(&self) -> bool;
@@ -63,8 +67,12 @@ pub trait StoreBackend: Send + Sync {
     fn keys(&self) -> Vec<String>;
     /// Reads the latest version of `key`.
     fn get_latest(&self, key: &str) -> Result<VersionedRecord, StoreError>;
+    /// Reads a specific version of `key`.
+    fn get_version(&self, key: &str, version: u64) -> Result<VersionedRecord, StoreError>;
     /// Latest version number of `key`, if any.
     fn latest_version(&self, key: &str) -> Option<u64>;
+    /// Writes a new version of `key`, returning the version number.
+    fn put(&self, key: &str, data: Bytes) -> Result<u64, StoreError>;
 }
 
 impl StoreBackend for Store {
@@ -80,8 +88,16 @@ impl StoreBackend for Store {
         Store::get_latest(self, key)
     }
 
+    fn get_version(&self, key: &str, version: u64) -> Result<VersionedRecord, StoreError> {
+        Store::get_version(self, key, version)
+    }
+
     fn latest_version(&self, key: &str) -> Option<u64> {
         Store::latest_version(self, key)
+    }
+
+    fn put(&self, key: &str, data: Bytes) -> Result<u64, StoreError> {
+        Store::put(self, key, data)
     }
 }
 

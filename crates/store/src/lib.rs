@@ -19,7 +19,11 @@
 pub mod fault;
 pub mod kv;
 pub mod latency;
+pub mod manifest;
 
 pub use fault::{corrupt_payload, FaultDecision, FaultInjector, FaultPlan, FaultyStore};
 pub use kv::{Store, StoreBackend, StoreError, VersionedRecord};
 pub use latency::LatencyModel;
+pub use manifest::{
+    checksum, rollback, FeatureEntry, Manifest, ModelEntry, RollbackError, MANIFEST_KEY,
+};

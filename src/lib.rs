@@ -52,16 +52,18 @@ pub use rc_types as types;
 pub mod prelude {
     pub use rc_analysis::{Cdf, CorrelationMatrix};
     pub use rc_core::{
-        run_pipeline, BreakerConfig, CacheMode, ClientConfig, ClientHealth, ClientInputs,
-        DegradedReason, PipelineConfig, PipelineOutput, Prediction, PredictionResponse, RcClient,
-        RetryPolicy, Served,
+        cleanup, run_pipeline, BreakerConfig, CacheMode, ClientConfig, ClientHealth, ClientInputs,
+        DegradedReason, PipelineConfig, PipelineError, PipelineOutput, Prediction,
+        PredictionResponse, PublishGate, QuarantineReport, RcClient, RetryPolicy, Served,
     };
     pub use rc_ml::Classifier;
     pub use rc_scheduler::{
         simulate, suggest_server_count, PolicyKind, SchedulerConfig, SimConfig, SimReport,
         VmRequest,
     };
-    pub use rc_store::{FaultPlan, FaultyStore, LatencyModel, Store, StoreBackend};
-    pub use rc_trace::{Trace, TraceConfig};
+    pub use rc_store::{
+        rollback, FaultPlan, FaultyStore, LatencyModel, Manifest, Store, StoreBackend,
+    };
+    pub use rc_trace::{DirtyPlan, Trace, TraceConfig};
     pub use rc_types::{PredictionMetric, Timestamp, VmId};
 }

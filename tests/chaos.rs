@@ -374,6 +374,127 @@ fn breaker_walks_a_deterministic_transition_schedule() {
 }
 
 #[test]
+fn latency_spike_overrunning_the_deadline_feeds_the_breaker() {
+    let _gate = gate();
+    let (trace, store) = world();
+
+    // A predictable subscription, found through a healthy probe.
+    let probe = RcClient::new(store.clone(), ClientConfig::default());
+    assert!(probe.initialize());
+    let inputs = (0..trace.n_vms() as u64)
+        .map(|id| vm_inputs(trace, VmId(id)))
+        .find(|inputs| probe.predict_single("VM_P95UTIL", inputs).is_predicted())
+        .expect("some subscription must be predictable");
+    drop(probe);
+
+    // Every store operation sleeps 25 ms before answering successfully.
+    let spiky_plan = FaultPlan {
+        seed: chaos_seed(),
+        p_unavailable: 0.0,
+        p_transient: 0.0,
+        transient_burst: 0,
+        p_latency_spike: 1.0,
+        latency_spike: StdDuration::from_millis(25),
+        p_corrupt: 0.0,
+    };
+    let sync_config = |deadline: StdDuration| ClientConfig {
+        mode: CacheMode::PullSync,
+        breaker: BreakerConfig { failure_threshold: 3, probe_after: 4, success_threshold: 1 },
+        retry: RetryPolicy {
+            max_attempts: 1,
+            base_backoff: StdDuration::ZERO,
+            max_backoff: StdDuration::ZERO,
+            call_deadline: deadline,
+            ..RetryPolicy::default()
+        },
+        ..ClientConfig::default()
+    };
+
+    // Control: with a generous deadline, a spiked reply is late but still
+    // *data* — the pull succeeds and serves fresh.
+    let faulty = FaultyStore::new(store.clone(), spiky_plan);
+    let control = RcClient::with_backend(
+        std::sync::Arc::new(faulty.clone()),
+        sync_config(StdDuration::from_secs(30)),
+    );
+    assert!(control.initialize());
+    let (response, served) = control.predict_single_traced("VM_P95UTIL", &inputs);
+    assert!(response.is_predicted(), "a slow store within the deadline must still serve");
+    assert_eq!(served, Served::Fresh);
+    assert!(faulty.injector().injected().latency_spikes > 0);
+
+    // Victim: the same spiking store behind a 5 ms per-call deadline. The
+    // reply always arrives — 20 ms too late. Each overrun is a failure
+    // that feeds the breaker exactly like a timeout:
+    //   calls 1-3  admitted, spike overruns  -> Closed -> Open      (t1)
+    //   calls 4-6  rejected (no store op, no spike)
+    //   call  7    probe, spike overruns     -> Open -> HalfOpen    (t2)
+    //                                        -> HalfOpen -> Open    (t3)
+    let client = RcClient::with_backend(
+        std::sync::Arc::new(faulty.clone()),
+        sync_config(StdDuration::from_millis(5)),
+    );
+    assert!(client.initialize(), "initialize is not deadline-bound");
+
+    let reg = rc_obs::global();
+    let at = |name: &str| reg.counter(name).get();
+    let lookups0 = at(rc_obs::CLIENT_LOOKUPS);
+    let defaults0 = at(rc_obs::CLIENT_DEFAULTS);
+    let fresh0 = at(rc_obs::CLIENT_FRESH_FETCHES);
+    let stale0 = at(rc_obs::CLIENT_STALE_SERVES);
+    let hits0 = at(rc_obs::CLIENT_RESULT_CACHE_HITS);
+    let transitions0 = at(rc_obs::CLIENT_BREAKER_TRANSITIONS);
+    let spikes_reg0 = at(rc_obs::STORE_INJECTED_LATENCY_SPIKES);
+    let spikes0 = faulty.injector().injected().latency_spikes;
+
+    for call in 1..=3 {
+        let (response, served) = client.predict_single_traced("VM_P95UTIL", &inputs);
+        assert_eq!(response, PredictionResponse::NoPrediction, "call {call}");
+        assert_eq!(served, Served::Default, "call {call}");
+    }
+    assert_eq!(
+        at(rc_obs::CLIENT_BREAKER_TRANSITIONS) - transitions0,
+        1,
+        "three deadline overruns trip the breaker open"
+    );
+    assert_eq!(client.open_breaker_count(), 1);
+    assert_eq!(faulty.injector().injected().latency_spikes - spikes0, 3);
+
+    for call in 4..=6 {
+        let (response, served) = client.predict_single_traced("VM_P95UTIL", &inputs);
+        assert_eq!(response, PredictionResponse::NoPrediction, "call {call}");
+        assert_eq!(served, Served::Default, "call {call}");
+    }
+    assert_eq!(
+        faulty.injector().injected().latency_spikes - spikes0,
+        3,
+        "an open breaker fails fast: rejected calls never reach the store"
+    );
+
+    let (response, _) = client.predict_single_traced("VM_P95UTIL", &inputs);
+    assert_eq!(response, PredictionResponse::NoPrediction, "call 7's probe overruns too");
+    assert_eq!(at(rc_obs::CLIENT_BREAKER_TRANSITIONS) - transitions0, 3, "probe reopens");
+    assert_eq!(faulty.injector().injected().latency_spikes - spikes0, 4);
+    assert_eq!(
+        at(rc_obs::STORE_INJECTED_LATENCY_SPIKES) - spikes_reg0,
+        4,
+        "the injector's registry counter must match its own tally"
+    );
+
+    // Exact reconciliation: all seven lookups degraded to defaults — no
+    // fresh serve ever slipped through a blown deadline.
+    let lookups = at(rc_obs::CLIENT_LOOKUPS) - lookups0;
+    let defaults = at(rc_obs::CLIENT_DEFAULTS) - defaults0;
+    assert_eq!(lookups, 7);
+    assert_eq!(defaults, 7);
+    assert_eq!(at(rc_obs::CLIENT_FRESH_FETCHES) - fresh0, 0);
+    assert_eq!(at(rc_obs::CLIENT_STALE_SERVES) - stale0, 0);
+    assert_eq!(at(rc_obs::CLIENT_RESULT_CACHE_HITS) - hits0, 0);
+    assert_eq!(client.retry_count(), 0, "max_attempts = 1 leaves no room for retries");
+    assert_eq!(client.store_fallback_count(), 7, "every failed pull fell through to (no) disk");
+}
+
+#[test]
 fn corrupted_disk_entry_is_skipped_and_counted() {
     let _gate = gate();
     let (trace, store) = world();

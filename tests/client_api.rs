@@ -26,6 +26,27 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
     dir
 }
 
+/// Models RC's next offline run publishing feature data for one more
+/// subscription: writes the payload under the current version prefix and
+/// flips an updated manifest listing it.
+fn append_feature_record(store: &Store, features: &rc_core::SubscriptionFeatures) {
+    use rc_store::{checksum, FeatureEntry, Manifest, MANIFEST_KEY};
+    let m = Manifest::read_current(store).expect("store up").expect("published manifest");
+    let logical = rc_core::feature_store_key(features.subscription);
+    let bytes = serde_json::to_vec(features).unwrap();
+    store.put(&m.versioned_key(&logical), bytes.clone().into()).unwrap();
+    let mut feature_entries = m.features.clone();
+    feature_entries.push(FeatureEntry { key: logical, checksum: checksum(&bytes) });
+    let updated = Manifest::new(
+        m.version,
+        m.last_good,
+        m.version_tag.clone(),
+        m.models.clone(),
+        feature_entries,
+    );
+    store.put(MANIFEST_KEY, updated.to_bytes()).unwrap();
+}
+
 #[test]
 fn initialize_is_required_before_predictions() {
     let (trace, store) = world();
@@ -136,9 +157,7 @@ fn force_reload_picks_up_new_feature_data() {
     // RC's next offline run publishes feature data for the new
     // subscription; a push refresh makes it predictable.
     let features = rc_core::SubscriptionFeatures::new(fresh_sub);
-    store
-        .put(&rc_core::feature_store_key(fresh_sub), serde_json::to_vec(&features).unwrap().into())
-        .unwrap();
+    append_feature_record(&store, &features);
     client.force_reload_cache();
     assert!(client.predict_single("VM_AVGUTIL", &inputs).is_predicted());
 }
@@ -191,12 +210,7 @@ fn push_watcher_picks_up_new_publications() {
     // RC's next offline run publishes its feature data; the watcher
     // notices the version change and refreshes the caches by itself.
     let features = rc_core::SubscriptionFeatures::new(SubscriptionId(777_777));
-    store
-        .put(
-            &rc_core::feature_store_key(SubscriptionId(777_777)),
-            serde_json::to_vec(&features).unwrap().into(),
-        )
-        .unwrap();
+    append_feature_record(&store, &features);
     let deadline = std::time::Instant::now() + StdDuration::from_secs(5);
     loop {
         if client.predict_single("VM_AVGUTIL", &inputs).is_predicted() {

@@ -120,9 +120,14 @@ fn rc_informed_scheduler_runs_on_live_predictions() {
 #[test]
 fn publish_then_republish_bumps_versions() {
     let (_, output, store) = small_world();
+    let m1 = rc_store::Manifest::read_current(&store).expect("store up").expect("manifest");
+    let v2 = output.publish(&store, 0.5).expect("second publish");
+    assert_eq!(v2, m1.version + 1, "republication must bump the manifest version");
+    let m2 = rc_store::Manifest::read_current(&store).expect("store up").expect("manifest");
+    assert_eq!(m2.last_good, m1.version, "the old version becomes the rollback target");
+    // Both versions' payloads are retained: the flip is a pointer move,
+    // not an overwrite.
     let key = rc_core::ModelSpec::for_metric(PredictionMetric::AvgCpuUtil).store_key();
-    let v1 = store.latest_version(&key).unwrap();
-    output.publish(&store, 0.5).expect("second publish");
-    let v2 = store.latest_version(&key).unwrap();
-    assert_eq!(v2, v1 + 1, "republication must bump the version");
+    assert!(store.get_latest(&m1.versioned_key(&key)).is_ok());
+    assert!(store.get_latest(&m2.versioned_key(&key)).is_ok());
 }
