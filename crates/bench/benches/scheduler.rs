@@ -57,6 +57,8 @@ fn bench_scheduler(c: &mut Criterion) {
                     scheduler: SchedulerConfig::new(policy),
                     util_shift: 0.0,
                     tick_stride: 12,
+                    obs_tick_secs: rc_scheduler::OBS_TICK_DAILY,
+                    accuracy: None,
                 };
                 let source: Box<dyn rc_scheduler::P95Source> = if policy.uses_predictions() {
                     Box::new(OracleSource)

@@ -8,19 +8,22 @@
 //! byte-identical (CI diffs them). Progress goes to stderr.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rc_core::labels::vm_inputs;
 use rc_core::{CacheMode, ClientConfig, ClientInputs, RcClient, RetryPolicy, Served};
+use rc_obs::BenchReport;
 use rc_store::{FaultPlan, FaultyStore, Store};
 use rc_trace::{Trace, TraceConfig};
 use rc_types::{PredictionMetric, VmId};
+use serde::Value;
 
 fn chaos_seed() -> u64 {
     std::env::var("RC_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC4A0_5017)
 }
 
 fn main() {
+    let started = Instant::now();
     let s = rc_bench::scale();
     let seed = chaos_seed();
     let trace_config = TraceConfig {
@@ -69,6 +72,15 @@ fn main() {
         }
     }
     eprintln!("[availability] disk cache primed; sweeping {} requests per point", requests.len());
+
+    let registry = rc_obs::global();
+    let sweep_before = registry.snapshot();
+    let mut bench = BenchReport::new("avail");
+    bench
+        .set_config("scale", s)
+        .set_config("chaos_seed", seed)
+        .set_config("requests_per_point", requests.len() as u64)
+        .set_config("points", 11u64);
 
     println!("Answered-rate sweep: store availability 1.0 -> 0.0 (seed {seed:#x})");
     println!(
@@ -157,7 +169,33 @@ fn main() {
             faulty.injector().injected().total(),
             100 * answered / lookups,
         );
+        bench.set_result(
+            &format!("avail_{:.1}", 1.0 - p_unavailable),
+            Value::Object(vec![
+                ("lookups".to_string(), Value::U64(lookups)),
+                ("hits".to_string(), Value::U64(hits)),
+                ("fresh".to_string(), Value::U64(fresh)),
+                ("stale".to_string(), Value::U64(stale)),
+                ("defaults".to_string(), Value::U64(defaults)),
+                ("predicted".to_string(), Value::U64(predicted)),
+                ("injected".to_string(), Value::U64(faulty.injector().injected().total())),
+                ("answered".to_string(), Value::U64(answered)),
+            ]),
+        );
     }
     println!("answered-rate pinned at 100% across the whole sweep");
+    let sweep_after = registry.snapshot();
+    bench.set_counter_deltas(&sweep_after, &sweep_before);
+    if let Some(h) = sweep_after.histogram(rc_obs::CLIENT_PREDICT_HIT_LATENCY_NS) {
+        bench.set_quantiles("client_predict_hit_ns", h);
+    }
+    if let Some(h) = sweep_after.histogram(rc_obs::CLIENT_PREDICT_MISS_LATENCY_NS) {
+        bench.set_quantiles("client_predict_miss_ns", h);
+    }
+    bench.set_span("bench.total", started.elapsed().as_nanos() as u64);
+    match bench.write_default("BENCH_avail.json") {
+        Ok(path) => eprintln!("[availability] wrote {}", path.display()),
+        Err(e) => eprintln!("[availability] report write failed: {e}"),
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

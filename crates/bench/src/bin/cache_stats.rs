@@ -4,16 +4,24 @@
 //! from hand-rolled accounting. Ends with a full registry snapshot dumped
 //! as JSON and Prometheus text covering all four instrumented layers.
 
+use std::time::Instant;
+
 use rc_bench::{counter_delta, experiment_pipeline, experiment_trace, histogram_delta};
 use rc_core::{labels::vm_inputs, ClientConfig, RcClient};
+use rc_obs::BenchReport;
 use rc_scheduler::{
     simulate, suggest_server_count, OracleSource, PolicyKind, SchedulerConfig, SimConfig, VmRequest,
 };
 use rc_store::{LatencyModel, Store};
 use rc_types::time::Timestamp;
 use rc_types::PredictionMetric;
+use serde::Value;
 
 fn main() {
+    let started = Instant::now();
+    let run_before = rc_obs::global().snapshot();
+    let mut bench = BenchReport::new("cache");
+    bench.set_config("scale", rc_bench::scale());
     let trace = experiment_trace();
     let output = experiment_pipeline(&trace);
     let store = Store::in_memory();
@@ -68,6 +76,19 @@ fn main() {
             hit_latency.quantile(0.99) / 1_000.0,
             client.result_cache_len()
         );
+        bench.set_result(
+            metric.model_name(),
+            Value::Object(vec![
+                ("requests".to_string(), Value::U64(requests)),
+                ("hits".to_string(), Value::U64(hits)),
+                ("misses".to_string(), Value::U64(misses)),
+                ("model_execs".to_string(), Value::U64(execs)),
+                ("hit_rate".to_string(), Value::F64(hit_rate)),
+                ("hits_per_exec".to_string(), Value::F64(hits_per_exec)),
+                ("cache_entries".to_string(), Value::U64(client.result_cache_len() as u64)),
+            ]),
+        );
+        bench.set_quantiles(&format!("{}_hit_ns", metric.model_name()), &hit_latency);
     }
     rc_bench::rule(110);
     println!("paper: an entry is accessed 18-68 times after its model execution, cache <= ~25 MB");
@@ -90,6 +111,7 @@ fn main() {
         get_latency.quantile(0.99) / 1e6,
         get_latency.count
     );
+    bench.set_quantiles("store_get_ns", &get_latency);
     println!();
 
     // A short scheduler run so the fourth layer has registry activity in
@@ -103,6 +125,8 @@ fn main() {
         scheduler: SchedulerConfig::new(PolicyKind::RcInformedSoft),
         util_shift: 0.0,
         tick_stride: 12,
+        obs_tick_secs: rc_scheduler::OBS_TICK_DAILY,
+        accuracy: None,
     };
     let before = registry.snapshot();
     simulate(&requests, &config, Box::new(OracleSource), sched_window);
@@ -114,6 +138,27 @@ fn main() {
         counter_delta(&after, &before, rc_obs::SCHED_RULE_RELAXATIONS),
         counter_delta(&after, &before, rc_obs::SCHED_READINGS),
         counter_delta(&after, &before, rc_obs::SCHED_OVERLOADED_READINGS),
+    );
+    bench.set_result(
+        "scheduler_week",
+        Value::Object(vec![
+            (
+                "placements".to_string(),
+                Value::U64(counter_delta(&after, &before, rc_obs::SCHED_PLACEMENTS)),
+            ),
+            (
+                "failures".to_string(),
+                Value::U64(counter_delta(&after, &before, rc_obs::SCHED_FAILURES)),
+            ),
+            (
+                "readings".to_string(),
+                Value::U64(counter_delta(&after, &before, rc_obs::SCHED_READINGS)),
+            ),
+            (
+                "overloaded".to_string(),
+                Value::U64(counter_delta(&after, &before, rc_obs::SCHED_OVERLOADED_READINGS)),
+            ),
+        ]),
     );
     println!();
 
@@ -145,5 +190,13 @@ fn main() {
         {
             println!("  wrote {} and {}", json_path.display(), prom_path.display());
         }
+    }
+
+    bench.set_counter_deltas(&snapshot, &run_before);
+    bench.set_span_timings(rc_obs::global_tracer(), "pipeline.");
+    bench.set_span("bench.total", started.elapsed().as_nanos() as u64);
+    match bench.write_default("BENCH_cache.json") {
+        Ok(path) => eprintln!("[cache_stats] wrote {}", path.display()),
+        Err(e) => eprintln!("[cache_stats] report write failed: {e}"),
     }
 }

@@ -5,11 +5,16 @@
 //! Stdout is deterministic for a fixed `RC_DIRTY_SEED` (default below)
 //! and `RC_SCALE`; progress goes to stderr, so two runs byte-diff clean.
 
+use std::time::Instant;
+
 use rc_core::{run_pipeline, PipelineConfig, PipelineError};
+use rc_obs::BenchReport;
 use rc_store::Store;
 use rc_trace::{DirtyPlan, Trace, TraceConfig};
+use serde::Value;
 
 fn main() {
+    let started = Instant::now();
     let seed: u64 =
         std::env::var("RC_DIRTY_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0x5059_2017);
     let s = rc_bench::scale();
@@ -36,6 +41,14 @@ fn main() {
 
     // Rates publish into one shared store, so each survivor is also gated
     // against the previously published version (ε-regression).
+    let registry = rc_obs::global();
+    let sweep_before = registry.snapshot();
+    let mut bench = BenchReport::new("dirty");
+    bench
+        .set_config("scale", s)
+        .set_config("dirty_seed", seed)
+        .set_config("days", config.days as u64)
+        .set_config("subscriptions", config.n_subscriptions as u64);
     let store = Store::in_memory();
     for rate_pct in [0u32, 5, 10, 15, 20, 25, 30] {
         let rate = rate_pct as f64 / 100.0;
@@ -71,14 +84,44 @@ fn main() {
                     mean_acc,
                     decision
                 );
+                bench.set_result(
+                    &format!("rate_{rate_pct}pct"),
+                    Value::Object(vec![
+                        ("extracted".to_string(), Value::U64(q.extracted)),
+                        ("cleaned".to_string(), Value::U64(q.cleaned)),
+                        ("quarantined".to_string(), Value::U64(q.quarantined())),
+                        ("duplicates".to_string(), Value::U64(q.duplicates)),
+                        ("invalid_util".to_string(), Value::U64(q.invalid_util)),
+                        ("clock_skew".to_string(), Value::U64(q.clock_skew)),
+                        ("truncated".to_string(), Value::U64(q.truncated)),
+                        ("orphaned".to_string(), Value::U64(q.orphaned)),
+                        ("mean_accuracy".to_string(), Value::F64(mean_acc)),
+                        ("decision".to_string(), Value::Str(decision)),
+                    ]),
+                );
             }
             Err(err) => {
                 println!(
                     "{row_head} {:>9} {:>9} {:>7} | {:>5} {:>5} {:>5} {:>5} {:>5} | {:>5}  pipeline failed: {err}",
                     "-", "-", "-", "-", "-", "-", "-", "-", "-"
                 );
+                bench.set_result(
+                    &format!("rate_{rate_pct}pct"),
+                    Value::Object(vec![(
+                        "pipeline_error".to_string(),
+                        Value::Str(err.to_string()),
+                    )]),
+                );
             }
         }
+    }
+    let sweep_after = registry.snapshot();
+    bench.set_counter_deltas(&sweep_after, &sweep_before);
+    bench.set_span_timings(rc_obs::global_tracer(), "pipeline.");
+    bench.set_span("bench.total", started.elapsed().as_nanos() as u64);
+    match bench.write_default("BENCH_dirty.json") {
+        Ok(path) => eprintln!("[rc-bench] wrote {}", path.display()),
+        Err(e) => eprintln!("[rc-bench] report write failed: {e}"),
     }
     rc_bench::rule(96);
     println!(

@@ -3,13 +3,29 @@
 //! (MAX_OVERSUB = 125%, MAX_UTIL = 100%), with each variant's rule-chain
 //! activity (relaxations, Algorithm 1 rejections) read from the rc-obs
 //! registry the scheduler itself writes into.
+//!
+//! Besides the stdout table, writes a machine-readable `BENCH_sched.json`
+//! (schema in `rc_obs::report`): per-variant reports and registry deltas
+//! in the deterministic sections, wall-clock totals in `spans`.
+
+use std::time::Instant;
 
 use rc_bench::counter_delta;
 use rc_bench::scheduler_harness::{print_row, Harness, Variant};
+use rc_obs::BenchReport;
+use serde::Serialize;
 
 fn main() {
+    let started = Instant::now();
     let harness = Harness::build(rc_bench::experiment_trace());
     let registry = rc_obs::global();
+    let mut bench = BenchReport::new("sched");
+    bench
+        .set_config("scale", rc_bench::scale())
+        .set_config("arrivals", harness.requests.len() as u64)
+        .set_config("n_servers", harness.n_servers as u64)
+        .set_config("max_oversub", 1.25)
+        .set_config("max_util", 1.0);
     println!(
         "Section 6.2: scheduler comparison ({} arrivals, {} servers x 16 cores / 112 GB, test month)",
         harness.requests.len(),
@@ -17,6 +33,7 @@ fn main() {
     );
     println!("MAX_OVERSUB = 125%, MAX_UTIL = 100%");
     rc_bench::rule(120);
+    let sweep_before = registry.snapshot();
     for variant in Variant::ALL {
         let before = registry.snapshot();
         let report = harness.run(variant, 1.25, 1.0);
@@ -29,6 +46,14 @@ fn main() {
             counter_delta(&after, &before, rc_obs::SCHED_RULE_RELAXATIONS),
             counter_delta(&after, &before, rc_obs::SCHED_UTIL_CAP_REJECTIONS),
         );
+        bench.set_result(&report.policy, report.to_value());
+    }
+    let sweep_after = registry.snapshot();
+    bench.set_counter_deltas(&sweep_after, &sweep_before);
+    bench.set_span("bench.total", started.elapsed().as_nanos() as u64);
+    match bench.write_default("BENCH_sched.json") {
+        Ok(path) => eprintln!("[scheduler_compare] wrote {}", path.display()),
+        Err(e) => eprintln!("[scheduler_compare] report write failed: {e}"),
     }
     rc_bench::rule(120);
     println!("paper shape: Baseline ~0.25% failures, 0 readings >100%;");

@@ -27,6 +27,8 @@ fn main() {
         scheduler: rc_scheduler::SchedulerConfig::new(rc_scheduler::PolicyKind::RcInformedSoft),
         util_shift: 0.0,
         tick_stride: 1,
+        obs_tick_secs: rc_scheduler::OBS_TICK_DAILY,
+        accuracy: None,
     };
     config.scheduler.max_util = 0.8;
     let mut report = rc_scheduler::simulate(

@@ -372,6 +372,8 @@ pub mod scheduler_harness {
             scheduler,
             util_shift: 0.0,
             tick_stride: 1,
+            obs_tick_secs: rc_scheduler::OBS_TICK_DAILY,
+            accuracy: None,
         }
     }
 

@@ -29,7 +29,7 @@ use std::time::{Duration as StdDuration, Instant, SystemTime};
 
 use parking_lot::{Mutex, RwLock};
 
-use rc_obs::{Counter, Histogram};
+use rc_obs::{Counter, Gauge, Histogram, WindowedCounter, WindowedHistogram};
 use rc_store::{checksum, Manifest, ModelEntry, Store, StoreBackend, MANIFEST_KEY};
 use rc_types::vm::SubscriptionId;
 
@@ -143,6 +143,10 @@ struct ClientMetrics {
     retries: Counter,
     corrupt_payloads: Counter,
     model_rejected: Counter,
+    predictions: Counter,
+    inflight: Gauge,
+    lookups_windowed: WindowedCounter,
+    predict_latency_windowed: WindowedHistogram,
 }
 
 impl ClientMetrics {
@@ -175,7 +179,29 @@ impl ClientMetrics {
             retries: reg.counter(rc_obs::CLIENT_RETRIES),
             corrupt_payloads: reg.counter(rc_obs::CLIENT_CORRUPT_PAYLOADS),
             model_rejected: reg.counter(rc_obs::CLIENT_MODEL_REJECTED),
+            predictions: reg.counter(rc_obs::CLIENT_PREDICTIONS),
+            inflight: reg.gauge(rc_obs::CLIENT_INFLIGHT),
+            lookups_windowed: reg.windowed_counter(rc_obs::CLIENT_LOOKUPS_WINDOWED),
+            predict_latency_windowed: reg
+                .windowed_histogram(rc_obs::CLIENT_PREDICT_LATENCY_WINDOWED_NS),
         }
+    }
+}
+
+/// RAII marker for `rc_client_inflight`: adds one on entry to a predict
+/// call and subtracts it on every exit path, panics included.
+struct InflightGuard<'a>(&'a Gauge);
+
+impl<'a> InflightGuard<'a> {
+    fn enter(gauge: &'a Gauge) -> Self {
+        gauge.add(1.0);
+        InflightGuard(gauge)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sub(1.0);
     }
 }
 
@@ -548,6 +574,14 @@ fn load_from_store_shared(shared: &Shared) -> bool {
         } else {
             maybe_clear_degraded(shared);
         }
+        // Seed the drift monitor's training-time baselines: the manifest
+        // records every model's validated accuracy at publish time.
+        if let Some(m) = &manifest {
+            for entry in &m.models {
+                let name = entry.key.trim_start_matches("model/");
+                rc_obs::global_accuracy().set_baseline(name, entry.accuracy);
+            }
+        }
         *shared.manifest.write() = manifest;
         shared.store_fingerprint.store(store_fingerprint(store), Ordering::SeqCst);
         true
@@ -709,15 +743,19 @@ impl RcClient {
     ) -> (PredictionResponse, Served) {
         let start = Instant::now();
         let metrics = &self.shared.metrics;
+        let _inflight = InflightGuard::enter(&metrics.inflight);
         self.shared.lookups.fetch_add(1, Ordering::Relaxed);
         metrics.lookups.increment();
+        metrics.lookups_windowed.increment();
         if !self.shared.initialized.load(Ordering::SeqCst) {
             return (self.no_prediction(), Served::Default);
         }
         let key = inputs.cache_key(model_name);
         if let Some(hit) = self.shared.results.get(key) {
             metrics.result_hits.increment();
+            metrics.predictions.increment();
             metrics.hit_latency.record_duration(start.elapsed());
+            metrics.predict_latency_windowed.record_duration(start.elapsed());
             return (PredictionResponse::Predicted(hit), Served::Hit);
         }
         metrics.result_misses.increment();
@@ -730,6 +768,7 @@ impl RcClient {
                         metrics.result_evictions.increment();
                     }
                     let served = self.count_serve(model_name, inputs.subscription, 1);
+                    metrics.predictions.increment();
                     (PredictionResponse::Predicted(prediction), served)
                 }
                 None => (self.no_prediction(), Served::Default),
@@ -742,6 +781,7 @@ impl RcClient {
                         metrics.result_evictions.increment();
                     }
                     let served = self.count_serve(model_name, inputs.subscription, 1);
+                    metrics.predictions.increment();
                     (PredictionResponse::Predicted(prediction), served)
                 }
                 None => (self.no_prediction(), Served::Default),
@@ -760,6 +800,7 @@ impl RcClient {
             }
         };
         metrics.miss_latency.record_duration(start.elapsed());
+        metrics.predict_latency_windowed.record_duration(start.elapsed());
         (response, served)
     }
 
@@ -817,8 +858,10 @@ impl RcClient {
         if inputs.is_empty() {
             return Vec::new();
         }
+        let _inflight = InflightGuard::enter(&metrics.inflight);
         self.shared.lookups.fetch_add(inputs.len() as u64, Ordering::Relaxed);
         metrics.lookups.add(inputs.len() as u64);
+        metrics.lookups_windowed.add(inputs.len() as u64);
         if !self.shared.initialized.load(Ordering::SeqCst) {
             return inputs.iter().map(|_| self.no_prediction()).collect();
         }
@@ -831,11 +874,13 @@ impl RcClient {
         let n_misses = inputs.len() as u64 - n_hits;
         metrics.result_hits.add(n_hits);
         metrics.result_misses.add(n_misses);
+        metrics.predictions.add(n_hits);
         let probe_elapsed = start.elapsed();
         if n_hits > 0 {
             let per_hit = probe_elapsed / inputs.len() as u32;
             for _ in 0..n_hits {
                 metrics.hit_latency.record_duration(per_hit);
+                metrics.predict_latency_windowed.record_duration(per_hit);
             }
         }
 
@@ -881,6 +926,7 @@ impl RcClient {
                                 inputs[first_idx].subscription,
                                 occurrences[&key].len() as u64,
                             );
+                            metrics.predictions.add(occurrences[&key].len() as u64);
                             for &i in &occurrences[&key] {
                                 responses[i] = Some(PredictionResponse::Predicted(prediction));
                             }
@@ -919,6 +965,7 @@ impl RcClient {
         let per_miss = miss_start.elapsed() / n_misses.max(1) as u32;
         for _ in 0..n_misses {
             metrics.miss_latency.record_duration(per_miss);
+            metrics.predict_latency_windowed.record_duration(per_miss);
         }
         responses.into_iter().map(|r| r.expect("every input answered")).collect()
     }

@@ -679,9 +679,17 @@ impl PipelineOutput {
         gate: PublishGate,
     ) -> Result<u64, PipelineError> {
         let registry = rc_obs::global();
+        // The publish decomposes into nested spans — gate, payload
+        // writes, pointer flip — all children of one `pipeline.publish`
+        // parent, so a trace dump shows where a slow publish spent its
+        // time. A blocked publish still records the parent and gate spans
+        // (both finish on drop at the early return).
+        let mut span = rc_obs::global_tracer().span("pipeline.publish");
         let previous = Manifest::read_current(store).map_err(PipelineError::StoreFailed)?;
 
         // --- Validation gates, all before any write ---
+        let mut gate_span = span.child("publish.gate");
+        gate_span.record("min_accuracy", gate.min_accuracy);
         for report in &self.reports {
             if report.accuracy < gate.min_accuracy {
                 registry.counter(rc_obs::PIPELINE_PUBLISH_BLOCKED).increment();
@@ -702,8 +710,8 @@ impl PipelineOutput {
                 }
             }
         }
+        gate_span.finish();
 
-        let mut span = rc_obs::global_tracer().span("pipeline.publish");
         let published = registry.counter(rc_obs::PIPELINE_MODELS_PUBLISHED);
         let (new_version, last_good) = match &previous {
             Some(m) => (m.version + 1, m.version),
@@ -711,6 +719,7 @@ impl PipelineOutput {
         };
 
         // --- Phase one: payloads under the unreferenced v{N}/ prefix ---
+        let mut payload_span = span.child("publish.payloads");
         let mut model_entries = Vec::with_capacity(self.models.len());
         for (model, report) in self.models.iter().zip(&self.reports) {
             let logical = model.spec.store_key();
@@ -746,8 +755,13 @@ impl PipelineOutput {
                 .map_err(PipelineError::StoreFailed)?;
             feature_entries.push(FeatureEntry { key: logical, checksum: checksum(&bytes) });
         }
+        payload_span
+            .record("models", model_entries.len() as u64)
+            .record("feature_records", feature_entries.len() as u64);
+        payload_span.finish();
 
         // --- Phase two: the atomic flip ---
+        let mut flip_span = span.child("publish.flip");
         let manifest = Manifest::new(
             new_version,
             last_good,
@@ -756,6 +770,8 @@ impl PipelineOutput {
             feature_entries,
         );
         store.put(MANIFEST_KEY, manifest.to_bytes()).map_err(PipelineError::StoreFailed)?;
+        flip_span.record("version", new_version);
+        flip_span.finish();
 
         span.record("models", self.models.len() as u64)
             .record("feature_records", self.feature_data.len() as u64)

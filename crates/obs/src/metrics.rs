@@ -13,6 +13,7 @@ use std::sync::{Arc, RwLock};
 use crate::snapshot::{
     BucketCount, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot,
 };
+use crate::window::{WindowedCounter, WindowedHistogram};
 
 /// A monotonically increasing count.
 #[derive(Clone, Debug, Default)]
@@ -60,6 +61,32 @@ impl Gauge {
     #[inline]
     pub fn set(&self, value: f64) {
         self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically adds `delta` to the level (compare-exchange loop on
+    /// the f64 bits), so concurrent adjusters never lose updates the way
+    /// racing `get`+`set` pairs would.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Atomically subtracts `delta` from the level.
+    #[inline]
+    pub fn sub(&self, delta: f64) {
+        self.add(-delta);
     }
 
     /// Current level.
@@ -213,6 +240,8 @@ struct RegistryInner {
     counters: RwLock<BTreeMap<String, Counter>>,
     gauges: RwLock<BTreeMap<String, Gauge>>,
     histograms: RwLock<BTreeMap<String, Histogram>>,
+    windowed_counters: RwLock<BTreeMap<String, WindowedCounter>>,
+    windowed_histograms: RwLock<BTreeMap<String, WindowedHistogram>>,
 }
 
 impl Registry {
@@ -265,6 +294,48 @@ impl Registry {
             .clone()
     }
 
+    /// The windowed counter named `name`, registering it on first use
+    /// with the default window length.
+    pub fn windowed_counter(&self, name: &str) -> WindowedCounter {
+        if let Some(c) = self.inner.windowed_counters.read().expect("registry lock").get(name) {
+            return c.clone();
+        }
+        self.inner
+            .windowed_counters
+            .write()
+            .expect("registry lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The windowed histogram named `name`, registering it on first use
+    /// with the default window length.
+    pub fn windowed_histogram(&self, name: &str) -> WindowedHistogram {
+        if let Some(h) = self.inner.windowed_histograms.read().expect("registry lock").get(name) {
+            return h.clone();
+        }
+        self.inner
+            .windowed_histograms
+            .write()
+            .expect("registry lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Advances the logical clock of every windowed instrument by one
+    /// epoch. What an epoch *is* (a simulated day, a bench phase, …) is
+    /// the caller's contract — the registry only rotates the rings.
+    pub fn tick(&self) {
+        for c in self.inner.windowed_counters.read().expect("registry lock").values() {
+            c.tick();
+        }
+        for h in self.inner.windowed_histograms.read().expect("registry lock").values() {
+            h.tick();
+        }
+    }
+
     /// Captures every instrument's current state.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self
@@ -291,7 +362,23 @@ impl Registry {
             .iter()
             .map(|(name, h)| h.snapshot(name))
             .collect();
-        MetricsSnapshot { counters, gauges, histograms }
+        let windowed_counters = self
+            .inner
+            .windowed_counters
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, c)| c.snapshot(name))
+            .collect();
+        let windowed_histograms = self
+            .inner
+            .windowed_histograms
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms, windowed_counters, windowed_histograms }
     }
 }
 
@@ -394,6 +481,45 @@ mod tests {
         let snap = hist.snapshot("contended_hist");
         let bucket_total: u64 = snap.buckets.iter().map(|b| b.count).sum();
         assert_eq!(bucket_total, THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn gauge_add_sub_is_lossless_under_contention() {
+        let g = Gauge::new();
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        g.add(1.0);
+                        g.sub(1.0);
+                        g.add(2.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), (THREADS * PER_THREAD * 2) as f64);
+    }
+
+    #[test]
+    fn registry_ticks_windowed_instruments_together() {
+        let reg = Registry::new();
+        let c = reg.windowed_counter("w_ops");
+        let h = reg.windowed_histogram("w_lat");
+        c.add(5);
+        h.record(100);
+        assert_eq!(reg.windowed_counter("w_ops").total(), 5, "handles are shared");
+        reg.tick();
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(h.epoch(), 1);
+        let snap = reg.snapshot();
+        let wc = snap.windowed_counter("w_ops").expect("windowed counter in snapshot");
+        assert_eq!(wc.total, 5);
+        assert_eq!(wc.window_sum + wc.expired, wc.total);
+        let wh = snap.windowed_histogram("w_lat").expect("windowed histogram in snapshot");
+        assert_eq!(wh.cumulative.count, 1);
     }
 
     #[test]

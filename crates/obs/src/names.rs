@@ -57,6 +57,18 @@ pub const CLIENT_BATCH_DEDUPED_EXECS: &str = "rc_client_batch_deduped_execs";
 pub const CLIENT_WORKERS_STARTED: &str = "rc_client_workers_started";
 /// Background worker threads that observed shutdown and exited (counter).
 pub const CLIENT_WORKERS_STOPPED: &str = "rc_client_workers_stopped";
+/// Lookups answered with a concrete predicted bucket — every
+/// `Predicted` response, cached or freshly executed (counter).
+/// Reconciles: `predictions == lookups - no_predictions`.
+pub const CLIENT_PREDICTIONS: &str = "rc_client_predictions";
+/// Predict calls currently executing, across all threads (gauge).
+pub const CLIENT_INFLIGHT: &str = "rc_client_inflight";
+/// Predict lookups over the rolling window (windowed counter; epochs
+/// are whatever drives `Registry::tick`).
+pub const CLIENT_LOOKUPS_WINDOWED: &str = "rc_client_lookups_windowed";
+/// Predict-path latency over the rolling window, hits and misses
+/// together (windowed histogram, ns).
+pub const CLIENT_PREDICT_LATENCY_WINDOWED_NS: &str = "rc_client_predict_latency_windowed_ns";
 
 // --- rc-core client (resilience layer) ---
 
@@ -191,3 +203,30 @@ pub const SCHED_UTIL_CAP_REJECTIONS: &str = "rc_sched_util_cap_rejections";
 pub const SCHED_OVERLOADED_READINGS: &str = "rc_sched_overloaded_readings";
 /// All utilization readings sampled by the simulator (counter).
 pub const SCHED_READINGS: &str = "rc_sched_readings";
+/// Placements over the rolling window (windowed counter; the simulator
+/// ticks it once per `obs_tick_secs` of simulated time).
+pub const SCHED_PLACEMENTS_WINDOWED: &str = "rc_sched_placements_windowed";
+/// Overloaded (≥100%) readings over the rolling window (windowed
+/// counter).
+pub const SCHED_OVERLOADED_WINDOWED: &str = "rc_sched_overloaded_readings_windowed";
+
+// --- prediction accuracy (AccuracyTracker gauge families) ---
+//
+// These families carry a `{metric="..."}` label embedded in the flat
+// registry name; build full names with `rc_obs::acc_gauge_name` /
+// `rc_obs::acc_confusion_name`.
+
+/// Rolling accuracy over the live window, per metric (gauge family).
+pub const ACC_ROLLING: &str = "rc_acc_rolling";
+/// Cumulative accuracy over all resolved outcomes, per metric (gauge
+/// family).
+pub const ACC_CUMULATIVE: &str = "rc_acc_cumulative";
+/// Drift signal: 1.0 while `Drifting`, 0.0 while `Stable` (gauge
+/// family).
+pub const ACC_DRIFT: &str = "rc_acc_drift";
+/// Training-time accuracy baseline from the published manifest (gauge
+/// family).
+pub const ACC_BASELINE: &str = "rc_acc_baseline";
+/// Confusion-matrix cells, labelled `p` (predicted) and `o` (observed)
+/// (gauge family).
+pub const ACC_CONFUSION: &str = "rc_acc_confusion";

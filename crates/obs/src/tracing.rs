@@ -16,8 +16,13 @@ use serde::{Serialize, Value};
 /// One recorded event: a completed span or an instantaneous event.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
-    /// Monotonic sequence number (process-wide per tracer).
+    /// Sequence number, allocated when the span/event is *created*
+    /// (process-wide per tracer), so children can reference a parent
+    /// that has not finished yet.
     pub seq: u64,
+    /// The enclosing span's `seq` for hierarchical spans; `None` for
+    /// roots and plain events.
+    pub parent_seq: Option<u64>,
     /// Event name (e.g. `pipeline.train`).
     pub name: String,
     /// Span duration; `None` for instantaneous events.
@@ -33,6 +38,9 @@ impl TraceEvent {
             ("seq".to_string(), Value::U64(self.seq)),
             ("name".to_string(), Value::Str(self.name.clone())),
         ];
+        if let Some(parent) = self.parent_seq {
+            obj.push(("parent_seq".to_string(), Value::U64(parent)));
+        }
         if let Some(ns) = self.duration_ns {
             obj.push(("duration_ns".to_string(), Value::U64(ns)));
         }
@@ -48,7 +56,11 @@ impl TraceEvent {
 struct TracerInner {
     events: Mutex<VecDeque<TraceEvent>>,
     capacity: usize,
+    /// Sequence-number allocator. Not a push counter: spans take their
+    /// seq at creation, so it can run ahead of `recorded`.
     seq: AtomicU64,
+    /// Events pushed into the ring (retained or since evicted).
+    recorded: AtomicU64,
     dropped: AtomicU64,
 }
 
@@ -66,16 +78,30 @@ impl Tracer {
                 events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
                 capacity: capacity.max(1),
                 seq: AtomicU64::new(0),
+                recorded: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
             }),
         }
     }
 
-    /// Starts a span; it records itself when dropped (or via
+    /// Starts a root span; it records itself when dropped (or via
     /// [`Span::finish`]).
     pub fn span(&self, name: &str) -> Span {
+        self.span_inner(name, None)
+    }
+
+    /// Starts a span nested under `parent`: its event records
+    /// `parent_seq = parent.seq()`, so consumers can reassemble the
+    /// hierarchy (e.g. publish → gate → store-write).
+    pub fn child_span(&self, parent: &Span, name: &str) -> Span {
+        self.span_inner(name, Some(parent.seq()))
+    }
+
+    fn span_inner(&self, name: &str, parent_seq: Option<u64>) -> Span {
         Span {
             tracer: self.clone(),
+            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            parent_seq,
             name: name.to_string(),
             start: Instant::now(),
             fields: Vec::new(),
@@ -87,6 +113,7 @@ impl Tracer {
     pub fn event(&self, name: &str, fields: Vec<(String, Value)>) {
         self.push(TraceEvent {
             seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            parent_seq: None,
             name: name.to_string(),
             duration_ns: None,
             fields,
@@ -95,6 +122,7 @@ impl Tracer {
 
     fn push(&self, event: TraceEvent) {
         let mut events = self.inner.events.lock().expect("tracer lock");
+        self.inner.recorded.fetch_add(1, Ordering::Relaxed);
         if events.len() == self.inner.capacity {
             events.pop_front();
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
@@ -107,9 +135,16 @@ impl Tracer {
         self.inner.events.lock().expect("tracer lock").iter().cloned().collect()
     }
 
-    /// How many events were evicted by the ring bound.
+    /// How many events were discarded — evicted by the ring bound or
+    /// flushed by [`clear`](Tracer::clear).
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// How many events were ever recorded. Invariant:
+    /// `recorded() == events().len() + dropped()`.
+    pub fn recorded(&self) -> u64 {
+        self.inner.recorded.load(Ordering::Relaxed)
     }
 
     /// Retained events as JSON lines (one object per line).
@@ -123,9 +158,12 @@ impl Tracer {
         out
     }
 
-    /// Discards all retained events (the drop counter is kept).
+    /// Discards all retained events. The discarded events count toward
+    /// `dropped`, so `recorded == retained + dropped` keeps holding.
     pub fn clear(&self) {
-        self.inner.events.lock().expect("tracer lock").clear();
+        let mut events = self.inner.events.lock().expect("tracer lock");
+        self.inner.dropped.fetch_add(events.len() as u64, Ordering::Relaxed);
+        events.clear();
     }
 }
 
@@ -133,6 +171,8 @@ impl Tracer {
 /// duration when finished or dropped.
 pub struct Span {
     tracer: Tracer,
+    seq: u64,
+    parent_seq: Option<u64>,
     name: String,
     start: Instant,
     fields: Vec<(String, Value)>,
@@ -140,6 +180,18 @@ pub struct Span {
 }
 
 impl Span {
+    /// The span's sequence number (allocated at creation); child spans
+    /// record it as their `parent_seq`.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Starts a child span of this one (same tracer).
+    pub fn child(&self, name: &str) -> Span {
+        let tracer = self.tracer.clone();
+        tracer.child_span(self, name)
+    }
+
     /// Attaches a structured field (any shim-serializable value).
     pub fn record(&mut self, key: &str, value: impl Serialize) -> &mut Self {
         self.fields.push((key.to_string(), value.to_value()));
@@ -158,7 +210,8 @@ impl Span {
         self.finished = true;
         let elapsed = self.start.elapsed();
         self.tracer.push(TraceEvent {
-            seq: self.tracer.inner.seq.fetch_add(1, Ordering::Relaxed),
+            seq: self.seq,
+            parent_seq: self.parent_seq,
             name: std::mem::take(&mut self.name),
             duration_ns: Some(elapsed.as_nanos().min(u64::MAX as u128) as u64),
             fields: std::mem::take(&mut self.fields),
@@ -225,5 +278,49 @@ mod tests {
         let span = tracer.span("once");
         span.finish();
         assert_eq!(tracer.events().len(), 1);
+    }
+
+    #[test]
+    fn clear_accounts_evictions_in_dropped() {
+        // The invariant `recorded == retained + dropped` must survive
+        // any mix of ring evictions and explicit clears.
+        let tracer = Tracer::new(4);
+        for _ in 0..6 {
+            tracer.event("e", Vec::new());
+        }
+        assert_eq!(tracer.recorded(), 6);
+        assert_eq!(tracer.dropped(), 2);
+        tracer.clear();
+        assert_eq!(tracer.events().len(), 0);
+        assert_eq!(tracer.dropped(), 6, "cleared events must count as dropped");
+        assert_eq!(tracer.recorded(), tracer.events().len() as u64 + tracer.dropped());
+        // And keeps holding as recording resumes.
+        for _ in 0..9 {
+            tracer.event("e", Vec::new());
+        }
+        assert_eq!(tracer.recorded(), tracer.events().len() as u64 + tracer.dropped());
+    }
+
+    #[test]
+    fn child_spans_record_their_parent_seq() {
+        let tracer = Tracer::new(16);
+        let parent = tracer.span("publish");
+        {
+            let gate = tracer.child_span(&parent, "publish.gate");
+            let _write = gate.child("publish.gate.store_write");
+        }
+        parent.finish();
+        let events = tracer.events();
+        assert_eq!(events.len(), 3);
+        // Children finish (and record) before the parent, but reference
+        // the parent's pre-allocated seq.
+        let find = |name: &str| events.iter().find(|e| e.name == name).expect("event");
+        let publish = find("publish");
+        let gate = find("publish.gate");
+        let write = find("publish.gate.store_write");
+        assert_eq!(publish.parent_seq, None);
+        assert_eq!(gate.parent_seq, Some(publish.seq));
+        assert_eq!(write.parent_seq, Some(gate.seq));
+        assert!(gate.to_json_line().contains("\"parent_seq\""));
     }
 }

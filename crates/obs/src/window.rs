@@ -1,0 +1,464 @@
+//! Windowed instruments: counters and histograms over a ring of epoch
+//! buckets advanced by an explicit logical-clock [`tick`](WindowedCounter::tick).
+//!
+//! Nothing here reads a wall clock. An *epoch* is whatever the caller
+//! makes it — a simulated day, a bench phase, a telemetry interval — and
+//! `tick()` rotates the ring deterministically, so two identical runs
+//! produce identical windows. Each instrument keeps its cumulative view
+//! alongside the rolling one, and maintains the invariant
+//!
+//! ```text
+//! sum(live window buckets) + expired == total
+//! ```
+//!
+//! even under concurrent `record`/`tick`: a racing record lands in
+//! exactly one live bucket (possibly one epoch off), never outside the
+//! accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::metrics::{bucket_index, N_BUCKETS};
+use crate::snapshot::{
+    BucketCount, HistogramSnapshot, WindowedCounterSnapshot, WindowedHistogramSnapshot,
+};
+
+/// Default ring length (epochs retained by the rolling view).
+pub const DEFAULT_WINDOW: usize = 8;
+
+/// A counter that tracks a rolling window of epochs alongside its
+/// cumulative total.
+///
+/// `add` is two relaxed `fetch_add`s; `tick` advances the epoch and
+/// retires the bucket that falls out of the window into `expired`.
+#[derive(Clone, Debug)]
+pub struct WindowedCounter {
+    inner: Arc<WindowedCounterInner>,
+}
+
+#[derive(Debug)]
+struct WindowedCounterInner {
+    buckets: Box<[AtomicU64]>,
+    total: AtomicU64,
+    expired: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl Default for WindowedCounter {
+    fn default() -> Self {
+        WindowedCounter::new(DEFAULT_WINDOW)
+    }
+}
+
+impl WindowedCounter {
+    /// A counter whose rolling view spans `window` epochs (min 1).
+    pub fn new(window: usize) -> Self {
+        let buckets: Vec<AtomicU64> = (0..window.max(1)).map(|_| AtomicU64::new(0)).collect();
+        WindowedCounter {
+            inner: Arc::new(WindowedCounterInner {
+                buckets: buckets.into_boxed_slice(),
+                total: AtomicU64::new(0),
+                expired: AtomicU64::new(0),
+                epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn increment(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the current epoch's bucket and the cumulative total.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let inner = &*self.inner;
+        let e = inner.epoch.load(Ordering::Acquire) as usize;
+        inner.buckets[e % inner.buckets.len()].fetch_add(n, Ordering::Relaxed);
+        inner.total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Advances the logical clock by one epoch. The ring slot that now
+    /// becomes current held the oldest epoch; its contents retire into
+    /// `expired`.
+    pub fn tick(&self) {
+        let inner = &*self.inner;
+        let new = inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        let slot = new as usize % inner.buckets.len();
+        let old = inner.buckets[slot].swap(0, Ordering::AcqRel);
+        inner.expired.fetch_add(old, Ordering::Relaxed);
+    }
+
+    /// Cumulative count since creation.
+    pub fn total(&self) -> u64 {
+        self.inner.total.load(Ordering::Relaxed)
+    }
+
+    /// Count retired out of the window by ticks.
+    pub fn expired(&self) -> u64 {
+        self.inner.expired.load(Ordering::Relaxed)
+    }
+
+    /// Current epoch number (ticks so far).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Ring length in epochs.
+    pub fn window_len(&self) -> usize {
+        self.inner.buckets.len()
+    }
+
+    /// Sum over the live window (the current epoch plus up to
+    /// `window_len - 1` completed ones).
+    pub fn window_sum(&self) -> u64 {
+        self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// `window_sum` averaged over the epochs actually covered so far
+    /// (ramps up until the ring is full).
+    pub fn rate_per_tick(&self) -> f64 {
+        let live = (self.epoch() + 1).min(self.window_len() as u64);
+        self.window_sum() as f64 / live as f64
+    }
+
+    /// Captures the counter's state.
+    pub fn snapshot(&self, name: &str) -> WindowedCounterSnapshot {
+        WindowedCounterSnapshot {
+            name: name.to_string(),
+            total: self.total(),
+            window_sum: self.window_sum(),
+            expired: self.expired(),
+            epoch: self.epoch(),
+            window_len: self.window_len() as u64,
+            rate_per_tick: self.rate_per_tick(),
+        }
+    }
+}
+
+/// A histogram that keeps a full log-linear bucket array per window
+/// epoch, merged on demand for rolling p50/p95/p99, alongside the
+/// cumulative distribution.
+#[derive(Clone)]
+pub struct WindowedHistogram {
+    inner: Arc<WindowedHistogramInner>,
+}
+
+struct WindowedHistogramInner {
+    window: usize,
+    /// `window * N_BUCKETS`, row-major by epoch slot.
+    slots: Box<[AtomicU64]>,
+    slot_counts: Box<[AtomicU64]>,
+    slot_sums: Box<[AtomicU64]>,
+    cum_buckets: Box<[AtomicU64]>,
+    cum_count: AtomicU64,
+    cum_sum: AtomicU64,
+    expired_count: AtomicU64,
+    expired_sum: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl std::fmt::Debug for WindowedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedHistogram")
+            .field("window", &self.inner.window)
+            .field("epoch", &self.epoch())
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        WindowedHistogram::new(DEFAULT_WINDOW)
+    }
+}
+
+impl WindowedHistogram {
+    /// A histogram whose rolling view spans `window` epochs (min 1).
+    pub fn new(window: usize) -> Self {
+        let window = window.max(1);
+        let zeros = |n: usize| -> Box<[AtomicU64]> {
+            (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice()
+        };
+        WindowedHistogram {
+            inner: Arc::new(WindowedHistogramInner {
+                window,
+                slots: zeros(window * N_BUCKETS),
+                slot_counts: zeros(window),
+                slot_sums: zeros(window),
+                cum_buckets: zeros(N_BUCKETS),
+                cum_count: AtomicU64::new(0),
+                cum_sum: AtomicU64::new(0),
+                expired_count: AtomicU64::new(0),
+                expired_sum: AtomicU64::new(0),
+                epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation into the current epoch and the cumulative
+    /// distribution (atomics only).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &*self.inner;
+        let i = bucket_index(value);
+        let e = inner.epoch.load(Ordering::Acquire) as usize % inner.window;
+        inner.slots[e * N_BUCKETS + i].fetch_add(1, Ordering::Relaxed);
+        inner.slot_counts[e].fetch_add(1, Ordering::Relaxed);
+        inner.slot_sums[e].fetch_add(value, Ordering::Relaxed);
+        inner.cum_buckets[i].fetch_add(1, Ordering::Relaxed);
+        inner.cum_count.fetch_add(1, Ordering::Relaxed);
+        inner.cum_sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Advances the logical clock by one epoch, retiring the slot that
+    /// falls out of the window.
+    pub fn tick(&self) {
+        let inner = &*self.inner;
+        let new = inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        let s = new as usize % inner.window;
+        let count = inner.slot_counts[s].swap(0, Ordering::AcqRel);
+        let sum = inner.slot_sums[s].swap(0, Ordering::AcqRel);
+        inner.expired_count.fetch_add(count, Ordering::Relaxed);
+        inner.expired_sum.fetch_add(sum, Ordering::Relaxed);
+        for b in &inner.slots[s * N_BUCKETS..(s + 1) * N_BUCKETS] {
+            b.swap(0, Ordering::AcqRel);
+        }
+    }
+
+    /// Cumulative observation count since creation.
+    pub fn count(&self) -> u64 {
+        self.inner.cum_count.load(Ordering::Relaxed)
+    }
+
+    /// Observations retired out of the window by ticks.
+    pub fn expired_count(&self) -> u64 {
+        self.inner.expired_count.load(Ordering::Relaxed)
+    }
+
+    /// Current epoch number (ticks so far).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Ring length in epochs.
+    pub fn window_len(&self) -> usize {
+        self.inner.window
+    }
+
+    /// Observations currently inside the live window.
+    pub fn window_count(&self) -> u64 {
+        self.inner.slot_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The live window's epochs merged into one distribution; quantiles
+    /// of this snapshot are the rolling p50/p95/p99.
+    pub fn rolling_snapshot(&self, name: &str) -> HistogramSnapshot {
+        let inner = &*self.inner;
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for i in 0..N_BUCKETS {
+            let mut c = 0u64;
+            for e in 0..inner.window {
+                c += inner.slots[e * N_BUCKETS + i].load(Ordering::Relaxed);
+            }
+            if c > 0 {
+                buckets.push(BucketCount { index: i as u32, count: c });
+                count += c;
+            }
+        }
+        let sum = inner.slot_sums.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+        HistogramSnapshot { name: name.to_string(), count, sum, buckets }
+    }
+
+    /// The cumulative (since creation) distribution.
+    pub fn cumulative_snapshot(&self, name: &str) -> HistogramSnapshot {
+        let inner = &*self.inner;
+        let mut buckets = Vec::new();
+        for (i, b) in inner.cum_buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push(BucketCount { index: i as u32, count: c });
+            }
+        }
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: inner.cum_count.load(Ordering::Relaxed),
+            sum: inner.cum_sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// The `q`-quantile of the live window (0.0 when the window is empty).
+    pub fn rolling_quantile(&self, q: f64) -> f64 {
+        self.rolling_snapshot("").quantile(q)
+    }
+
+    /// Captures both views.
+    pub fn snapshot(&self, name: &str) -> WindowedHistogramSnapshot {
+        WindowedHistogramSnapshot {
+            name: name.to_string(),
+            epoch: self.epoch(),
+            window_len: self.inner.window as u64,
+            cumulative: self.cumulative_snapshot(name),
+            rolling: self.rolling_snapshot(name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_retires_exactly_the_out_of_window_epoch() {
+        let c = WindowedCounter::new(3);
+        // Epoch 0: 5, epoch 1: 7, epoch 2: 11 — ring full, nothing expired.
+        c.add(5);
+        c.tick();
+        c.add(7);
+        c.tick();
+        c.add(11);
+        assert_eq!(c.window_sum(), 23);
+        assert_eq!(c.expired(), 0);
+        // Epoch 3 reuses epoch 0's slot: its 5 must expire, rest stays.
+        c.tick();
+        assert_eq!(c.expired(), 5);
+        assert_eq!(c.window_sum(), 18);
+        c.tick();
+        assert_eq!(c.expired(), 12);
+        assert_eq!(c.window_sum(), 11);
+        c.tick();
+        assert_eq!(c.expired(), 23);
+        assert_eq!(c.window_sum(), 0);
+        assert_eq!(c.total(), 23);
+        assert_eq!(c.window_sum() + c.expired(), c.total());
+    }
+
+    #[test]
+    fn window_of_one_retires_every_epoch() {
+        let c = WindowedCounter::new(1);
+        c.add(4);
+        c.tick();
+        assert_eq!(c.window_sum(), 0);
+        assert_eq!(c.expired(), 4);
+        c.add(2);
+        assert_eq!(c.window_sum(), 2);
+        assert_eq!(c.window_sum() + c.expired(), c.total());
+    }
+
+    #[test]
+    fn rate_ramps_up_until_ring_is_full() {
+        let c = WindowedCounter::new(4);
+        c.add(8);
+        assert_eq!(c.rate_per_tick(), 8.0); // 1 live epoch
+        c.tick();
+        c.add(4);
+        assert_eq!(c.rate_per_tick(), 6.0); // 12 over 2 epochs
+        c.tick();
+        c.tick();
+        assert_eq!(c.rate_per_tick(), 3.0); // 12 over the full ring of 4
+        c.tick();
+        assert_eq!(c.rate_per_tick(), 1.0); // ring wrapped: epoch 0's 8 expired
+    }
+
+    #[test]
+    fn concurrent_record_while_ticking_is_lossless() {
+        // The satellite invariant: whatever interleaving of records and
+        // ticks occurs, at quiescence every recorded unit is either in a
+        // live window bucket or in `expired`.
+        let c = WindowedCounter::new(4);
+        let h = WindowedHistogram::new(4);
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 20_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.increment();
+                        h.record(t as u64 * 1_000 + i % 113);
+                    }
+                });
+            }
+            let c = c.clone();
+            let h = h.clone();
+            s.spawn(move || {
+                for _ in 0..500 {
+                    c.tick();
+                    h.tick();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        assert_eq!(c.total(), THREADS as u64 * PER_THREAD);
+        assert_eq!(
+            c.window_sum() + c.expired(),
+            c.total(),
+            "a record escaped the window accounting"
+        );
+        assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+        assert_eq!(h.window_count() + h.expired_count(), h.count());
+        // Per-bucket detail reconciles too: merged rolling buckets match
+        // the rolling count.
+        let rolling = h.rolling_snapshot("h");
+        let merged: u64 = rolling.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(merged, rolling.count);
+    }
+
+    #[test]
+    fn rolling_quantiles_forget_old_epochs() {
+        let h = WindowedHistogram::new(2);
+        for _ in 0..1_000 {
+            h.record(10);
+        }
+        assert!(h.rolling_quantile(0.5) < 20.0);
+        h.tick();
+        for _ in 0..1_000 {
+            h.record(100_000);
+        }
+        // Window still holds both epochs: p50 sits between the modes.
+        let p50_mixed = h.rolling_quantile(0.5);
+        h.tick();
+        // The 10s fell out; p95 and p50 now both reflect only 100_000s.
+        let p50_new = h.rolling_quantile(0.5);
+        assert!(p50_new > p50_mixed || p50_mixed >= 90_000.0);
+        assert!((90_000.0..=110_000.0).contains(&p50_new), "p50 {p50_new}");
+        // Cumulative view still remembers everything.
+        assert_eq!(h.count(), 2_000);
+        assert_eq!(h.cumulative_snapshot("h").count, 2_000);
+        assert_eq!(h.window_count(), 1_000);
+        assert_eq!(h.expired_count(), 1_000);
+    }
+
+    #[test]
+    fn snapshots_expose_both_views() {
+        let c = WindowedCounter::new(4);
+        c.add(3);
+        c.tick();
+        c.add(1);
+        let snap = c.snapshot("wc");
+        assert_eq!(snap.total, 4);
+        assert_eq!(snap.window_sum, 4);
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.window_len, 4);
+
+        let h = WindowedHistogram::new(4);
+        h.record(50);
+        h.tick();
+        h.record(70);
+        let snap = h.snapshot("wh");
+        assert_eq!(snap.cumulative.count, 2);
+        assert_eq!(snap.rolling.count, 2);
+        assert_eq!(snap.epoch, 1);
+    }
+}

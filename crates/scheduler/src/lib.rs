@@ -24,4 +24,4 @@ pub use power::{apportion_power, PowerAssignment, PowerPlan, PoweredVm};
 pub use request::VmRequest;
 pub use scheduler::{Placement, Scheduler, SchedulerConfig};
 pub use server::{Server, ServerKind};
-pub use simulator::{simulate, suggest_server_count, SimConfig, SimReport};
+pub use simulator::{simulate, suggest_server_count, SimConfig, SimReport, OBS_TICK_DAILY};

@@ -87,6 +87,12 @@ pub struct Placement {
     /// Predicted P95 utilization in core units charged to the server
     /// (`V.util` in Algorithm 1); zero for policies that don't track it.
     pub predicted_util_cores: f64,
+    /// The model's raw predicted P95 bucket when a confident prediction
+    /// informed this placement (pre `bucket_shift`); `None` for
+    /// policies without predictions or low-confidence calls. The
+    /// simulator pairs it with the observed bucket at completion to
+    /// feed the accuracy tracker.
+    pub predicted_p95: Option<usize>,
 }
 
 impl Scheduler {
@@ -108,18 +114,21 @@ impl Scheduler {
         }
     }
 
-    /// Algorithm 1's estimate of the VM's utilization in core units:
+    /// Algorithm 1's estimate of the VM's utilization in core units —
     /// `Highest_Util_in_Bucket[pred] * V.alloc` for a confident
-    /// prediction, the full allocation otherwise.
-    fn predicted_util_cores(&self, req: &VmRequest) -> f64 {
+    /// prediction, the full allocation otherwise — plus the raw
+    /// predicted bucket the estimate came from, if any.
+    fn predicted_util_cores(&self, req: &VmRequest) -> (f64, Option<usize>) {
         match self.source.predict_p95(req) {
             Some((bucket, score)) if score >= self.config.confidence_threshold => {
                 let shifted = (bucket + self.config.bucket_shift).min(3);
-                UtilizationBucketizer::highest_util_in_bucket(shifted) * req.cores as f64
+                let util =
+                    UtilizationBucketizer::highest_util_in_bucket(shifted) * req.cores as f64;
+                (util, Some(bucket))
             }
             // Low confidence or no prediction: "it is safest to assume
             // that the VM will exhibit 100% utilization" (§5).
-            _ => req.cores as f64,
+            _ => (req.cores as f64, None),
         }
     }
 
@@ -131,16 +140,19 @@ impl Scheduler {
             PolicyKind::Baseline => self.select_baseline(req),
             PolicyKind::NaiveOversub => self.select_grouped(req, None),
             PolicyKind::RcInformedSoft | PolicyKind::RcInformedHard => {
-                let util = self.predicted_util_cores(req);
+                let (util, bucket) = self.predicted_util_cores(req);
                 let hard = self.config.policy == PolicyKind::RcInformedHard;
                 let selected = self.select_grouped(req, Some(util));
                 match selected {
-                    Some(p) => Some(p),
+                    Some(p) => Some(Placement { predicted_p95: bucket, ..p }),
                     // Soft rule: drop the utilization cap rather than fail.
                     None if !hard => {
                         self.metrics.rule_relaxations.increment();
-                        self.select_grouped(req, Some(f64::INFINITY))
-                            .map(|p| Placement { predicted_util_cores: util, ..p })
+                        self.select_grouped(req, Some(f64::INFINITY)).map(|p| Placement {
+                            predicted_util_cores: util,
+                            predicted_p95: bucket,
+                            ..p
+                        })
                     }
                     None => None,
                 }
@@ -172,7 +184,7 @@ impl Scheduler {
                 best = Some(i);
             }
         }
-        best.map(|server| Placement { server, predicted_util_cores: 0.0 })
+        best.map(|server| Placement { server, predicted_util_cores: 0.0, predicted_p95: None })
     }
 
     /// Grouped selection per Algorithm 1's `SelectCandidateServers`.
@@ -221,6 +233,7 @@ impl Scheduler {
                 Some(v) if v.is_finite() => v,
                 _ => 0.0,
             },
+            predicted_p95: None,
         })
     }
 

@@ -9,9 +9,12 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use rc_obs::AccuracyTracker;
+use rc_types::metrics::PredictionMetric;
 use rc_types::time::{Timestamp, TELEMETRY_INTERVAL};
 
 use crate::policy::P95Source;
@@ -35,6 +38,13 @@ pub struct SimConfig {
     /// Evaluate utilization every Nth telemetry slot (1 = every 5 min;
     /// larger strides trade reading counts for speed in tests).
     pub tick_stride: u64,
+    /// Simulated seconds between observability epochs: each one ticks
+    /// the accuracy tracker and the global registry's windowed
+    /// instruments on the simulation's logical clock (0 disables).
+    pub obs_tick_secs: u64,
+    /// Accuracy tracker fed `(predicted, observed)` P95 bucket pairs as
+    /// VMs place and resolve; `None` uses the process-global tracker.
+    pub accuracy: Option<Arc<AccuracyTracker>>,
 }
 
 impl SimConfig {
@@ -47,9 +57,14 @@ impl SimConfig {
             scheduler,
             util_shift: 0.0,
             tick_stride: 1,
+            obs_tick_secs: OBS_TICK_DAILY,
+            accuracy: None,
         }
     }
 }
+
+/// The default observability epoch: one simulated day.
+pub const OBS_TICK_DAILY: u64 = 86_400;
 
 /// Results of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -115,6 +130,28 @@ pub fn simulate(
         next_tick += step;
     }
 
+    // Accuracy feedback loop: record the predicted P95 bucket at
+    // placement, feed back the trace's true bucket when the VM resolves,
+    // and advance the observability epoch on the simulated clock.
+    let tracker: &AccuracyTracker =
+        config.accuracy.as_deref().unwrap_or_else(|| rc_obs::global_accuracy());
+    let p95_metric = PredictionMetric::P95MaxCpuUtil.model_name();
+    let registry = rc_obs::global();
+    let placements_windowed = registry.windowed_counter(rc_obs::SCHED_PLACEMENTS_WINDOWED);
+    let overloaded_windowed = registry.windowed_counter(rc_obs::SCHED_OVERLOADED_WINDOWED);
+    let mut next_obs_tick = if config.obs_tick_secs == 0 {
+        u64::MAX
+    } else {
+        window.0.as_secs() + config.obs_tick_secs
+    };
+    let mut advance_obs = |upto: u64| {
+        while next_obs_tick <= upto {
+            tracker.tick();
+            registry.tick();
+            next_obs_tick += config.obs_tick_secs;
+        }
+    };
+
     let mut n_failures = 0u64;
     let mut n_failures_production = 0u64;
     let mut sum_oversub_servers = 0u64;
@@ -142,6 +179,9 @@ pub fn simulate(
                 let req = &requests[idx as usize];
                 let placement = placements[idx as usize].take().expect("placed VM completes once");
                 scheduler.complete(req, placement);
+                if placement.predicted_p95.is_some() {
+                    tracker.record_outcome(p95_metric, req.vm_id.0, req.true_p95_bucket);
+                }
                 let list = &mut resident[placement.server];
                 let pos = list.iter().position(|&r| r == idx).expect("resident VM");
                 list.swap_remove(pos);
@@ -183,6 +223,7 @@ pub fn simulate(
             );
             let (above, total, util_sum, alloc) = tick(next_tick, &scheduler, &resident);
             readings_above_100 += above;
+            overloaded_windowed.add(above);
             total_readings += total;
             sum_util_fraction += util_sum / fleet_cores;
             sum_alloc_fraction += alloc / fleet_cores;
@@ -192,12 +233,18 @@ pub fn simulate(
                 .filter(|s| s.kind == crate::server::ServerKind::Oversubscribable)
                 .count() as u64;
             n_ticks += 1;
+            advance_obs(next_tick);
             next_tick += step;
         }
         process_completions(now, &mut scheduler, &mut resident, &mut completions, &mut placements);
+        advance_obs(now);
 
         match scheduler.schedule(req) {
             Some(placement) => {
+                if let Some(bucket) = placement.predicted_p95 {
+                    tracker.record_prediction(p95_metric, req.vm_id.0, bucket);
+                }
+                placements_windowed.increment();
                 placements[idx] = Some(placement);
                 resident[placement.server].push(idx as u32);
                 completions.push(Reverse((req.deleted.as_secs(), idx as u32)));
@@ -223,6 +270,7 @@ pub fn simulate(
         );
         let (above, total, util_sum, alloc) = tick(next_tick, &scheduler, &resident);
         readings_above_100 += above;
+        overloaded_windowed.add(above);
         total_readings += total;
         sum_util_fraction += util_sum / fleet_cores;
         sum_alloc_fraction += alloc / fleet_cores;
@@ -232,12 +280,12 @@ pub fn simulate(
             .filter(|s| s.kind == crate::server::ServerKind::Oversubscribable)
             .count() as u64;
         n_ticks += 1;
+        advance_obs(next_tick);
         next_tick += step;
     }
 
     // Bulk-add the run's readings to the global registry; the scheduler
     // already counted placements/failures/relaxations as they happened.
-    let registry = rc_obs::global();
     registry.counter(rc_obs::SCHED_READINGS).add(total_readings);
     registry.counter(rc_obs::SCHED_OVERLOADED_READINGS).add(readings_above_100);
 
@@ -306,6 +354,8 @@ mod tests {
             scheduler: SchedulerConfig::new(policy),
             util_shift: 0.0,
             tick_stride: 6, // every 30 minutes keeps the test fast
+            obs_tick_secs: OBS_TICK_DAILY,
+            accuracy: None,
         };
         config.scheduler.policy = policy;
         let source: Box<dyn P95Source> = match policy {
@@ -372,6 +422,8 @@ mod tests {
                 scheduler: SchedulerConfig::new(PolicyKind::Baseline),
                 util_shift: 0.0,
                 tick_stride: 6,
+                obs_tick_secs: OBS_TICK_DAILY,
+                accuracy: None,
             };
             simulate(&reqs, &config, Box::new(NoSource), (Timestamp::ZERO, Timestamp::from_days(1)))
         };
@@ -383,6 +435,8 @@ mod tests {
                 scheduler: SchedulerConfig::new(PolicyKind::RcInformedSoft),
                 util_shift: 0.0,
                 tick_stride: 6,
+                obs_tick_secs: OBS_TICK_DAILY,
+                accuracy: None,
             };
             simulate(
                 &reqs,
@@ -425,6 +479,8 @@ mod tests {
             scheduler: SchedulerConfig::new(PolicyKind::RcInformedSoft),
             util_shift: 0.0,
             tick_stride: 6,
+            obs_tick_secs: OBS_TICK_DAILY,
+            accuracy: None,
         };
         let right = simulate(
             &reqs,

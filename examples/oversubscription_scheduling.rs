@@ -64,6 +64,8 @@ fn main() {
             scheduler: SchedulerConfig::new(policy),
             util_shift: 0.0,
             tick_stride: 1,
+            obs_tick_secs: rc_scheduler::OBS_TICK_DAILY,
+            accuracy: None,
         };
         let report = simulate(&requests, &sim, source, (from, until));
         println!(

@@ -57,6 +57,7 @@ pub mod prelude {
         PredictionResponse, PublishGate, QuarantineReport, RcClient, RetryPolicy, Served,
     };
     pub use rc_ml::Classifier;
+    pub use rc_obs::{AccuracyTracker, BenchReport, DriftConfig, DriftSignal};
     pub use rc_scheduler::{
         simulate, suggest_server_count, PolicyKind, SchedulerConfig, SimConfig, SimReport,
         VmRequest,

@@ -75,6 +75,8 @@ fn offline_client_degrades_scheduler_to_no_source_exactly() {
         scheduler: SchedulerConfig::new(PolicyKind::RcInformedSoft),
         util_shift: 0.0,
         tick_stride: 3,
+        obs_tick_secs: rc_scheduler::OBS_TICK_DAILY,
+        accuracy: None,
     };
     const FLIP_AT: u64 = 100;
 

@@ -108,6 +108,8 @@ fn rc_informed_scheduler_runs_on_live_predictions() {
         scheduler: SchedulerConfig::new(PolicyKind::RcInformedSoft),
         util_shift: 0.0,
         tick_stride: 3,
+        obs_tick_secs: rc_scheduler::OBS_TICK_DAILY,
+        accuracy: None,
     };
     let report =
         simulate(&requests, &config, Box::new(RcSource::new(client.clone())), (from, until));

@@ -522,6 +522,8 @@ fn five_of_six_metrics_publish_and_the_scheduler_runs_end_to_end() {
         scheduler: SchedulerConfig::new(PolicyKind::RcInformedSoft),
         util_shift: 0.0,
         tick_stride: 3,
+        obs_tick_secs: rc_scheduler::OBS_TICK_DAILY,
+        accuracy: None,
     };
     let report =
         simulate(&requests, &config, Box::new(RcSource::new(client.clone())), (from, until));
