@@ -1,0 +1,218 @@
+//! Streaming-simulator scale sweep: 10k → 1M VM arrivals.
+//!
+//! Each rung generates a trace *as a stream* (never materialized), sizes
+//! the fleet with a streaming peak-demand pass, and runs the RC-informed
+//! soft rule end-to-end through [`rc_scheduler::simulate_stream`]. The
+//! first rung additionally materializes the same trace and double-checks
+//! that the streaming path's `SimReport` is byte-identical; a mid rung
+//! exercises [`rc_scheduler::simulate_partitioned`]'s deterministic
+//! parallel merge.
+//!
+//! Trace windows grow as `sqrt(arrivals)` (clamped to [7, 92] days), so
+//! the peak number of *concurrently live* VMs — which bounds the
+//! simulator's memory — grows sublinearly in the arrival count. The
+//! per-rung `VmRSS`/`VmHWM` readings recorded in the report's wall-clock
+//! section make that visible.
+//!
+//! Rungs come from `RC_SCALE_RUNGS` (comma-separated arrival targets,
+//! default `10000,100000,1000000`). Writes `BENCH_scale.json`
+//! (`rc-bench-report/1`): rung results and counters are deterministic;
+//! wall-clock and RSS readings live in the excluded `spans` section.
+
+use std::time::Instant;
+
+use rc_obs::BenchReport;
+use rc_scheduler::{
+    simulate, simulate_partitioned, simulate_stream, suggest_server_count_stream, OracleSource,
+    P95Source, PolicyKind, SchedulerConfig, SimConfig, SimReport, StreamRequestSource, VmRequest,
+};
+use rc_trace::{Trace, TraceConfig, VmStream};
+use rc_types::time::Timestamp;
+use serde::Value;
+
+/// Arrival targets for the sweep, smallest first.
+fn rungs() -> Vec<u64> {
+    let spec = std::env::var("RC_SCALE_RUNGS").unwrap_or_else(|_| "10000,100000,1000000".into());
+    let mut rungs: Vec<u64> = spec
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| s.trim().parse().expect("RC_SCALE_RUNGS entries are integers"))
+        .collect();
+    rungs.sort_unstable();
+    assert!(!rungs.is_empty(), "RC_SCALE_RUNGS named no rungs");
+    rungs
+}
+
+/// Trace config for one rung: the observation window grows as
+/// `sqrt(arrivals)` so live-VM concurrency (and with it simulator
+/// memory) stays sublinear in the arrival count.
+fn rung_config(target_vms: u64) -> TraceConfig {
+    let days = ((target_vms as f64).sqrt() / 14.0).clamp(7.0, 92.0) as u32;
+    TraceConfig {
+        target_vms: target_vms as usize,
+        n_subscriptions: (target_vms / 40).max(50) as usize,
+        days,
+        ..TraceConfig::small()
+    }
+}
+
+fn sim_config(n_servers: usize) -> SimConfig {
+    SimConfig {
+        n_servers,
+        cores_per_server: 16.0,
+        memory_per_server_gb: 112.0,
+        scheduler: SchedulerConfig::new(PolicyKind::RcInformedSoft),
+        util_shift: 0.0,
+        tick_stride: 6, // 30-minute readings keep the 1M rung in seconds
+        obs_tick_secs: 0,
+        accuracy: None,
+    }
+}
+
+/// `(VmRSS, VmHWM)` of this process in KiB, from `/proc/self/status`.
+fn memory_kb() -> (u64, u64) {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    let field = |name: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    (field("VmRSS:"), field("VmHWM:"))
+}
+
+fn requests(config: &TraceConfig) -> StreamRequestSource<VmStream> {
+    StreamRequestSource::new(
+        VmStream::new(config),
+        Timestamp::ZERO,
+        Timestamp::from_days(config.days as u64),
+        16,
+        None,
+    )
+}
+
+fn report_row(report: &SimReport, n_servers: usize) -> Value {
+    Value::Object(vec![
+        ("n_servers".to_string(), Value::U64(n_servers as u64)),
+        ("n_arrivals".to_string(), Value::U64(report.n_arrivals)),
+        ("n_failures".to_string(), Value::U64(report.n_failures)),
+        ("failure_rate".to_string(), Value::F64(report.failure_rate())),
+        ("peak_live_vms".to_string(), Value::U64(report.peak_live_vms)),
+        ("total_readings".to_string(), Value::U64(report.total_readings)),
+        ("readings_above_100".to_string(), Value::U64(report.readings_above_100)),
+        ("mean_util_fraction".to_string(), Value::F64(report.mean_util_fraction)),
+    ])
+}
+
+fn main() {
+    let rungs = rungs();
+    let mut bench = BenchReport::new("scale");
+    bench.set_config("rungs", Value::Array(rungs.iter().map(|&r| Value::U64(r)).collect()));
+    bench.set_config("policy", PolicyKind::RcInformedSoft.label());
+    bench.set_config("tick_stride", 6u64);
+    let registry = rc_obs::global();
+    let run_before = registry.snapshot();
+
+    println!("Streaming simulator scale sweep (RC-informed soft rule)");
+    rc_bench::rule(110);
+    println!(
+        "{:>10}  {:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>8}  {:>9}  {:>9}",
+        "arrivals",
+        "days",
+        "servers",
+        "placed",
+        "failures",
+        "peak-live",
+        "wall-s",
+        "rss-mb",
+        "hwm-mb"
+    );
+
+    for (i, &target) in rungs.iter().enumerate() {
+        let config = rung_config(target);
+        let started = Instant::now();
+
+        // Pass 1 (streaming): size the fleet from peak concurrent demand.
+        let n_servers = suggest_server_count_stream(requests(&config), 16.0, 0.95);
+        // Pass 2 (streaming): the simulation itself.
+        let sim = sim_config(n_servers);
+        let window = (Timestamp::ZERO, Timestamp::from_days(config.days as u64));
+        let report = simulate_stream(requests(&config), &sim, Box::new(OracleSource), window);
+
+        let wall = started.elapsed();
+        let (rss_kb, hwm_kb) = memory_kb();
+        println!(
+            "{:>10}  {:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>8.2}  {:>9.1}  {:>9.1}",
+            target,
+            config.days,
+            n_servers,
+            report.n_arrivals - report.n_failures,
+            report.n_failures,
+            report.peak_live_vms,
+            wall.as_secs_f64(),
+            rss_kb as f64 / 1024.0,
+            hwm_kb as f64 / 1024.0,
+        );
+        let label = format!("rung_{target}");
+        bench.set_result(&label, report_row(&report, n_servers));
+        bench.set_span(&format!("scale.{label}.wall_ns"), wall.as_nanos() as u64);
+        bench.set_span(&format!("scale.{label}.rss_kb"), rss_kb);
+        bench.set_span(&format!("scale.{label}.hwm_kb"), hwm_kb);
+
+        // Smallest rung: prove the streaming path equals the
+        // materialized one, byte for byte.
+        if i == 0 {
+            let trace = Trace::generate(&config);
+            let reqs = VmRequest::stream(&trace, window.0, window.1, 16);
+            let materialized = simulate(&reqs, &sim, Box::new(OracleSource), window);
+            let a = serde_json::to_vec(&report).expect("report serializes");
+            let b = serde_json::to_vec(&materialized).expect("report serializes");
+            assert_eq!(a, b, "streaming and materialized SimReports must be byte-identical");
+            println!("{:>10}  streaming report byte-identical to materialized run", "");
+            bench.set_result("streaming_matches_materialized", true);
+        }
+
+        // Mid rung (second-largest when there are several): exercise the
+        // deterministic parallel per-cluster merge.
+        if rungs.len() > 1 && i == rungs.len() - 2 {
+            let started = Instant::now();
+            let reqs: Vec<VmRequest> = requests(&config).collect();
+            let n_clusters = 4;
+            // Subscription-hash partitioning is uneven; 30% slack per
+            // cluster absorbs the imbalance the shared fleet hid.
+            let per_cluster =
+                sim_config((n_servers as f64 * 1.3 / n_clusters as f64).ceil() as usize);
+            let make = || Box::new(OracleSource) as Box<dyn P95Source>;
+            let merged = simulate_partitioned(
+                &reqs,
+                &per_cluster,
+                &make,
+                window,
+                n_clusters,
+                rc_ml_pool_workers(),
+            );
+            println!(
+                "{:>10}  partitioned x{}: failures {} of {} ({:.2}s)",
+                "",
+                n_clusters,
+                merged.n_failures,
+                merged.n_arrivals,
+                started.elapsed().as_secs_f64()
+            );
+            bench
+                .set_result("partitioned", report_row(&merged, per_cluster.n_servers * n_clusters));
+        }
+    }
+
+    rc_bench::rule(110);
+    let run_after = registry.snapshot();
+    bench.set_counter_deltas(&run_after, &run_before);
+    let path = bench.write_default("BENCH_scale.json").expect("write report");
+    println!("report: {}", path.display());
+}
+
+fn rc_ml_pool_workers() -> usize {
+    rc_ml::pool::default_workers().min(4)
+}

@@ -173,6 +173,7 @@ impl BenchReport {
     /// returns the path.
     pub fn write_default(&self, file_name: &str) -> std::io::Result<PathBuf> {
         let dir = std::env::var("RC_REPORT_DIR").unwrap_or_else(|_| ".".to_string());
+        std::fs::create_dir_all(&dir)?;
         let path = Path::new(&dir).join(file_name);
         self.write_to(&path)?;
         Ok(path)

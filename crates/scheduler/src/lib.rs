@@ -17,11 +17,16 @@ pub mod request;
 pub mod scheduler;
 pub mod server;
 pub mod simulator;
+pub mod stream_source;
 
 pub use maintenance::{plan_maintenance, MaintenancePlan, MigrationReason, ResidentVm};
 pub use policy::{NoSource, OracleSource, P95Source, PolicyKind, RcSource, WrongSource};
 pub use power::{apportion_power, PowerAssignment, PowerPlan, PoweredVm};
 pub use request::VmRequest;
 pub use scheduler::{Placement, Scheduler, SchedulerConfig};
-pub use server::{Server, ServerKind};
-pub use simulator::{simulate, suggest_server_count, SimConfig, SimReport, OBS_TICK_DAILY};
+pub use server::{Server, ServerFleet, ServerKind};
+pub use simulator::{
+    simulate, simulate_partitioned, simulate_stream, suggest_server_count,
+    suggest_server_count_stream, SimConfig, SimReport, OBS_TICK_DAILY,
+};
+pub use stream_source::StreamRequestSource;

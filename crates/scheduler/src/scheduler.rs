@@ -15,7 +15,7 @@ use rc_types::vm::ProdTag;
 
 use crate::policy::{P95Source, PolicyKind};
 use crate::request::VmRequest;
-use crate::server::{Server, ServerKind};
+use crate::server::{ServerFleet, ServerKind};
 
 /// Scheduler parameters (§6.2 defaults: 125% / 100% / theta 0.6).
 #[derive(Debug, Clone)]
@@ -49,10 +49,17 @@ impl SchedulerConfig {
     }
 }
 
-/// The cluster scheduler: servers plus the placement logic.
+/// The cluster scheduler: the server fleet plus the placement logic.
+///
+/// Selection scans only the occupied-server index (plus at most one empty
+/// representative — all empty servers are interchangeable, so the
+/// lowest-index one stands for the group, which is exactly the server the
+/// old full scan's first-wins tie-break would have picked). The
+/// preference order among candidates is unchanged: filled before empty,
+/// then tightest fit (highest allocation), then lowest index.
 pub struct Scheduler {
-    /// Server fleet.
-    pub servers: Vec<Server>,
+    /// Server fleet (struct-of-arrays hot-path layout).
+    pub fleet: ServerFleet,
     /// Parameters.
     pub config: SchedulerConfig,
     source: Box<dyn P95Source>,
@@ -105,9 +112,7 @@ impl Scheduler {
         source: Box<dyn P95Source>,
     ) -> Self {
         Scheduler {
-            servers: (0..n_servers)
-                .map(|_| Server::new(cores_per_server, memory_per_server_gb))
-                .collect(),
+            fleet: ServerFleet::new(n_servers, cores_per_server, memory_per_server_gb),
             config,
             source,
             metrics: SchedMetrics::new(),
@@ -162,29 +167,53 @@ impl Scheduler {
             self.metrics.failures.increment();
             return None;
         };
-        self.servers[placement.server].place(req, placement.predicted_util_cores);
+        self.fleet.place(placement.server, req, placement.predicted_util_cores);
         self.metrics.placements.increment();
         Some(placement)
     }
 
     /// VMCompleted bookkeeping.
     pub fn complete(&mut self, req: &VmRequest, placement: Placement) {
-        self.servers[placement.server].complete(req, placement.predicted_util_cores);
+        self.fleet.complete(placement.server, req, placement.predicted_util_cores);
+    }
+
+    /// Replaces `best` when `(alloc, i)` wins the filled-server
+    /// preference: tightest fit (highest allocation) first, lowest index
+    /// on ties — the order the old full index scan's first-wins strict
+    /// comparison produced, made explicit because the occupied index is
+    /// scanned in arbitrary order.
+    fn prefer(best: Option<(f64, usize)>, alloc: f64, i: usize) -> bool {
+        match best {
+            None => true,
+            Some((best_alloc, best_i)) => alloc > best_alloc || (alloc == best_alloc && i < best_i),
+        }
     }
 
     /// Baseline selection: any server with free allocation and memory; no
     /// grouping, no oversubscription.
     fn select_baseline(&self, req: &VmRequest) -> Option<Placement> {
-        let mut best: Option<usize> = None;
-        for (i, s) in self.servers.iter().enumerate() {
-            if s.alloc_cores + req.cores as f64 <= s.capacity_cores
-                && s.free_memory_gb() >= req.memory_gb
-                && self.better(best, i)
+        let cores = req.cores as f64;
+        let capacity = self.fleet.capacity_cores();
+        let mut best: Option<(f64, usize)> = None;
+        for &i in self.fleet.occupied() {
+            let i = i as usize;
+            let alloc = self.fleet.alloc_cores(i);
+            if alloc + cores <= capacity
+                && self.fleet.free_memory_gb(i) >= req.memory_gb
+                && Self::prefer(best, alloc, i)
             {
-                best = Some(i);
+                best = Some((alloc, i));
             }
         }
-        best.map(|server| Placement { server, predicted_util_cores: 0.0, predicted_p95: None })
+        let server = best.map(|(_, i)| i).or_else(|| {
+            // Soft fill rule: empty servers only when no filled server
+            // fits. Empty servers are interchangeable, so eligibility is
+            // a property of the request; take the lowest index.
+            self.fleet
+                .lowest_empty()
+                .filter(|_| cores <= capacity && req.memory_gb <= self.fleet.capacity_memory_gb())
+        });
+        server.map(|server| Placement { server, predicted_util_cores: 0.0, predicted_p95: None })
     }
 
     /// Grouped selection per Algorithm 1's `SelectCandidateServers`.
@@ -193,41 +222,59 @@ impl Scheduler {
     /// charge (infinite `v` disables the cap but still records grouping);
     /// `None` is the Naive policy (no utilization tracking at all).
     fn select_grouped(&self, req: &VmRequest, util_cores: Option<f64>) -> Option<Placement> {
-        let mut best: Option<usize> = None;
         let production = req.prod == ProdTag::Production;
-        for (i, s) in self.servers.iter().enumerate() {
+        let cores = req.cores as f64;
+        let capacity = self.fleet.capacity_cores();
+        let alloc_limit = if production { capacity } else { self.config.max_oversub * capacity };
+        let util_charge = match util_cores {
+            Some(v) if !production && v.is_finite() => Some(v),
+            _ => None,
+        };
+
+        let mut best: Option<(f64, usize)> = None;
+        for &i in self.fleet.occupied() {
+            let i = i as usize;
             let group_ok = matches!(
-                (production, s.kind),
-                (_, ServerKind::Empty)
-                    | (true, ServerKind::NonOversubscribable)
-                    | (false, ServerKind::Oversubscribable)
+                (production, self.fleet.kind(i)),
+                (true, ServerKind::NonOversubscribable) | (false, ServerKind::Oversubscribable)
             );
-            if !group_ok || s.free_memory_gb() < req.memory_gb {
+            if !group_ok || self.fleet.free_memory_gb(i) < req.memory_gb {
                 continue;
             }
-            let alloc_limit = if production {
-                s.capacity_cores
-            } else {
-                self.config.max_oversub * s.capacity_cores
-            };
-            if s.alloc_cores + req.cores as f64 > alloc_limit {
+            let alloc = self.fleet.alloc_cores(i);
+            if alloc + cores > alloc_limit {
                 continue;
             }
-            if !production {
-                if let Some(v) = util_cores {
-                    if v.is_finite()
-                        && s.predicted_util_cores + v > self.config.max_util * s.capacity_cores
-                    {
-                        self.metrics.util_cap_rejections.increment();
-                        continue;
-                    }
+            if let Some(v) = util_charge {
+                if self.fleet.predicted_util_cores(i) + v > self.config.max_util * capacity {
+                    self.metrics.util_cap_rejections.increment();
+                    continue;
                 }
             }
-            if self.better(best, i) {
-                best = Some(i);
+            if Self::prefer(best, alloc, i) {
+                best = Some((alloc, i));
             }
         }
-        best.map(|server| Placement {
+        let server = best.map(|(_, i)| i).or_else(|| {
+            let empty_ok = req.memory_gb <= self.fleet.capacity_memory_gb()
+                && cores <= alloc_limit
+                && match util_charge {
+                    Some(v) => {
+                        let ok = v <= self.config.max_util * capacity;
+                        if !ok && self.fleet.lowest_empty().is_some() {
+                            self.metrics.util_cap_rejections.increment();
+                        }
+                        ok
+                    }
+                    None => true,
+                };
+            if empty_ok {
+                self.fleet.lowest_empty()
+            } else {
+                None
+            }
+        });
+        server.map(|server| Placement {
             server,
             predicted_util_cores: match util_cores {
                 Some(v) if v.is_finite() => v,
@@ -237,29 +284,14 @@ impl Scheduler {
         })
     }
 
-    /// Preference order among eligible servers: filled servers before
-    /// empty ones (the soft fill rule), then tightest fit (highest
-    /// allocation), then lowest index.
-    fn better(&self, current: Option<usize>, candidate: usize) -> bool {
-        let Some(cur) = current else {
-            return true;
-        };
-        let a = &self.servers[cur];
-        let b = &self.servers[candidate];
-        let rank = |s: &Server| (u8::from(!s.is_empty()), s.alloc_cores);
-        let (ae, aa) = rank(a);
-        let (be, ba) = rank(b);
-        (be, ba) > (ae, aa)
-    }
-
-    /// Total allocated cores across the fleet.
+    /// Total allocated cores across the fleet — O(1).
     pub fn total_alloc_cores(&self) -> f64 {
-        self.servers.iter().map(|s| s.alloc_cores).sum()
+        self.fleet.total_alloc_cores()
     }
 
-    /// Number of non-empty servers.
+    /// Number of non-empty servers — O(1).
     pub fn busy_servers(&self) -> usize {
-        self.servers.iter().filter(|s| !s.is_empty()).count()
+        self.fleet.busy_servers()
     }
 }
 
@@ -325,8 +357,8 @@ mod tests {
         assert!(s.schedule(&request(1, 4, ProdTag::Production, 0)).is_some());
         assert!(s.schedule(&request(2, 4, ProdTag::NonProduction, 0)).is_some());
         assert_eq!(s.busy_servers(), 2);
-        assert_eq!(s.servers[0].kind, ServerKind::NonOversubscribable);
-        assert_eq!(s.servers[1].kind, ServerKind::Oversubscribable);
+        assert_eq!(s.fleet.kind(0), ServerKind::NonOversubscribable);
+        assert_eq!(s.fleet.kind(1), ServerKind::Oversubscribable);
     }
 
     #[test]

@@ -69,8 +69,23 @@ impl ArrivalProcess {
         start: Timestamp,
         end: Timestamp,
     ) -> Vec<Timestamp> {
+        self.iter(rng, start, end).collect()
+    }
+
+    /// A lazy, pull-based version of [`ArrivalProcess::generate`].
+    ///
+    /// Draw-for-draw identical to the eager path (which is implemented on
+    /// top of this iterator), so a streaming consumer and a materializing
+    /// consumer handed equal RNG states observe equal timestamps.
+    pub fn iter<R: Rng>(&self, mut rng: R, start: Timestamp, end: Timestamp) -> ArrivalIter<R> {
         if self.rate_per_day <= 0.0 || start >= end {
-            return Vec::new();
+            return ArrivalIter {
+                rng,
+                weibull: None,
+                max_mult: 1.0,
+                t: f64::INFINITY,
+                end_secs: 0.0,
+            };
         }
         let max_mult = (1.0 + cal::DIURNAL_ARRIVAL_AMPLITUDE).max(1e-9);
         // Mean inter-arrival (secs) at the peak-thinned rate.
@@ -79,19 +94,40 @@ impl ArrivalProcess {
         let scale = mean_gap_secs / gamma_fn(1.0 + 1.0 / self.shape);
         let weibull = Weibull::new(scale, self.shape).expect("valid weibull");
 
-        let mut out = Vec::new();
         let mut t = start.as_secs() as f64;
         // Random phase so subscriptions do not all start at `start`.
-        t += weibull.sample(rng) * rng.gen::<f64>();
-        while t < end.as_secs() as f64 {
-            let ts = Timestamp::from_secs(t as u64);
+        t += weibull.sample(&mut rng) * rng.gen::<f64>();
+        ArrivalIter { rng, weibull: Some(weibull), max_mult, t, end_secs: end.as_secs() as f64 }
+    }
+}
+
+/// Lazy arrival iterator; see [`ArrivalProcess::iter`].
+#[derive(Debug)]
+pub struct ArrivalIter<R> {
+    rng: R,
+    /// `None` for a degenerate (empty) process.
+    weibull: Option<Weibull>,
+    max_mult: f64,
+    /// Next candidate arrival instant, in fractional seconds.
+    t: f64,
+    end_secs: f64,
+}
+
+impl<R: Rng> Iterator for ArrivalIter<R> {
+    type Item = Timestamp;
+
+    fn next(&mut self) -> Option<Timestamp> {
+        let weibull = self.weibull?;
+        while self.t < self.end_secs {
+            let ts = Timestamp::from_secs(self.t as u64);
             let mult = cal::arrival_rate_multiplier(ts.hour_of_day(), ts.weekday());
-            if rng.gen::<f64>() * max_mult < mult {
-                out.push(ts);
+            let keep = self.rng.gen::<f64>() * self.max_mult < mult;
+            self.t += weibull.sample(&mut self.rng).max(1.0);
+            if keep {
+                return Some(ts);
             }
-            t += weibull.sample(rng).max(1.0);
         }
-        out
+        None
     }
 }
 

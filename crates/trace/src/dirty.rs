@@ -60,6 +60,17 @@ pub struct DirtyPlan {
 /// rate across.
 pub const DIRTY_CATEGORIES: usize = 7;
 
+/// What happened to one record after its eight corruption draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecordFate {
+    /// Present in the dirty output (possibly corrupted in place).
+    Kept,
+    /// Absent from the dirty output.
+    Dropped,
+    /// Present, and a verbatim copy replays at the end of the stream.
+    Duplicated,
+}
+
 impl DirtyPlan {
     /// A plan that corrupts nothing (the identity baseline).
     pub fn clean(seed: u64) -> Self {
@@ -92,6 +103,66 @@ impl DirtyPlan {
         }
     }
 
+    /// Draws one record's corruption schedule (exactly eight uniforms,
+    /// whatever the outcome, so two applications stay in lock-step) and
+    /// applies any in-place category. Shared by [`DirtyPlan::apply`] and
+    /// the streaming adapter so the two cannot diverge.
+    pub(crate) fn corrupt_record(
+        &self,
+        rng: &mut StdRng,
+        vm: &mut rc_types::telemetry::VmRecord,
+        util: &mut crate::utilization::UtilParams,
+        n_deployments: u64,
+        report: &mut DirtyReport,
+    ) -> RecordFate {
+        let u_drop: f64 = rng.gen();
+        let u_dup: f64 = rng.gen();
+        let u_nan: f64 = rng.gen();
+        let u_range: f64 = rng.gen();
+        let u_skew: f64 = rng.gen();
+        let u_trunc: f64 = rng.gen();
+        let u_orphan: f64 = rng.gen();
+        let salt: u64 = rng.gen();
+
+        if u_drop < self.p_drop {
+            report.dropped += 1;
+            return RecordFate::Dropped;
+        } else if u_dup < self.p_duplicate {
+            report.duplicated += 1;
+            return RecordFate::Duplicated;
+        } else if u_nan < self.p_nan_util {
+            util.base = f64::NAN;
+            util.p95_level = f64::NAN;
+            report.nan_util += 1;
+        } else if u_range < self.p_out_of_range_util {
+            // Far outside [0, 1] in a salt-determined direction.
+            let magnitude = 2.0 + (salt % 97) as f64 / 10.0;
+            if salt & 1 == 0 {
+                util.base = magnitude;
+                util.p95_level = magnitude + 1.0;
+            } else {
+                util.base = -magnitude;
+                util.p95_level = -magnitude / 2.0;
+            }
+            report.out_of_range_util += 1;
+        } else if u_skew < self.p_clock_skew {
+            // The collector's clock ran ahead: deletion lands a
+            // salt-determined stretch *before* creation.
+            let created = vm.created.as_secs().max(2);
+            vm.created = Timestamp::from_secs(created);
+            vm.deleted = Timestamp::from_secs(created.saturating_sub(1 + salt % 86_400).max(1));
+            report.clock_skew += 1;
+        } else if u_trunc < self.p_truncate {
+            vm.sku.cores = 0;
+            vm.sku.memory_gb = 0.0;
+            report.truncated += 1;
+        } else if u_orphan < self.p_orphan_deployment {
+            vm.deployment = DeploymentId(n_deployments + salt % 1_000);
+            report.orphaned += 1;
+        }
+        RecordFate::Kept
+    }
+
     /// Corrupts a trace, returning the dirtied copy and exact per-category
     /// counts. Deterministic: the schedule is a pure function of
     /// `(plan, trace.vms.len())`, with exactly eight RNG draws per VM
@@ -104,57 +175,12 @@ impl DirtyPlan {
 
         let mut keep = vec![true; dirty.vms.len()];
         let mut duplicates: Vec<usize> = Vec::new();
-        // `i` indexes three parallel arrays (`keep`, `dirty.util`, and the
-        // duplicate list), so a range loop is clearer than zipped iterators.
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..dirty.vms.len() {
-            // Fixed draw count per record keeps two applications of the
-            // same plan in lock-step regardless of which branches fire.
-            let u_drop: f64 = rng.gen();
-            let u_dup: f64 = rng.gen();
-            let u_nan: f64 = rng.gen();
-            let u_range: f64 = rng.gen();
-            let u_skew: f64 = rng.gen();
-            let u_trunc: f64 = rng.gen();
-            let u_orphan: f64 = rng.gen();
-            let salt: u64 = rng.gen();
-
-            if u_drop < self.p_drop {
-                keep[i] = false;
-                report.dropped += 1;
-            } else if u_dup < self.p_duplicate {
-                duplicates.push(i);
-                report.duplicated += 1;
-            } else if u_nan < self.p_nan_util {
-                dirty.util[i].base = f64::NAN;
-                dirty.util[i].p95_level = f64::NAN;
-                report.nan_util += 1;
-            } else if u_range < self.p_out_of_range_util {
-                // Far outside [0, 1] in a salt-determined direction.
-                let magnitude = 2.0 + (salt % 97) as f64 / 10.0;
-                if salt & 1 == 0 {
-                    dirty.util[i].base = magnitude;
-                    dirty.util[i].p95_level = magnitude + 1.0;
-                } else {
-                    dirty.util[i].base = -magnitude;
-                    dirty.util[i].p95_level = -magnitude / 2.0;
-                }
-                report.out_of_range_util += 1;
-            } else if u_skew < self.p_clock_skew {
-                // The collector's clock ran ahead: deletion lands a
-                // salt-determined stretch *before* creation.
-                let created = dirty.vms[i].created.as_secs().max(2);
-                dirty.vms[i].created = Timestamp::from_secs(created);
-                dirty.vms[i].deleted =
-                    Timestamp::from_secs(created.saturating_sub(1 + salt % 86_400).max(1));
-                report.clock_skew += 1;
-            } else if u_trunc < self.p_truncate {
-                dirty.vms[i].sku.cores = 0;
-                dirty.vms[i].sku.memory_gb = 0.0;
-                report.truncated += 1;
-            } else if u_orphan < self.p_orphan_deployment {
-                dirty.vms[i].deployment = DeploymentId(n_deployments + salt % 1_000);
-                report.orphaned += 1;
+        for (i, (vm, util)) in dirty.vms.iter_mut().zip(dirty.util.iter_mut()).enumerate() {
+            let fate = self.corrupt_record(&mut rng, vm, util, n_deployments, &mut report);
+            match fate {
+                RecordFate::Dropped => keep[i] = false,
+                RecordFate::Duplicated => duplicates.push(i),
+                RecordFate::Kept => {}
             }
         }
 

@@ -62,57 +62,189 @@ impl TraceConfig {
 /// §3.4).
 const INITIAL_DEPLOYMENT_FRACTION: f64 = 0.8;
 
+/// Samples every subscription profile from the master RNG.
+///
+/// Profiles are the only thing the master seed controls; all VM-level
+/// randomness lives in per-subscription streams (see [`sub_stream_rngs`]),
+/// which is what lets the streaming path regenerate any subscription
+/// independently without replaying the whole trace.
+pub(crate) fn sample_profiles(config: &TraceConfig) -> Vec<SubscriptionProfile> {
+    assert!(config.n_subscriptions > 0 && config.days > 0, "degenerate config");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let profile_cfg = ProfileConfig {
+        days: config.days,
+        n_regions: config.n_regions,
+        ..ProfileConfig::default()
+    };
+    (0..config.n_subscriptions)
+        .map(|i| SubscriptionProfile::sample(SubscriptionId(i as u32), &profile_cfg, &mut rng))
+        .collect()
+}
+
+/// Water-filling rate scales: every subscription's deployment rate is
+/// scaled so the expected VM count hits the target, while capping any
+/// single subscription at ~3% of the population. Without the cap, a single
+/// busy subscription can dominate the trace and swamp every aggregate
+/// distribution with its idiosyncrasies.
+pub(crate) fn subscription_scales(
+    config: &TraceConfig,
+    subscriptions: &[SubscriptionProfile],
+) -> Vec<f64> {
+    let expected: Vec<f64> = subscriptions.iter().map(|s| s.expected_vms()).collect();
+    let cap = (config.target_vms as f64 * 0.03).max(50.0);
+    // Solve `sum(min(lambda * e_i, cap)) = target` for the global rate
+    // multiplier lambda by bisection; the left side is monotone in
+    // lambda, so this converges for any expectation profile.
+    let target = config.target_vms as f64;
+    let total_at = |lambda: f64| -> f64 { expected.iter().map(|e| (lambda * e).min(cap)).sum() };
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while total_at(hi) < target && hi < 1e12 {
+        hi *= 2.0;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if total_at(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let lambda = 0.5 * (lo + hi);
+    expected.iter().map(|e| if lambda * e > cap { cap / e.max(1e-9) } else { lambda }).collect()
+}
+
+/// The two private RNGs of one subscription's generation stream: one
+/// drives its arrival process, the other everything inside a deployment.
+///
+/// Splitting them means the arrival schedule can be replayed (e.g. to
+/// count deployments ahead of time) without disturbing VM bodies, and the
+/// derived seeds keep the whole trace a pure function of the config.
+pub(crate) fn sub_stream_rngs(seed: u64, sub: SubscriptionId) -> (StdRng, StdRng) {
+    use crate::sampler::splitmix64;
+    let base = splitmix64(seed ^ 0x5452_4143_455f_5354); // "TRACE_ST"
+    let k = splitmix64(base ^ sub.0 as u64);
+    (StdRng::seed_from_u64(splitmix64(k ^ 0xA331)), StdRng::seed_from_u64(splitmix64(k ^ 0xB0D1)))
+}
+
+/// One VM produced by [`generate_deployment`].
+#[derive(Debug, Clone)]
+pub(crate) struct GeneratedVm {
+    pub record: VmRecord,
+    pub util: UtilParams,
+    pub interactive: bool,
+}
+
+/// One deployment's worth of generated VMs plus its summary record.
+#[derive(Debug, Clone)]
+pub(crate) struct GeneratedDeployment {
+    pub deployment: DeploymentRecord,
+    pub vms: Vec<GeneratedVm>,
+}
+
+/// Generates one deployment (region, size, and every VM body) from the
+/// subscription's body RNG. Shared verbatim between [`Trace::generate`]
+/// and the streaming path so the two cannot diverge.
+pub(crate) fn generate_deployment<R: Rng + ?Sized>(
+    sub: &SubscriptionProfile,
+    dep_id: DeploymentId,
+    deploy_time: Timestamp,
+    n_regions: u16,
+    rng: &mut R,
+) -> GeneratedDeployment {
+    let region = if rng.gen::<f64>() < 0.85 || n_regions <= 1 {
+        sub.home_region
+    } else {
+        rc_types::vm::RegionId(rng.gen_range(0..n_regions))
+    };
+
+    // Deployment size around the subscription center.
+    let n = clamped_lognormal(rng, sub.deploy_size_center, 0.30, 1.0, 2_000.0).round().max(1.0)
+        as usize;
+    let initial = ((n as f64) * INITIAL_DEPLOYMENT_FRACTION).ceil() as usize;
+
+    // VMs of a deployment usually share a lifetime bucket.
+    let dep_lifetime_bucket = sample_lifetime_bucket(sub, rng);
+    let mut n_cores = 0u32;
+    let mut vms = Vec::with_capacity(n);
+
+    for k in 0..n {
+        let created = if k < initial {
+            Timestamp::from_secs(deploy_time.as_secs() + rng.gen_range(0..120))
+        } else {
+            Timestamp::from_secs(deploy_time.as_secs() + rng.gen_range(120..86_400))
+        };
+
+        let lifetime_bucket = if rng.gen::<f64>() < 0.8 {
+            dep_lifetime_bucket
+        } else {
+            sample_lifetime_bucket(sub, rng)
+        };
+        let lifetime_secs = sample_lifetime(sub, lifetime_bucket, rng);
+        let deleted = Timestamp::from_secs(created.as_secs() + lifetime_secs);
+
+        let role = sample_role(sub, rng);
+        let sku_idx = if rng.gen::<f64>() < 0.85 { sub.primary_sku } else { sub.secondary_sku };
+        let sku = SKU_CATALOG[sku_idx];
+        n_cores += sku.cores;
+
+        let os = if rng.gen::<f64>() < 0.93 {
+            sub.os
+        } else {
+            match sub.os {
+                OsType::Windows => OsType::Linux,
+                OsType::Linux => OsType::Windows,
+            }
+        };
+
+        let interactive = rng.gen::<f64>() < sub.interactive_prob;
+        let params = sample_util_params(sub, interactive, rng);
+
+        vms.push(GeneratedVm {
+            record: VmRecord {
+                vm_id: VmId(0), // assigned once the global arrival order is known
+                subscription: sub.id,
+                deployment: dep_id,
+                region,
+                party: sub.party,
+                role,
+                prod: sub.prod,
+                os,
+                sku,
+                created,
+                deleted,
+            },
+            util: params,
+            interactive,
+        });
+    }
+
+    GeneratedDeployment {
+        deployment: DeploymentRecord {
+            id: dep_id,
+            subscription: sub.id,
+            region,
+            created: deploy_time,
+            n_vms: n as u32,
+            n_cores,
+        },
+        vms,
+    }
+}
+
 impl Trace {
     /// Generates a full synthetic trace from the configuration.
     ///
-    /// Deterministic: equal configs yield equal traces.
+    /// Deterministic: equal configs yield equal traces, and the result is
+    /// bit-identical to draining [`crate::stream::VmStream`] — both paths
+    /// run the same per-subscription RNG streams through
+    /// [`generate_deployment`].
     ///
     /// # Panics
     ///
     /// Panics when the config has zero subscriptions or zero days.
     pub fn generate(config: &TraceConfig) -> Trace {
-        assert!(config.n_subscriptions > 0 && config.days > 0, "degenerate config");
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let profile_cfg = ProfileConfig {
-            days: config.days,
-            n_regions: config.n_regions,
-            ..ProfileConfig::default()
-        };
-
-        let subscriptions: Vec<SubscriptionProfile> = (0..config.n_subscriptions)
-            .map(|i| SubscriptionProfile::sample(SubscriptionId(i as u32), &profile_cfg, &mut rng))
-            .collect();
-
-        // Scale every subscription's deployment rate so the expected VM
-        // count hits the target, while capping any single subscription at
-        // ~3% of the population (water-filling). Without the cap, a single
-        // busy subscription can dominate the trace and swamp every
-        // aggregate distribution with its idiosyncrasies.
-        let expected: Vec<f64> = subscriptions.iter().map(|s| s.expected_vms()).collect();
-        let cap = (config.target_vms as f64 * 0.03).max(50.0);
-        // Solve `sum(min(lambda * e_i, cap)) = target` for the global rate
-        // multiplier lambda by bisection; the left side is monotone in
-        // lambda, so this converges for any expectation profile.
-        let target = config.target_vms as f64;
-        let total_at =
-            |lambda: f64| -> f64 { expected.iter().map(|e| (lambda * e).min(cap)).sum() };
-        let (mut lo, mut hi) = (0.0f64, 1.0f64);
-        while total_at(hi) < target && hi < 1e12 {
-            hi *= 2.0;
-        }
-        for _ in 0..60 {
-            let mid = 0.5 * (lo + hi);
-            if total_at(mid) < target {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        let lambda = 0.5 * (lo + hi);
-        let scales: Vec<f64> = expected
-            .iter()
-            .map(|e| if lambda * e > cap { cap / e.max(1e-9) } else { lambda })
-            .collect();
+        let subscriptions = sample_profiles(config);
+        let scales = subscription_scales(config, &subscriptions);
 
         let mut vms: Vec<VmRecord> = Vec::with_capacity(config.target_vms + config.target_vms / 4);
         let mut util: Vec<UtilParams> = Vec::with_capacity(vms.capacity());
@@ -122,83 +254,18 @@ impl Trace {
         for sub in &subscriptions {
             let scale = scales[sub.id.0 as usize];
             let proc = ArrivalProcess::new(sub.deployment_rate_per_day * scale);
-            let arrivals = proc.generate(&mut rng, sub.active_from, sub.active_until);
+            let (mut arrival_rng, mut body_rng) = sub_stream_rngs(config.seed, sub.id);
+            let arrivals = proc.generate(&mut arrival_rng, sub.active_from, sub.active_until);
             for deploy_time in arrivals {
                 let dep_id = DeploymentId(deployments.len() as u64);
-                let region = if rng.gen::<f64>() < 0.85 || config.n_regions <= 1 {
-                    sub.home_region
-                } else {
-                    rc_types::vm::RegionId(rng.gen_range(0..config.n_regions))
-                };
-
-                // Deployment size around the subscription center.
-                let n = clamped_lognormal(&mut rng, sub.deploy_size_center, 0.30, 1.0, 2_000.0)
-                    .round()
-                    .max(1.0) as usize;
-                let initial = ((n as f64) * INITIAL_DEPLOYMENT_FRACTION).ceil() as usize;
-
-                // VMs of a deployment usually share a lifetime bucket.
-                let dep_lifetime_bucket = sample_lifetime_bucket(sub, &mut rng);
-                let mut n_cores = 0u32;
-
-                for k in 0..n {
-                    let created = if k < initial {
-                        Timestamp::from_secs(deploy_time.as_secs() + rng.gen_range(0..120))
-                    } else {
-                        Timestamp::from_secs(deploy_time.as_secs() + rng.gen_range(120..86_400))
-                    };
-
-                    let lifetime_bucket = if rng.gen::<f64>() < 0.8 {
-                        dep_lifetime_bucket
-                    } else {
-                        sample_lifetime_bucket(sub, &mut rng)
-                    };
-                    let lifetime_secs = sample_lifetime(sub, lifetime_bucket, &mut rng);
-                    let deleted = Timestamp::from_secs(created.as_secs() + lifetime_secs);
-
-                    let role = sample_role(sub, &mut rng);
-                    let sku_idx =
-                        if rng.gen::<f64>() < 0.85 { sub.primary_sku } else { sub.secondary_sku };
-                    let sku = SKU_CATALOG[sku_idx];
-                    n_cores += sku.cores;
-
-                    let os = if rng.gen::<f64>() < 0.93 {
-                        sub.os
-                    } else {
-                        match sub.os {
-                            OsType::Windows => OsType::Linux,
-                            OsType::Linux => OsType::Windows,
-                        }
-                    };
-
-                    let interactive = rng.gen::<f64>() < sub.interactive_prob;
-                    let params = sample_util_params(sub, interactive, &mut rng);
-
-                    vms.push(VmRecord {
-                        vm_id: VmId(0), // assigned after sorting
-                        subscription: sub.id,
-                        deployment: dep_id,
-                        region,
-                        party: sub.party,
-                        role,
-                        prod: sub.prod,
-                        os,
-                        sku,
-                        created,
-                        deleted,
-                    });
-                    util.push(params);
-                    interactive_intent.push(interactive);
+                let generated =
+                    generate_deployment(sub, dep_id, deploy_time, config.n_regions, &mut body_rng);
+                for gvm in generated.vms {
+                    vms.push(gvm.record);
+                    util.push(gvm.util);
+                    interactive_intent.push(gvm.interactive);
                 }
-
-                deployments.push(DeploymentRecord {
-                    id: dep_id,
-                    subscription: sub.id,
-                    region,
-                    created: deploy_time,
-                    n_vms: n as u32,
-                    n_cores,
-                });
+                deployments.push(generated.deployment);
             }
         }
 

@@ -26,10 +26,11 @@ pub mod dirty;
 pub mod generator;
 pub mod profile;
 pub mod sampler;
+pub mod stream;
 pub mod trace;
 pub mod utilization;
 
-pub use arrival::ArrivalProcess;
+pub use arrival::{ArrivalIter, ArrivalProcess};
 pub use dataset::{read_vm_table, vm_table, write_cpu_readings, write_vm_table, VmTableRow};
 
 /// Minimum observed days before the dataset export assigns a workload
@@ -38,5 +39,6 @@ pub const DATASET_CLASSIFY_MIN_DAYS: f64 = 3.0;
 pub use dirty::{trace_fingerprint, DirtyPlan, DirtyReport};
 pub use generator::TraceConfig;
 pub use profile::{ProfileConfig, SubscriptionProfile};
+pub use stream::{DirtyVmStream, StreamedVm, VmStream};
 pub use trace::{DeploymentRecord, Trace};
 pub use utilization::UtilParams;

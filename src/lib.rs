@@ -59,12 +59,13 @@ pub mod prelude {
     pub use rc_ml::Classifier;
     pub use rc_obs::{AccuracyTracker, BenchReport, DriftConfig, DriftSignal};
     pub use rc_scheduler::{
-        simulate, suggest_server_count, PolicyKind, SchedulerConfig, SimConfig, SimReport,
-        VmRequest,
+        simulate, simulate_partitioned, simulate_stream, suggest_server_count,
+        suggest_server_count_stream, PolicyKind, SchedulerConfig, SimConfig, SimReport,
+        StreamRequestSource, VmRequest,
     };
     pub use rc_store::{
         rollback, FaultPlan, FaultyStore, LatencyModel, Manifest, Store, StoreBackend,
     };
-    pub use rc_trace::{DirtyPlan, Trace, TraceConfig};
+    pub use rc_trace::{DirtyPlan, DirtyVmStream, Trace, TraceConfig, VmStream};
     pub use rc_types::{PredictionMetric, Timestamp, VmId};
 }

@@ -1,0 +1,87 @@
+//! Streaming-vs-materialized equivalence, end to end: the streaming
+//! trace generator, the streaming request source, and the streaming
+//! simulator must reproduce the materialized pipeline bit for bit.
+
+use rc_scheduler::{OracleSource, P95Source};
+use rc_trace::trace_fingerprint;
+use resource_central::prelude::*;
+
+fn config() -> TraceConfig {
+    TraceConfig { target_vms: 6_000, n_subscriptions: 250, days: 21, ..TraceConfig::small() }
+}
+
+fn sim_config(n_servers: usize) -> SimConfig {
+    SimConfig {
+        n_servers,
+        cores_per_server: 16.0,
+        memory_per_server_gb: 112.0,
+        scheduler: SchedulerConfig::new(PolicyKind::RcInformedSoft),
+        util_shift: 0.0,
+        tick_stride: 6,
+        obs_tick_secs: 0,
+        accuracy: None,
+    }
+}
+
+#[test]
+fn streamed_trace_collects_to_the_generated_trace() {
+    let config = config();
+    let materialized = Trace::generate(&config);
+    let streamed = VmStream::new(&config).collect_trace();
+    assert_eq!(trace_fingerprint(&materialized), trace_fingerprint(&streamed));
+}
+
+#[test]
+fn streaming_simulation_is_byte_identical_to_materialized() {
+    let config = config();
+    let window = (Timestamp::ZERO, Timestamp::from_days(config.days as u64));
+
+    let trace = Trace::generate(&config);
+    let requests = VmRequest::stream(&trace, window.0, window.1, 16);
+    let n_servers = suggest_server_count(&requests, 16.0, 0.95);
+    let sim = sim_config(n_servers);
+    let materialized = simulate(&requests, &sim, Box::new(OracleSource), window);
+
+    let stream = || StreamRequestSource::new(VmStream::new(&config), window.0, window.1, 16, None);
+    assert_eq!(suggest_server_count_stream(stream(), 16.0, 0.95), n_servers);
+    let streamed = simulate_stream(stream(), &sim, Box::new(OracleSource), window);
+
+    let a = serde_json::to_vec(&materialized).expect("serializes");
+    let b = serde_json::to_vec(&streamed).expect("serializes");
+    assert_eq!(a, b, "streaming SimReport must match the materialized one byte for byte");
+}
+
+#[test]
+fn partitioned_simulation_merges_every_arrival_exactly_once() {
+    let config = config();
+    let window = (Timestamp::ZERO, Timestamp::from_days(config.days as u64));
+    let trace = Trace::generate(&config);
+    let requests = VmRequest::stream(&trace, window.0, window.1, 16);
+    let n = suggest_server_count(&requests, 16.0, 0.95);
+    let sim = sim_config(n.div_ceil(3));
+    let make = || Box::new(OracleSource) as Box<dyn P95Source>;
+
+    let one_worker = simulate_partitioned(&requests, &sim, &make, window, 3, 1);
+    let many_workers = simulate_partitioned(&requests, &sim, &make, window, 3, 8);
+
+    assert_eq!(one_worker.n_arrivals, requests.len() as u64);
+    assert_eq!(one_worker.n_servers, 3 * sim.n_servers as u64);
+    let a = serde_json::to_vec(&one_worker).expect("serializes");
+    let b = serde_json::to_vec(&many_workers).expect("serializes");
+    assert_eq!(a, b, "merged report must be identical for any worker count");
+}
+
+#[test]
+fn dirty_stream_feeds_the_scheduler_like_the_materialized_dirty_trace() {
+    let config = config();
+    let plan = DirtyPlan::uniform(7, 0.08);
+
+    let (materialized, report_a) = {
+        let clean = Trace::generate(&config);
+        plan.apply(&clean)
+    };
+    let (streamed, report_b) = DirtyVmStream::new(&config, plan).collect_trace();
+
+    assert_eq!(trace_fingerprint(&materialized), trace_fingerprint(&streamed));
+    assert_eq!(report_a, report_b);
+}
