@@ -1,0 +1,183 @@
+//! Thread-per-core saturation bench for the lock-free serve path.
+//!
+//! Pins N client threads against *one* [`RcClient`] over a pre-warmed
+//! result cache (the §6.1 steady state, where nearly every request is a
+//! hit) and sweeps the thread count. Every rung runs a *fixed* number of
+//! operations per thread, so the deterministic sections of the report
+//! (lookups, hits, registry counter deltas) are byte-identical across
+//! runs; wall-clock throughput and the p50/p99 hit latencies from the
+//! rc-obs registry live in the excluded `spans`/`quantiles` sections.
+//!
+//! The binary also installs [`rc_obs::CountingAllocator`] as the global
+//! allocator and proves the headline claim directly: after warm-up, a
+//! cache-hit `predict_single` performs **zero heap allocations** (the
+//! probe aborts the bench if it ever sees one).
+//!
+//! Thread rungs come from `RC_SAT_THREADS` (comma-separated, default
+//! `1,2,4,8`); per-thread operation count from `RC_SAT_OPS` (default
+//! `100000`). Writes `BENCH_serve.json` (`rc-bench-report/1`).
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use rc_bench::histogram_delta;
+use rc_core::labels::vm_inputs;
+use rc_core::{ClientConfig, ClientInputs, RcClient};
+use rc_obs::BenchReport;
+use rc_store::Store;
+use rc_trace::{Trace, TraceConfig};
+use rc_types::vm::VmId;
+use serde::Value;
+
+#[global_allocator]
+static ALLOC: rc_obs::CountingAllocator = rc_obs::CountingAllocator;
+
+const MODEL: &str = "VM_P95UTIL";
+const WORKING_SET: u64 = 2_048;
+const ALLOC_PROBE_OPS: u64 = 10_000;
+
+fn thread_rungs() -> Vec<usize> {
+    let spec = std::env::var("RC_SAT_THREADS").unwrap_or_else(|_| "1,2,4,8".into());
+    let rungs: Vec<usize> = spec
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| s.trim().parse().expect("RC_SAT_THREADS entries are integers"))
+        .collect();
+    assert!(!rungs.is_empty(), "RC_SAT_THREADS named no rungs");
+    rungs
+}
+
+fn ops_per_thread() -> u64 {
+    std::env::var("RC_SAT_OPS").ok().and_then(|s| s.parse().ok()).unwrap_or(100_000)
+}
+
+/// One rung: `n_threads` each issuing `ops` hit-path predictions against
+/// the shared client. Returns aggregate predictions/sec.
+fn run_rung(client: &RcClient, inputs: &Arc<Vec<ClientInputs>>, n_threads: usize, ops: u64) -> f64 {
+    let barrier = Arc::new(Barrier::new(n_threads + 1));
+    let handles: Vec<_> = (0..n_threads)
+        .map(|t| {
+            let c = client.clone();
+            let barrier = barrier.clone();
+            let inputs = inputs.clone();
+            std::thread::spawn(move || {
+                // Offset start positions so threads fan out across the
+                // cache shards instead of marching in lockstep.
+                let mut i = (t as u64 * WORKING_SET) / 4;
+                barrier.wait();
+                for _ in 0..ops {
+                    i = (i + 1) % WORKING_SET;
+                    std::hint::black_box(c.predict_single(MODEL, &inputs[i as usize]));
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for handle in handles {
+        handle.join().expect("saturation thread");
+    }
+    (n_threads as u64 * ops) as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Counts heap allocations across `ALLOC_PROBE_OPS` warmed cache hits on
+/// the calling thread. The serve path promises zero.
+fn hit_path_allocations(client: &RcClient, inputs: &[ClientInputs]) -> u64 {
+    // Warm-up: first use registers this thread's epoch slot and touches
+    // every lazy TLS/static the path consults — allowed to allocate.
+    for inp in inputs.iter().take(64) {
+        let _ = client.predict_single(MODEL, inp);
+    }
+    let before = rc_obs::thread_allocations();
+    for k in 0..ALLOC_PROBE_OPS {
+        let inp = &inputs[(k % WORKING_SET) as usize];
+        std::hint::black_box(client.predict_single(MODEL, inp));
+    }
+    rc_obs::thread_allocations() - before
+}
+
+fn main() {
+    let rungs = thread_rungs();
+    let ops = ops_per_thread();
+    let registry = rc_obs::global();
+    let mut bench = BenchReport::new("serve");
+    bench
+        .set_config("threads", Value::Array(rungs.iter().map(|&t| Value::U64(t as u64)).collect()));
+    bench.set_config("ops_per_thread", ops);
+    bench.set_config("working_set", WORKING_SET);
+    bench.set_config("model", MODEL);
+
+    // A small world is enough: the rung workload never misses, so model
+    // quality is irrelevant — only the serve path is under test.
+    let trace = Trace::generate(&TraceConfig {
+        target_vms: 5_000,
+        n_subscriptions: 200,
+        days: 24,
+        ..TraceConfig::small()
+    });
+    let output = rc_core::run_pipeline(&trace, &rc_core::PipelineConfig::fast(24))
+        .expect("pipeline on saturation trace");
+    let store = Store::in_memory();
+    output.publish(&store, 0.5).expect("publish");
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize(), "client must initialize from the in-memory store");
+
+    // Warm the cache so every rung measures pure hit-path throughput.
+    let inputs: Arc<Vec<ClientInputs>> = Arc::new(
+        (0..WORKING_SET).map(|i| vm_inputs(&trace, VmId(i % trace.n_vms() as u64))).collect(),
+    );
+    for inp in inputs.iter() {
+        let _ = client.predict_single(MODEL, inp);
+    }
+
+    // Zero-allocation proof before the sweep touches the counters.
+    let allocs = hit_path_allocations(&client, &inputs);
+    assert_eq!(allocs, 0, "cache-hit predict_single must not allocate (saw {allocs})");
+    bench.set_result("hit_path_allocations", allocs);
+    bench.set_result("alloc_probe_ops", ALLOC_PROBE_OPS);
+
+    let run_before = registry.snapshot();
+    println!("serve-path saturation: {WORKING_SET} warmed keys, {ops} ops/thread");
+    println!("hit-path allocations over {ALLOC_PROBE_OPS} calls: {allocs}");
+    rc_bench::rule(72);
+    println!(
+        "{:>8}  {:>14}  {:>12}  {:>10}  {:>10}",
+        "threads", "pred/s", "total ops", "p50 ns", "p99 ns"
+    );
+
+    for &n_threads in &rungs {
+        let before = registry.snapshot();
+        let per_sec = run_rung(&client, &inputs, n_threads, ops);
+        let after = registry.snapshot();
+        let hit_latency = histogram_delta(&after, &before, rc_obs::CLIENT_PREDICT_HIT_LATENCY_NS);
+        let lookups = rc_bench::counter_delta(&after, &before, rc_obs::CLIENT_LOOKUPS);
+        let hits = rc_bench::counter_delta(&after, &before, rc_obs::CLIENT_RESULT_CACHE_HITS);
+        assert_eq!(lookups, n_threads as u64 * ops, "every op is one lookup");
+        assert_eq!(hits, lookups, "the warmed working set never misses");
+        println!(
+            "{:>8}  {:>14.0}  {:>12}  {:>10.0}  {:>10.0}",
+            n_threads,
+            per_sec,
+            lookups,
+            hit_latency.quantile(0.50),
+            hit_latency.quantile(0.99),
+        );
+        let label = format!("rung_{n_threads}");
+        bench.set_result(
+            &label,
+            Value::Object(vec![
+                ("threads".to_string(), Value::U64(n_threads as u64)),
+                ("lookups".to_string(), Value::U64(lookups)),
+                ("hits".to_string(), Value::U64(hits)),
+            ]),
+        );
+        bench.set_quantiles(&format!("{label}_hit_ns"), &hit_latency);
+        bench.set_span(&format!("saturate.{label}.predictions_per_sec"), per_sec as u64);
+    }
+
+    rc_bench::rule(72);
+    let run_after = registry.snapshot();
+    bench.set_counter_deltas(&run_after, &run_before);
+    let path = bench.write_default("BENCH_serve.json").expect("write report");
+    println!("report: {}", path.display());
+}

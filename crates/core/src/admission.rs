@@ -1,0 +1,340 @@
+//! Batch admission for pull-mode refreshes.
+//!
+//! A pull-mode result-cache miss answers no-prediction immediately and
+//! hands the key to a background worker to fill. The old path funneled
+//! every miss through `in_flight: Mutex<HashSet<u64>>` — a global lock
+//! acquired on the predict path, exactly the thundering-herd shape it
+//! was trying to dedup. This module replaces it with two lock-free
+//! pieces:
+//!
+//! - an [`InFlightTable`]: a fixed array of atomic slots keyed by the
+//!   cache key. Claiming is a bounded linear probe with one CAS; a key
+//!   already present means another caller got there first and the miss
+//!   *coalesces* (no second enqueue). On probe-window overflow the key is
+//!   admitted anyway — the worst case is one duplicate model execution
+//!   writing the same cache entry twice, which is benign, whereas
+//!   refusing admission could strand a key unfilled forever.
+//! - a bounded MPMC [`ArrayQueue`] carrying the refresh requests, whose
+//!   `push` failure *is* the backpressure signal: when producers outrun
+//!   the worker the excess misses are rejected (counted, and the caller
+//!   already has its default answer) instead of growing an unbounded
+//!   channel.
+//!
+//! The worker parks on a condvar only when the queue runs dry; producers
+//! touch that mutex only when the worker is actually parked, so the
+//! steady-state submit path is CAS + push + one atomic flag load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crossbeam::queue::ArrayQueue;
+
+use crate::inputs::ClientInputs;
+
+/// One queued refresh: the model to run, the inputs to run it against,
+/// and the result-cache key the response will fill.
+pub(crate) type RefreshRequest = (String, ClientInputs, u64);
+
+/// How a submit resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitOutcome {
+    /// Admitted into the queue; the worker will process it.
+    Enqueued,
+    /// An identical key is already in flight — the herd coalesced.
+    Coalesced,
+    /// The queue was full — backpressure dropped the refresh.
+    Rejected,
+}
+
+/// Slot value: no key claimed, ever.
+const EMPTY: u64 = 0;
+/// Slot value: a key was claimed here and has since been released.
+/// Distinct from [`EMPTY`] so probes for a *different* key that passed
+/// through this slot keep probing instead of stopping early.
+const TOMBSTONE: u64 = 1;
+/// Slots probed before giving up and admitting the key anyway.
+const PROBE_WINDOW: usize = 16;
+
+/// A fixed-size, lock-free membership table for in-flight cache keys.
+struct InFlightTable {
+    slots: Box<[AtomicU64]>,
+    mask: u64,
+}
+
+impl InFlightTable {
+    fn new(capacity: usize) -> InFlightTable {
+        let n = capacity.next_power_of_two().max(64);
+        InFlightTable {
+            slots: (0..n).map(|_| AtomicU64::new(EMPTY)).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Cache keys are FNV hashes, so 0 and 1 are vanishingly rare; remap
+    /// them off the sentinel values (two remapped keys may alias two
+    /// real keys — the cost is one spurious coalesce, which only delays
+    /// a cache fill, never corrupts one).
+    fn encode(key: u64) -> u64 {
+        if key <= TOMBSTONE {
+            key.wrapping_add(2)
+        } else {
+            key
+        }
+    }
+
+    /// Attempts to claim `key`. `false` means it is already in flight
+    /// (coalesce). On probe-window overflow the claim "succeeds" without
+    /// recording — see the module docs for why duplicates are benign.
+    fn claim(&self, key: u64) -> bool {
+        let key = Self::encode(key);
+        let mut at = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) & self.mask;
+        for _ in 0..PROBE_WINDOW {
+            let slot = &self.slots[at as usize];
+            loop {
+                match slot.load(Ordering::Acquire) {
+                    cur if cur == key => return false,
+                    cur if cur == EMPTY || cur == TOMBSTONE => {
+                        match slot.compare_exchange(cur, key, Ordering::AcqRel, Ordering::Acquire) {
+                            Ok(_) => return true,
+                            // Someone raced us into this slot; re-examine
+                            // it (it might now hold our key).
+                            Err(_) => continue,
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            at = (at + 1) & self.mask;
+        }
+        true
+    }
+
+    /// Releases a previously claimed key (no-op for overflow-admitted
+    /// keys that were never recorded).
+    fn release(&self, key: u64) {
+        let key = Self::encode(key);
+        let mut at = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) & self.mask;
+        for _ in 0..PROBE_WINDOW {
+            let slot = &self.slots[at as usize];
+            if slot.compare_exchange(key, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                return;
+            }
+            at = (at + 1) & self.mask;
+        }
+    }
+}
+
+/// The bounded admission queue between predict-path producers and the
+/// pull worker.
+pub(crate) struct AdmissionQueue {
+    queue: ArrayQueue<RefreshRequest>,
+    in_flight: InFlightTable,
+    /// Requests admitted but not yet completed (queued + in the worker's
+    /// hands). `drain` waits on this reaching zero.
+    pending: AtomicUsize,
+    /// True while the worker is parked on the condvar; producers skip
+    /// the park mutex entirely when it is false.
+    parked: AtomicBool,
+    park: Mutex<()>,
+    wake: Condvar,
+    closed: AtomicBool,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(capacity: usize) -> AdmissionQueue {
+        let capacity = capacity.max(1);
+        AdmissionQueue {
+            queue: ArrayQueue::new(capacity),
+            // Size the dedup table past the queue so claims rarely probe
+            // far even at full queue depth.
+            in_flight: InFlightTable::new(capacity.saturating_mul(2)),
+            pending: AtomicUsize::new(0),
+            parked: AtomicBool::new(false),
+            park: Mutex::new(()),
+            wake: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Producer side: admit one refresh for `key`, coalescing duplicates
+    /// and shedding load when the queue is full.
+    pub(crate) fn submit(
+        &self,
+        model_name: &str,
+        inputs: &ClientInputs,
+        key: u64,
+    ) -> SubmitOutcome {
+        if !self.in_flight.claim(key) {
+            return SubmitOutcome::Coalesced;
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        match self.queue.push((model_name.to_string(), *inputs, key)) {
+            Ok(()) => {
+                self.notify();
+                SubmitOutcome::Enqueued
+            }
+            Err(_) => {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                self.in_flight.release(key);
+                SubmitOutcome::Rejected
+            }
+        }
+    }
+
+    /// Worker side: next request, if any.
+    pub(crate) fn pop(&self) -> Option<RefreshRequest> {
+        self.queue.pop()
+    }
+
+    /// Worker side: a request popped earlier is fully processed — its
+    /// key may be admitted again.
+    pub(crate) fn complete(&self, key: u64) {
+        self.in_flight.release(key);
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Worker side: park until new work is likely (or the timeout
+    /// elapses — the worker re-checks shutdown on each wake).
+    pub(crate) fn park(&self, timeout: Duration) {
+        let guard = self.park.lock().expect("admission park lock");
+        self.parked.store(true, Ordering::SeqCst);
+        if self.queue.is_empty() && !self.closed.load(Ordering::SeqCst) {
+            let _unused = self.wake.wait_timeout(guard, timeout).expect("admission park wait");
+        }
+        self.parked.store(false, Ordering::SeqCst);
+    }
+
+    fn notify(&self) {
+        if self.parked.load(Ordering::SeqCst) {
+            let _guard = self.park.lock().expect("admission park lock");
+            self.wake.notify_all();
+        }
+    }
+
+    /// Shuts the queue down, waking a parked worker.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _guard = self.park.lock().expect("admission park lock");
+        self.wake.notify_all();
+    }
+
+    /// True when every admitted request has completed.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.pending.load(Ordering::SeqCst) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_types::time::Timestamp;
+    use rc_types::vm::{OsType, Party, ProdTag, SubscriptionId, VmRole};
+
+    fn inputs(n: u64) -> ClientInputs {
+        ClientInputs {
+            subscription: SubscriptionId(n as u32),
+            party: Party::First,
+            role: VmRole::Iaas,
+            prod: ProdTag::Production,
+            os: OsType::Linux,
+            sku_index: 0,
+            deployment_time: Timestamp::ZERO,
+            deployment_size_hint: 1,
+            service: None,
+        }
+    }
+
+    #[test]
+    fn submit_coalesces_duplicates_until_complete() {
+        let q = AdmissionQueue::new(16);
+        assert_eq!(q.submit("m", &inputs(1), 42), SubmitOutcome::Enqueued);
+        assert_eq!(q.submit("m", &inputs(1), 42), SubmitOutcome::Coalesced);
+        assert_eq!(q.submit("m", &inputs(2), 43), SubmitOutcome::Enqueued);
+        let (_, _, key) = q.pop().expect("first request queued");
+        assert_eq!(key, 42);
+        q.complete(key);
+        // Released: the key admits again.
+        assert_eq!(q.submit("m", &inputs(1), 42), SubmitOutcome::Enqueued);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_releases_claim() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.submit("m", &inputs(1), 101), SubmitOutcome::Enqueued);
+        assert_eq!(q.submit("m", &inputs(2), 102), SubmitOutcome::Enqueued);
+        assert_eq!(q.submit("m", &inputs(3), 103), SubmitOutcome::Rejected);
+        // The rejected key was released, so once space frees it admits.
+        let (_, _, key) = q.pop().unwrap();
+        q.complete(key);
+        assert_eq!(q.submit("m", &inputs(3), 103), SubmitOutcome::Enqueued);
+    }
+
+    #[test]
+    fn pending_tracks_queue_plus_in_worker_depth() {
+        let q = AdmissionQueue::new(8);
+        assert!(q.is_idle());
+        q.submit("m", &inputs(1), 7);
+        q.submit("m", &inputs(2), 8);
+        assert!(!q.is_idle());
+        let (_, _, k1) = q.pop().unwrap();
+        assert!(!q.is_idle(), "popped but not completed still counts");
+        q.complete(k1);
+        let (_, _, k2) = q.pop().unwrap();
+        q.complete(k2);
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn sentinel_keys_are_remapped_not_lost() {
+        let q = AdmissionQueue::new(8);
+        assert_eq!(q.submit("m", &inputs(1), 0), SubmitOutcome::Enqueued);
+        assert_eq!(q.submit("m", &inputs(1), 0), SubmitOutcome::Coalesced);
+        assert_eq!(q.submit("m", &inputs(2), 1), SubmitOutcome::Enqueued);
+        q.complete(0);
+        assert_eq!(q.submit("m", &inputs(1), 0), SubmitOutcome::Enqueued);
+    }
+
+    #[test]
+    fn concurrent_submitters_admit_each_key_at_most_once_per_flight() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(1024));
+        const THREADS: usize = 4;
+        const KEYS: u64 = 200;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let q = q.clone();
+                s.spawn(move || {
+                    for k in 0..KEYS {
+                        // Keys far apart so probe windows never overlap.
+                        q.submit("m", &inputs(k), k.wrapping_mul(0x9E37_79B9) + 10);
+                    }
+                });
+            }
+        });
+        // Every key admitted exactly once across all threads.
+        let mut drained = 0;
+        while let Some((_, _, key)) = q.pop() {
+            drained += 1;
+            q.complete(key);
+        }
+        assert_eq!(drained, KEYS, "each key coalesced to one enqueue");
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn park_returns_on_notify_and_close() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(8));
+        let qc = q.clone();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            qc.submit("m", &inputs(1), 99);
+        });
+        // Parks, then wakes when the submit lands (or the timeout trips —
+        // either way this returns promptly instead of hanging).
+        q.park(Duration::from_secs(5));
+        waker.join().unwrap();
+        assert!(q.pop().is_some());
+        q.close();
+        q.park(Duration::from_secs(5)); // closed: returns immediately
+    }
+}

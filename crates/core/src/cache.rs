@@ -3,8 +3,12 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration as StdDuration, SystemTime};
 
+use arc_swap::ArcSwap;
+use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 
 use rc_types::vm::SubscriptionId;
@@ -150,22 +154,72 @@ impl ResultCache {
     }
 }
 
-/// An N-way sharded [`ResultCache`] for concurrent predict paths.
+/// One shard's immutable, atomically published view: the live entries
+/// split across small copy-on-write chunks. Readers resolve a key with
+/// two array indexes and one `HashMap::get` — no locks, no allocation.
+/// A write clones only the touched chunk(s) plus the spine of `Arc`
+/// pointers, so publish cost stays O(chunk) rather than O(shard).
+#[derive(Debug)]
+struct ShardSnap {
+    chunks: Box<[Arc<HashMap<u64, Prediction>>]>,
+    /// Live entries across all chunks (maintained at build time so
+    /// `len()` stays lock-free too).
+    len: usize,
+}
+
+impl ShardSnap {
+    fn empty(n_chunks: usize) -> ShardSnap {
+        let empty = Arc::new(HashMap::new());
+        ShardSnap { chunks: vec![empty; n_chunks].into_boxed_slice(), len: 0 }
+    }
+}
+
+/// One shard's mutable state, touched only by writers (insert / evict /
+/// clear) under the shard's mutex. Readers never look here.
+#[derive(Debug)]
+struct ShardWrite {
+    /// Insertion order for FIFO eviction, exactly as in [`ResultCache`].
+    order: VecDeque<u64>,
+    capacity: usize,
+    insertions: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Shard {
+    /// The published view; readers go through `snap.with(..)` only.
+    snap: ArcSwap<ShardSnap>,
+    write: Mutex<ShardWrite>,
+    /// Lookup counters live outside the snapshot so a hit is a relaxed
+    /// `fetch_add`, not a snapshot rebuild; padded so two shards' hit
+    /// counters never share a cache line.
+    hits: CachePadded<AtomicU64>,
+    misses: CachePadded<AtomicU64>,
+}
+
+/// An N-way sharded result cache with an RCU-style read path.
 ///
 /// The single-mutex cache serializes every `predict_single` in the
 /// process; §6.1's microsecond in-cache latencies only hold if concurrent
-/// resource managers don't queue on one lock. Each shard is an
-/// independently locked [`ResultCache`] holding `capacity / n_shards`
-/// entries with its own FIFO order; the shard for a key is derived from
-/// the key itself (the key is already an FNV hash of the model name and
-/// inputs, so its bits are well mixed). Statistics stay *exact*: every
-/// lookup/insert updates the owning shard's counters under that shard's
-/// lock, and [`ShardedResultCache::stats`] sums them.
+/// resource managers don't queue on one lock. PR 7 sharded the mutex;
+/// this version removes it from the read path entirely: each shard
+/// publishes an immutable [`ShardSnap`] through an epoch-protected
+/// [`ArcSwap`], so `get` is a pinned pointer load plus a `HashMap`
+/// probe — zero locks, zero heap allocations. Writes still serialize
+/// per shard (mutex around the FIFO order book and the copy-on-write
+/// rebuild) and publish the successor snapshot with one atomic store,
+/// making every insert immediately visible to subsequent gets.
+///
+/// Statistics stay *exact*: hits/misses are per-shard padded atomics
+/// bumped once per lookup; insertions/evictions are updated under the
+/// shard's write mutex. [`ShardedResultCache::stats`] sums them.
 #[derive(Debug)]
 pub struct ShardedResultCache {
-    shards: Vec<Mutex<ResultCache>>,
+    shards: Vec<Shard>,
     /// `n_shards - 1`; the shard count is always a power of two.
     mask: u64,
+    /// `n_chunks - 1` within each shard; also a power of two.
+    chunk_mask: u64,
 }
 
 impl ShardedResultCache {
@@ -179,8 +233,27 @@ impl ShardedResultCache {
         assert!(capacity > 0, "result cache needs capacity");
         let n_shards = n_shards.clamp(1, 1 << 16).next_power_of_two();
         let per_shard = capacity.div_ceil(n_shards).max(1);
-        let shards = (0..n_shards).map(|_| Mutex::new(ResultCache::new(per_shard))).collect();
-        ShardedResultCache { shards, mask: (n_shards - 1) as u64 }
+        // Aim for ~64 entries per chunk so a copy-on-write insert clones
+        // a bounded slice of the shard, not the whole map.
+        let n_chunks = (per_shard / 64).next_power_of_two().clamp(1, 256);
+        let shards = (0..n_shards)
+            .map(|_| Shard {
+                snap: ArcSwap::new(Arc::new(ShardSnap::empty(n_chunks))),
+                write: Mutex::new(ShardWrite {
+                    order: VecDeque::new(),
+                    capacity: per_shard,
+                    insertions: 0,
+                    evictions: 0,
+                }),
+                hits: CachePadded::new(AtomicU64::new(0)),
+                misses: CachePadded::new(AtomicU64::new(0)),
+            })
+            .collect();
+        ShardedResultCache {
+            shards,
+            mask: (n_shards - 1) as u64,
+            chunk_mask: (n_chunks - 1) as u64,
+        }
     }
 
     /// Picks the default shard count for a machine: enough shards that
@@ -204,41 +277,93 @@ impl ShardedResultCache {
         ((key ^ (key >> 32)) & self.mask) as usize
     }
 
-    /// Looks a key up, recording hit/miss statistics on its shard.
+    /// The chunk (within a shard) a key lives in. A multiplicative mix
+    /// decorrelates this from [`ShardedResultCache::shard_index`]'s
+    /// xor-fold so chunks fill evenly.
+    #[inline]
+    fn chunk_index(&self, key: u64) -> usize {
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & self.chunk_mask) as usize
+    }
+
+    /// Looks a key up against the shard's published snapshot — no locks,
+    /// no heap allocation. Records exactly one hit or miss.
+    #[inline]
     pub fn get(&self, key: u64) -> Option<Prediction> {
-        self.shards[self.shard_index(key)].lock().get(key)
+        let shard = &self.shards[self.shard_index(key)];
+        let ci = self.chunk_index(key);
+        let found = shard.snap.with(|s| s.chunks[ci].get(&key).copied());
+        match found {
+            Some(p) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Applies one insert to a working copy of a shard's chunk spine.
+    /// `Arc::make_mut` clones a chunk the first time the working copy
+    /// touches it and mutates in place thereafter, so a batch clones
+    /// each chunk at most once. Returns `true` on displacement.
+    fn insert_into(
+        &self,
+        write: &mut ShardWrite,
+        chunks: &mut [Arc<HashMap<u64, Prediction>>],
+        len: &mut usize,
+        key: u64,
+        prediction: Prediction,
+    ) -> bool {
+        let mut evicted = false;
+        let ci = self.chunk_index(key);
+        if *len >= write.capacity && !chunks[ci].contains_key(&key) {
+            while let Some(old) = write.order.pop_front() {
+                let oci = self.chunk_index(old);
+                if Arc::make_mut(&mut chunks[oci]).remove(&old).is_some() {
+                    write.evictions += 1;
+                    *len -= 1;
+                    evicted = true;
+                    break;
+                }
+            }
+        }
+        write.insertions += 1;
+        if Arc::make_mut(&mut chunks[ci]).insert(key, prediction).is_none() {
+            write.order.push_back(key);
+            *len += 1;
+        }
+        evicted
     }
 
     /// Inserts a prediction into the owning shard, evicting that shard's
-    /// oldest entry when it is full. Returns `true` on displacement.
+    /// oldest entry when it is full, and publishes the successor
+    /// snapshot (immediately visible to every `get`). Returns `true` on
+    /// displacement.
     pub fn insert(&self, key: u64, prediction: Prediction) -> bool {
-        self.shards[self.shard_index(key)].lock().insert(key, prediction)
+        let shard = &self.shards[self.shard_index(key)];
+        let mut write = shard.write.lock();
+        let cur = shard.snap.load_full();
+        let mut chunks = cur.chunks.to_vec();
+        let mut len = cur.len;
+        let evicted = self.insert_into(&mut write, &mut chunks, &mut len, key, prediction);
+        shard.snap.store(Arc::new(ShardSnap { chunks: chunks.into_boxed_slice(), len }));
+        evicted
     }
 
-    /// Batch lookup: groups keys by shard and locks each touched shard
-    /// once. The result is positional (`out[i]` answers `keys[i]`), and
-    /// each key occurrence records exactly one hit or miss, so
-    /// `hits + misses` still equals total lookups.
+    /// Batch lookup, positional (`out[i]` answers `keys[i]`). Each key
+    /// occurrence records exactly one hit or miss, so `hits + misses`
+    /// still equals total lookups. With the lock-free read path there is
+    /// no shard grouping to amortize — each get is already uncontended.
     pub fn get_batch(&self, keys: &[u64]) -> Vec<Option<Prediction>> {
-        let mut out = vec![None; keys.len()];
-        let mut order: Vec<(usize, usize)> =
-            keys.iter().enumerate().map(|(i, &k)| (self.shard_index(k), i)).collect();
-        order.sort_unstable();
-        let mut at = 0;
-        while at < order.len() {
-            let shard = order[at].0;
-            let mut cache = self.shards[shard].lock();
-            while at < order.len() && order[at].0 == shard {
-                let i = order[at].1;
-                out[i] = cache.get(keys[i]);
-                at += 1;
-            }
-        }
-        out
+        keys.iter().map(|&k| self.get(k)).collect()
     }
 
-    /// Batch insert: groups entries by shard, locking each shard once.
-    /// Returns the number of entries whose insert displaced an older one.
+    /// Batch insert: groups entries by shard, taking each touched
+    /// shard's write lock once and publishing one successor snapshot per
+    /// shard. Returns the number of entries whose insert displaced an
+    /// older one.
     pub fn insert_batch(&self, entries: &[(u64, Prediction)]) -> u64 {
         let mut order: Vec<(usize, usize)> =
             entries.iter().enumerate().map(|(i, &(k, _))| (self.shard_index(k), i)).collect();
@@ -246,41 +371,59 @@ impl ShardedResultCache {
         let mut evicted = 0;
         let mut at = 0;
         while at < order.len() {
-            let shard = order[at].0;
-            let mut cache = self.shards[shard].lock();
-            while at < order.len() && order[at].0 == shard {
+            let shard_idx = order[at].0;
+            let shard = &self.shards[shard_idx];
+            let mut write = shard.write.lock();
+            let cur = shard.snap.load_full();
+            let mut chunks = cur.chunks.to_vec();
+            let mut len = cur.len;
+            while at < order.len() && order[at].0 == shard_idx {
                 let (key, prediction) = entries[order[at].1];
-                if cache.insert(key, prediction) {
+                if self.insert_into(&mut write, &mut chunks, &mut len, key, prediction) {
                     evicted += 1;
                 }
                 at += 1;
             }
+            shard.snap.store(Arc::new(ShardSnap { chunks: chunks.into_boxed_slice(), len }));
         }
         evicted
     }
 
     /// Empties every shard (statistics are kept).
     pub fn clear(&self) {
+        let n_chunks = (self.chunk_mask + 1) as usize;
         for shard in &self.shards {
-            shard.lock().clear();
+            let mut write = shard.write.lock();
+            write.order.clear();
+            shard.snap.store(Arc::new(ShardSnap::empty(n_chunks)));
         }
     }
 
-    /// Entries currently cached across all shards.
+    /// Entries currently cached across all shards (lock-free).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.snap.with(|snap| snap.len)).sum()
     }
 
     /// True when every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        self.shards.iter().all(|s| s.snap.with(|snap| snap.len == 0))
+    }
+
+    fn one_shard_stats(shard: &Shard) -> ResultCacheStats {
+        let write = shard.write.lock();
+        ResultCacheStats {
+            hits: shard.hits.load(Ordering::Relaxed),
+            misses: shard.misses.load(Ordering::Relaxed),
+            evictions: write.evictions,
+            insertions: write.insertions,
+        }
     }
 
     /// Exact aggregate counters, summed across shards.
     pub fn stats(&self) -> ResultCacheStats {
         let mut total = ResultCacheStats::default();
         for shard in &self.shards {
-            let s = shard.lock().stats();
+            let s = Self::one_shard_stats(shard);
             total.hits += s.hits;
             total.misses += s.misses;
             total.evictions += s.evictions;
@@ -291,12 +434,12 @@ impl ShardedResultCache {
 
     /// Per-shard counters, in shard order (for observability dumps).
     pub fn shard_stats(&self) -> Vec<ResultCacheStats> {
-        self.shards.iter().map(|s| s.lock().stats()).collect()
+        self.shards.iter().map(Self::one_shard_stats).collect()
     }
 
     /// Aggregate hits recorded so far.
     pub fn hits(&self) -> u64 {
-        self.stats().hits
+        self.shards.iter().map(|s| s.hits.load(Ordering::Relaxed)).sum()
     }
 
     /// Aggregate hit rate over all lookups (0 when none).

@@ -27,13 +27,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant, SystemTime};
 
-use parking_lot::{Mutex, RwLock};
+use arc_swap::ArcSwap;
+use parking_lot::Mutex;
 
 use rc_obs::{Counter, Gauge, Histogram, WindowedCounter, WindowedHistogram};
 use rc_store::{checksum, Manifest, ModelEntry, Store, StoreBackend, MANIFEST_KEY};
 use rc_types::vm::SubscriptionId;
 
-use crate::cache::{DiskCache, DiskLoadResult, FeatureCache, ShardedResultCache};
+use crate::admission::{AdmissionQueue, SubmitOutcome};
+use crate::cache::{DiskCache, DiskLoadResult, ShardedResultCache};
 use crate::features::SubscriptionFeatures;
 use crate::inputs::ClientInputs;
 use crate::models::{feature_store_key, TrainedModel};
@@ -94,6 +96,11 @@ pub struct ClientConfig {
     /// run against a read-only, pre-primed disk cache (chaos and
     /// reproducibility runs do this so a run never perturbs the next).
     pub disk_write_through: bool,
+    /// Pull-mode admission-queue depth: result-cache misses waiting for
+    /// the background worker. A full queue sheds further misses
+    /// (backpressure — they keep answering the default) instead of
+    /// growing unboundedly.
+    pub pull_queue_capacity: usize,
 }
 
 impl Default for ClientConfig {
@@ -109,6 +116,7 @@ impl Default for ClientConfig {
             breaker: BreakerConfig::default(),
             stale_grace: StdDuration::ZERO,
             disk_write_through: true,
+            pull_queue_capacity: 4096,
         }
     }
 }
@@ -147,6 +155,12 @@ struct ClientMetrics {
     inflight: Gauge,
     lookups_windowed: WindowedCounter,
     predict_latency_windowed: WindowedHistogram,
+    serve_publishes: Counter,
+    serve_generation: Gauge,
+    serve_retired: Gauge,
+    admission_enqueued: Counter,
+    admission_coalesced: Counter,
+    admission_rejected: Counter,
 }
 
 impl ClientMetrics {
@@ -184,6 +198,12 @@ impl ClientMetrics {
             lookups_windowed: reg.windowed_counter(rc_obs::CLIENT_LOOKUPS_WINDOWED),
             predict_latency_windowed: reg
                 .windowed_histogram(rc_obs::CLIENT_PREDICT_LATENCY_WINDOWED_NS),
+            serve_publishes: reg.counter(rc_obs::CLIENT_SERVE_SNAPSHOT_PUBLISHES),
+            serve_generation: reg.gauge(rc_obs::CLIENT_SERVE_SNAPSHOT_GENERATION),
+            serve_retired: reg.gauge(rc_obs::CLIENT_SERVE_SNAPSHOT_RETIRED),
+            admission_enqueued: reg.counter(rc_obs::CLIENT_ADMISSION_ENQUEUED),
+            admission_coalesced: reg.counter(rc_obs::CLIENT_ADMISSION_COALESCED),
+            admission_rejected: reg.counter(rc_obs::CLIENT_ADMISSION_REJECTED),
         }
     }
 }
@@ -205,23 +225,94 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// The immutable serve-path state: everything a predict resolves against
+/// — models, feature data, the manifest that loaded them, and staleness
+/// membership — published together behind one [`ArcSwap`] pointer.
+///
+/// Readers take one epoch pin plus one atomic load per call and never
+/// block; because model, feature record, staleness, and generation all
+/// come from the *same* snapshot, a concurrent swap can never mix
+/// versions within one prediction (no torn reads). Writers clone the
+/// current snapshot under [`Shared::serve_write`], mutate the copy, and
+/// publish it with a single pointer store.
+#[derive(Clone)]
+struct ServeSnapshot {
+    models: HashMap<String, Arc<TrainedModel>>,
+    /// Per-subscription feature records, individually `Arc`ed so cloning
+    /// the snapshot (and refreshing one subscription) copies pointers,
+    /// not feature payloads.
+    features: HashMap<SubscriptionId, Arc<SubscriptionFeatures>>,
+    features_version: u64,
+    /// The publish manifest the resident caches were loaded through, when
+    /// the store has one; directs on-demand fetches to the right version
+    /// and carries the checksums payloads are verified against.
+    manifest: Option<Manifest>,
+    /// Model names currently resident from *stale* disk data.
+    stale_models: HashSet<String>,
+    /// Subscriptions whose resident feature record is stale disk data.
+    stale_subs: HashSet<SubscriptionId>,
+    /// Monotone publish count; responses attribute to the generation they
+    /// resolved against (the swap-race regression test's oracle).
+    generation: u64,
+}
+
+impl ServeSnapshot {
+    fn empty() -> Self {
+        ServeSnapshot {
+            models: HashMap::new(),
+            features: HashMap::new(),
+            features_version: 0,
+            manifest: None,
+            stale_models: HashSet::new(),
+            stale_subs: HashSet::new(),
+            generation: 0,
+        }
+    }
+}
+
+/// Publishes the next serve snapshot: clone the current one, bump the
+/// generation, apply `mutate`, store. Writers serialize on `serve_write`
+/// so concurrent publishes never lose each other's updates; readers keep
+/// resolving against the previous snapshot until the single store lands.
+fn publish_serve(shared: &Shared, mutate: impl FnOnce(&mut ServeSnapshot)) {
+    let _write = shared.serve_write.lock();
+    let mut next = (*shared.serve.load_full()).clone();
+    next.generation += 1;
+    mutate(&mut next);
+    let generation = next.generation;
+    shared.serve.store(Arc::new(next));
+    shared.metrics.serve_publishes.increment();
+    shared.metrics.serve_generation.set(generation as f64);
+    shared.metrics.serve_retired.set(shared.serve.retired_len() as f64);
+}
+
+/// A prediction resolved against one pinned serve snapshot, plus the
+/// attribution the caller needs: which generation answered, and whether
+/// that snapshot held the model or feature record as stale disk data.
+struct Executed {
+    prediction: Prediction,
+    generation: u64,
+    stale: bool,
+}
+
 /// State shared between the client facade and the background workers.
 struct Shared {
     backend: Arc<dyn StoreBackend>,
     config: ClientConfig,
-    models: RwLock<HashMap<String, Arc<TrainedModel>>>,
-    features: RwLock<FeatureCache>,
+    /// The epoch-swapped serve snapshot; see [`ServeSnapshot`].
+    serve: ArcSwap<ServeSnapshot>,
+    /// Serializes snapshot publishes (loads, refreshes, on-demand
+    /// fetches — all rare). The predict path never touches it.
+    serve_write: Mutex<()>,
     results: ShardedResultCache,
-    in_flight: Mutex<HashSet<u64>>,
+    /// Pull-mode admission: bounded queue plus a lock-free in-flight
+    /// table replacing the old global `Mutex<HashSet<u64>>`.
+    admission: Option<AdmissionQueue>,
     initialized: AtomicBool,
     shutdown: AtomicBool,
     /// FNV fingerprint over (key, version) pairs at the last load; the
     /// push watcher reloads when the store's fingerprint changes.
     store_fingerprint: AtomicU64,
-    /// The publish manifest the resident caches were loaded through, when
-    /// the store has one; directs on-demand fetches to the right version
-    /// and carries the checksums payloads are verified against.
-    manifest: RwLock<Option<Manifest>>,
     model_rejected: AtomicU64,
     refreshes: AtomicU64,
     model_execs: AtomicU64,
@@ -232,10 +323,6 @@ struct Shared {
     stale_serves: AtomicU64,
     retries: AtomicU64,
     corrupt_payloads: AtomicU64,
-    /// Model names currently resident from *stale* disk data.
-    stale_models: Mutex<HashSet<String>>,
-    /// Subscriptions whose resident feature record is stale disk data.
-    stale_subs: Mutex<HashSet<SubscriptionId>>,
     /// First observed degradation since the last all-clear.
     degraded: Mutex<Option<(SystemTime, DegradedReason)>>,
     breakers: CircuitBreakers,
@@ -260,7 +347,6 @@ struct Shared {
 /// last clone to drop shuts the workers down and joins them.
 pub struct RcClient {
     shared: Arc<Shared>,
-    pull_tx: Option<crossbeam_channel_shim::Sender<(String, ClientInputs)>>,
 }
 
 /// Observer for a client's background worker threads.
@@ -276,69 +362,6 @@ impl WorkerLifecycle {
     /// Background worker threads currently running for the client.
     pub fn live(&self) -> usize {
         self.0.load(Ordering::SeqCst)
-    }
-}
-
-/// Minimal mpsc shim so the pull worker needs no extra dependency: a
-/// mutex-guarded queue drained by the worker thread.
-mod crossbeam_channel_shim {
-    use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex};
-
-    struct Chan<T> {
-        queue: Mutex<(VecDeque<T>, bool)>,
-        ready: Condvar,
-    }
-
-    /// Sending half.
-    pub struct Sender<T>(Arc<Chan<T>>);
-
-    impl<T> Clone for Sender<T> {
-        fn clone(&self) -> Self {
-            Sender(self.0.clone())
-        }
-    }
-
-    /// Receiving half.
-    pub struct Receiver<T>(Arc<Chan<T>>);
-
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let chan =
-            Arc::new(Chan { queue: Mutex::new((VecDeque::new(), false)), ready: Condvar::new() });
-        (Sender(chan.clone()), Receiver(chan))
-    }
-
-    impl<T> Sender<T> {
-        /// Enqueues one item.
-        pub fn send(&self, item: T) {
-            let mut q = self.0.queue.lock().expect("channel lock");
-            q.0.push_back(item);
-            self.0.ready.notify_one();
-        }
-
-        /// Closes the channel, waking the receiver.
-        pub fn close(&self) {
-            let mut q = self.0.queue.lock().expect("channel lock");
-            q.1 = true;
-            self.0.ready.notify_all();
-        }
-    }
-
-    impl<T> Receiver<T> {
-        /// Blocks for the next item; `None` once closed and drained.
-        pub fn recv(&self) -> Option<T> {
-            let mut q = self.0.queue.lock().expect("channel lock");
-            loop {
-                if let Some(item) = q.0.pop_front() {
-                    return Some(item);
-                }
-                if q.1 {
-                    return None;
-                }
-                q = self.0.ready.wait(q).expect("channel wait");
-            }
-        }
     }
 }
 
@@ -365,17 +388,18 @@ impl RcClient {
         rc_obs::global().gauge(rc_obs::CLIENT_RESULT_CACHE_SHARDS).set(results.n_shards() as f64);
         let breakers = CircuitBreakers::new(config.breaker);
         let jitter = RetryJitter::new(&config.retry);
+        let admission = (config.mode == CacheMode::Pull)
+            .then(|| AdmissionQueue::new(config.pull_queue_capacity));
         let shared = Arc::new(Shared {
             backend,
             results,
             config,
-            models: RwLock::new(HashMap::new()),
-            features: RwLock::new(FeatureCache::default()),
-            in_flight: Mutex::new(HashSet::new()),
+            serve: ArcSwap::from_pointee(ServeSnapshot::empty()),
+            serve_write: Mutex::new(()),
+            admission,
             initialized: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             store_fingerprint: AtomicU64::new(0),
-            manifest: RwLock::new(None),
             model_rejected: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
             model_execs: AtomicU64::new(0),
@@ -386,8 +410,6 @@ impl RcClient {
             stale_serves: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             corrupt_payloads: AtomicU64::new(0),
-            stale_models: Mutex::new(HashSet::new()),
-            stale_subs: Mutex::new(HashSet::new()),
             degraded: Mutex::new(None),
             breakers,
             jitter,
@@ -398,8 +420,7 @@ impl RcClient {
             metrics,
         });
 
-        let pull_tx = if shared.config.mode == CacheMode::Pull {
-            let (tx, rx) = crossbeam_channel_shim::unbounded();
+        if shared.admission.is_some() {
             let worker_shared = shared.clone();
             worker_shared.live_workers.fetch_add(1, Ordering::SeqCst);
             worker_shared.metrics.workers_started.increment();
@@ -407,14 +428,11 @@ impl RcClient {
                 .name("rc-pull-worker".into())
                 .spawn(move || {
                     let _guard = WorkerGuard(worker_shared.clone());
-                    pull_worker(worker_shared, rx);
+                    pull_worker(worker_shared);
                 })
                 .expect("spawn pull worker");
             shared.worker_handles.lock().push(handle);
-            Some(tx)
-        } else {
-            None
-        };
+        }
 
         if let Some(interval) = shared.config.auto_refresh_interval {
             let watcher_shared = shared.clone();
@@ -430,7 +448,7 @@ impl RcClient {
             shared.worker_handles.lock().push(handle);
         }
 
-        RcClient { shared, pull_tx }
+        RcClient { shared }
     }
 
     /// Table 2: `initialize`. Loads models (and, in push mode, all feature
@@ -443,7 +461,7 @@ impl RcClient {
             if recovered {
                 self.shared.metrics.disk_recoveries.increment();
                 let mut span = rc_obs::global_tracer().span("client.disk_cache_recovery");
-                span.record("models", self.shared.models.read().len() as u64);
+                span.record("models", self.shared.serve.with(|s| s.models.len()) as u64);
                 span.finish();
             }
             recovered
@@ -496,7 +514,9 @@ fn load_from_store_shared(shared: &Shared) -> bool {
                 });
                 // Containment: a rejected (or unfetchable) payload never
                 // replaces a resident model — the old one keeps serving.
-                if let Some(model) = fetched.or_else(|| shared.models.read().get(&name).cloned()) {
+                if let Some(model) =
+                    fetched.or_else(|| shared.serve.with(|s| s.models.get(&name).cloned()))
+                {
                     models.insert(name, model);
                 }
             }
@@ -534,7 +554,7 @@ fn load_from_store_shared(shared: &Shared) -> bool {
                         }
                         match serde_json::from_slice::<SubscriptionFeatures>(&rec.data) {
                             Ok(f) => {
-                                features.insert(f.subscription, f);
+                                features.insert(f.subscription, Arc::new(f));
                             }
                             Err(_) => note_corrupt(shared),
                         }
@@ -546,7 +566,7 @@ fn load_from_store_shared(shared: &Shared) -> bool {
                         match serde_json::from_slice::<SubscriptionFeatures>(&rec.data) {
                             Ok(f) => {
                                 version = version.max(rec.version);
-                                features.insert(f.subscription, f);
+                                features.insert(f.subscription, Arc::new(f));
                             }
                             Err(_) => note_corrupt(shared),
                         }
@@ -555,21 +575,30 @@ fn load_from_store_shared(shared: &Shared) -> bool {
             }
             if write_through {
                 if let Some(disk) = &shared.disk {
-                    if let Ok(blob) = serde_json::to_vec(&features.values().collect::<Vec<_>>()) {
+                    let records: Vec<&SubscriptionFeatures> =
+                        features.values().map(|f| f.as_ref()).collect();
+                    if let Ok(blob) = serde_json::to_vec(&records) {
                         let _ = disk.save("features", "all", &blob);
                     }
                 }
             }
         }
-        *shared.models.write() = models;
-        if shared.config.mode == CacheMode::Push {
-            shared.features.write().replace(features, version);
-        }
-        // A full reload from the store means the reloaded caches are
-        // fresh again (feature records are only replaced in push mode).
-        shared.stale_models.lock().clear();
-        if shared.config.mode == CacheMode::Push {
-            shared.stale_subs.lock().clear();
+        let push = shared.config.mode == CacheMode::Push;
+        // One publish swaps in the whole load: models, feature data,
+        // staleness, and manifest become visible together. A full reload
+        // from the store means the reloaded caches are fresh again
+        // (feature records are only replaced in push mode).
+        publish_serve(shared, |s| {
+            s.models = models;
+            s.stale_models.clear();
+            if push {
+                s.features = features;
+                s.features_version = version;
+                s.stale_subs.clear();
+            }
+            s.manifest = manifest.clone();
+        });
+        if push {
             *shared.degraded.lock() = None;
         } else {
             maybe_clear_degraded(shared);
@@ -582,7 +611,6 @@ fn load_from_store_shared(shared: &Shared) -> bool {
                 rc_obs::global_accuracy().set_baseline(name, entry.accuracy);
             }
         }
-        *shared.manifest.write() = manifest;
         shared.store_fingerprint.store(store_fingerprint(store), Ordering::SeqCst);
         true
     }
@@ -641,8 +669,7 @@ fn note_degraded(shared: &Shared, reason: DegradedReason) {
 /// and nothing stale is resident.
 fn maybe_clear_degraded(shared: &Shared) {
     if shared.breakers.open_count() == 0
-        && shared.stale_models.lock().is_empty()
-        && shared.stale_subs.lock().is_empty()
+        && shared.serve.with(|s| s.stale_models.is_empty() && s.stale_subs.is_empty())
     {
         *shared.degraded.lock() = None;
     }
@@ -701,7 +728,7 @@ impl RcClient {
             match serde_json::from_slice::<Vec<SubscriptionFeatures>>(&blob) {
                 Ok(records) => {
                     for f in records {
-                        features.insert(f.subscription, f);
+                        features.insert(f.subscription, Arc::new(f));
                     }
                 }
                 Err(_) => note_corrupt(shared),
@@ -710,25 +737,28 @@ impl RcClient {
         if !stale_names.is_empty() || features_stale {
             note_degraded(shared, DegradedReason::StaleData);
         }
-        if features_stale {
-            shared.stale_subs.lock().extend(features.keys().copied());
-        }
-        *shared.stale_models.lock() = stale_names;
-        *shared.models.write() = models;
-        shared.features.write().replace(features, 0);
+        let stale_keys: Vec<SubscriptionId> =
+            if features_stale { features.keys().copied().collect() } else { Vec::new() };
+        publish_serve(shared, |s| {
+            s.stale_subs.extend(stale_keys);
+            s.stale_models = stale_names;
+            s.models = models;
+            s.features = features;
+            s.features_version = 0;
+        });
         true
     }
 
     /// Table 2: `get_available_models`.
     pub fn get_available_models(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.shared.models.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.shared.serve.with(|s| s.models.keys().cloned().collect());
         names.sort();
         names
     }
 
     /// Table 2: `predict_single`.
     pub fn predict_single(&self, model_name: &str, inputs: &ClientInputs) -> PredictionResponse {
-        self.predict_single_traced(model_name, inputs).0
+        self.predict_single_attributed(model_name, inputs).0
     }
 
     /// `predict_single` plus the degradation-ladder rung the lookup
@@ -741,6 +771,22 @@ impl RcClient {
         model_name: &str,
         inputs: &ClientInputs,
     ) -> (PredictionResponse, Served) {
+        let (response, served, _) = self.predict_single_attributed(model_name, inputs);
+        (response, served)
+    }
+
+    /// `predict_single_traced` plus the serve-snapshot generation the
+    /// call resolved against — the swap-race regression test's torn-read
+    /// oracle. A miss that executes a model attributes to the single
+    /// pinned snapshot that supplied both the model and the feature
+    /// record; a cache hit (or default) reports the generation current at
+    /// answer time, which may postdate the publish that filled the cached
+    /// entry.
+    pub fn predict_single_attributed(
+        &self,
+        model_name: &str,
+        inputs: &ClientInputs,
+    ) -> (PredictionResponse, Served, u64) {
         let start = Instant::now();
         let metrics = &self.shared.metrics;
         let _inflight = InflightGuard::enter(&metrics.inflight);
@@ -748,7 +794,8 @@ impl RcClient {
         metrics.lookups.increment();
         metrics.lookups_windowed.increment();
         if !self.shared.initialized.load(Ordering::SeqCst) {
-            return (self.no_prediction(), Served::Default);
+            let generation = self.shared.serve.with(|s| s.generation);
+            return (self.no_prediction(), Served::Default, generation);
         }
         let key = inputs.cache_key(model_name);
         if let Some(hit) = self.shared.results.get(key) {
@@ -756,60 +803,76 @@ impl RcClient {
             metrics.predictions.increment();
             metrics.hit_latency.record_duration(start.elapsed());
             metrics.predict_latency_windowed.record_duration(start.elapsed());
-            return (PredictionResponse::Predicted(hit), Served::Hit);
+            let generation = self.shared.serve.with(|s| s.generation);
+            return (PredictionResponse::Predicted(hit), Served::Hit, generation);
         }
         metrics.result_misses.increment();
-        let (response, served) = match self.shared.config.mode {
+        let (response, served, generation) = match self.shared.config.mode {
             CacheMode::Push => match self.execute(model_name, inputs) {
-                Some(prediction) => {
-                    let evicted = self.shared.results.insert(key, prediction);
+                Some(executed) => {
+                    let evicted = self.shared.results.insert(key, executed.prediction);
                     metrics.result_insertions.increment();
                     if evicted {
                         metrics.result_evictions.increment();
                     }
-                    let served = self.count_serve(model_name, inputs.subscription, 1);
+                    let served = self.count_serve_stale(executed.stale, 1);
                     metrics.predictions.increment();
-                    (PredictionResponse::Predicted(prediction), served)
+                    (
+                        PredictionResponse::Predicted(executed.prediction),
+                        served,
+                        executed.generation,
+                    )
                 }
-                None => (self.no_prediction(), Served::Default),
+                None => {
+                    let generation = self.shared.serve.with(|s| s.generation);
+                    (self.no_prediction(), Served::Default, generation)
+                }
             },
             CacheMode::PullSync => match self.resolve_sync(model_name, inputs) {
-                Some(prediction) => {
-                    let evicted = self.shared.results.insert(key, prediction);
+                Some(executed) => {
+                    let evicted = self.shared.results.insert(key, executed.prediction);
                     metrics.result_insertions.increment();
                     if evicted {
                         metrics.result_evictions.increment();
                     }
-                    let served = self.count_serve(model_name, inputs.subscription, 1);
+                    let served = self.count_serve_stale(executed.stale, 1);
                     metrics.predictions.increment();
-                    (PredictionResponse::Predicted(prediction), served)
+                    (
+                        PredictionResponse::Predicted(executed.prediction),
+                        served,
+                        executed.generation,
+                    )
                 }
-                None => (self.no_prediction(), Served::Default),
+                None => {
+                    let generation = self.shared.serve.with(|s| s.generation);
+                    (self.no_prediction(), Served::Default, generation)
+                }
             },
             CacheMode::Pull => {
                 // Answer no-prediction now; fill the cache in the
-                // background so the next identical request hits.
-                let mut in_flight = self.shared.in_flight.lock();
-                if in_flight.insert(key) {
-                    if let Some(tx) = &self.pull_tx {
-                        tx.send((model_name.to_string(), *inputs));
+                // background so the next identical request hits. The
+                // admission queue coalesces concurrent misses on the same
+                // key and sheds load when full — no global lock.
+                if let Some(q) = &self.shared.admission {
+                    match q.submit(model_name, inputs, key) {
+                        SubmitOutcome::Enqueued => metrics.admission_enqueued.increment(),
+                        SubmitOutcome::Coalesced => metrics.admission_coalesced.increment(),
+                        SubmitOutcome::Rejected => metrics.admission_rejected.increment(),
                     }
                 }
-                drop(in_flight);
-                (self.no_prediction(), Served::Default)
+                let generation = self.shared.serve.with(|s| s.generation);
+                (self.no_prediction(), Served::Default, generation)
             }
         };
         metrics.miss_latency.record_duration(start.elapsed());
         metrics.predict_latency_windowed.record_duration(start.elapsed());
-        (response, served)
+        (response, served, generation)
     }
 
-    /// Classifies (and counts) `n` served lookups as fresh or stale,
-    /// depending on whether the model or the subscription's feature
-    /// record is resident from stale disk data.
-    fn count_serve(&self, model_name: &str, sub: SubscriptionId, n: u64) -> Served {
-        let stale = self.shared.stale_models.lock().contains(model_name)
-            || self.shared.stale_subs.lock().contains(&sub);
+    /// Classifies (and counts) `n` served lookups as fresh or stale. The
+    /// staleness flag comes from the same pinned snapshot that resolved
+    /// the prediction, so no extra lock (or pin) is taken here.
+    fn count_serve_stale(&self, stale: bool, n: u64) -> Served {
         if stale {
             self.shared.stale_serves.fetch_add(n, Ordering::Relaxed);
             self.shared.metrics.stale_serves.add(n);
@@ -825,12 +888,12 @@ impl RcClient {
     /// Synchronous pull: makes the model and the subscription's feature
     /// record resident (store → retry/backoff → disk fallback), then
     /// executes. `None` when every rung of the ladder failed.
-    fn resolve_sync(&self, model_name: &str, inputs: &ClientInputs) -> Option<Prediction> {
+    fn resolve_sync(&self, model_name: &str, inputs: &ClientInputs) -> Option<Executed> {
         let shared = &self.shared;
-        if shared.models.read().get(model_name).is_none() {
+        if shared.serve.with(|s| !s.models.contains_key(model_name)) {
             resilient_fetch_model(shared, model_name)?;
         }
-        if shared.features.read().get(inputs.subscription).is_none()
+        if shared.serve.with(|s| !s.features.contains_key(&inputs.subscription))
             && !resilient_fetch_features(shared, inputs.subscription)
         {
             return None;
@@ -917,18 +980,15 @@ impl RcClient {
                         self.execute(model_name, &inputs[first_idx])
                     };
                     match resolved {
-                        Some(prediction) => {
-                            filled.push((key, prediction));
+                        Some(executed) => {
+                            filled.push((key, executed.prediction));
                             // Every occurrence of the key is one lookup
                             // resolved at this rung.
-                            self.count_serve(
-                                model_name,
-                                inputs[first_idx].subscription,
-                                occurrences[&key].len() as u64,
-                            );
+                            self.count_serve_stale(executed.stale, occurrences[&key].len() as u64);
                             metrics.predictions.add(occurrences[&key].len() as u64);
                             for &i in &occurrences[&key] {
-                                responses[i] = Some(PredictionResponse::Predicted(prediction));
+                                responses[i] =
+                                    Some(PredictionResponse::Predicted(executed.prediction));
                             }
                         }
                         None => {
@@ -947,15 +1007,15 @@ impl RcClient {
             CacheMode::Pull => {
                 // Enqueue each unique missed key once; answer no-prediction
                 // now so the next identical batch hits the cache.
-                let mut in_flight = self.shared.in_flight.lock();
-                for &(key, first_idx) in &unique_missed {
-                    if in_flight.insert(key) {
-                        if let Some(tx) = &self.pull_tx {
-                            tx.send((model_name.to_string(), inputs[first_idx]));
+                if let Some(q) = &self.shared.admission {
+                    for &(key, first_idx) in &unique_missed {
+                        match q.submit(model_name, &inputs[first_idx], key) {
+                            SubmitOutcome::Enqueued => metrics.admission_enqueued.increment(),
+                            SubmitOutcome::Coalesced => metrics.admission_coalesced.increment(),
+                            SubmitOutcome::Rejected => metrics.admission_rejected.increment(),
                         }
                     }
                 }
-                drop(in_flight);
                 for response in responses.iter_mut().filter(|r| r.is_none()) {
                     *response = Some(self.no_prediction());
                 }
@@ -982,17 +1042,22 @@ impl RcClient {
     /// Table 2: `flush_cache` — drops memory and disk caches. The client
     /// reports [`ClientHealth::Offline`] until re-initialized.
     pub fn flush_cache(&self) {
-        self.shared.models.write().clear();
-        self.shared.features.write().clear();
+        // One publish flushes every serve-path structure at once (the
+        // generation keeps counting up — flushes are publishes too).
+        publish_serve(&self.shared, |s| {
+            s.models.clear();
+            s.features.clear();
+            s.features_version = 0;
+            s.manifest = None;
+            s.stale_models.clear();
+            s.stale_subs.clear();
+        });
         self.shared.results.clear();
         if let Some(disk) = &self.shared.disk {
             disk.flush();
         }
-        self.shared.stale_models.lock().clear();
-        self.shared.stale_subs.lock().clear();
         self.shared.breakers.reset();
         *self.shared.degraded.lock() = None;
-        *self.shared.manifest.write() = None;
         self.shared.initialized.store(false, Ordering::SeqCst);
     }
 
@@ -1018,35 +1083,43 @@ impl RcClient {
     }
 
     /// Executes a model synchronously against cached feature data.
-    fn execute(&self, model_name: &str, inputs: &ClientInputs) -> Option<Prediction> {
+    ///
+    /// One epoch pin covers the whole resolution: model, feature record,
+    /// staleness, and generation all come from the same snapshot, so a
+    /// concurrent publish can never mix versions within one call. The
+    /// model itself runs outside the pin — it holds its own `Arc`.
+    fn execute(&self, model_name: &str, inputs: &ClientInputs) -> Option<Executed> {
         let metrics = &self.shared.metrics;
-        let model = match self.shared.models.read().get(model_name).cloned() {
-            Some(m) => {
-                metrics.model_cache_hits.increment();
-                m
-            }
-            None => {
-                metrics.model_cache_misses.increment();
-                return None;
-            }
-        };
-        let features = {
-            let cache = self.shared.features.read();
-            match cache.get(inputs.subscription) {
+        let resolved = self.shared.serve.with(|snap| {
+            let model = match snap.models.get(model_name) {
+                Some(m) => {
+                    metrics.model_cache_hits.increment();
+                    m.clone()
+                }
+                None => {
+                    metrics.model_cache_misses.increment();
+                    return None;
+                }
+            };
+            let features = match snap.features.get(&inputs.subscription) {
                 Some(sub) => {
                     metrics.feature_cache_hits.increment();
-                    model.spec.features(inputs, sub)
+                    model.spec.features(inputs, sub.as_ref())
                 }
                 None => {
                     metrics.feature_cache_misses.increment();
                     return None;
                 }
-            }
-        };
+            };
+            let stale = snap.stale_models.contains(model_name)
+                || snap.stale_subs.contains(&inputs.subscription);
+            Some((model, features, snap.generation, stale))
+        });
+        let (model, features, generation, stale) = resolved?;
         self.shared.model_execs.fetch_add(1, Ordering::Relaxed);
         metrics.model_execs.increment();
         let (value, score) = rc_ml::Classifier::predict(model.as_ref(), &features);
-        Some(Prediction { value, score })
+        Some(Executed { prediction: Prediction { value, score }, generation, stale })
     }
 
     fn no_prediction(&self) -> PredictionResponse {
@@ -1148,7 +1221,7 @@ impl RcClient {
     /// The manifest version the resident caches were loaded through, when
     /// the store publishes one.
     pub fn manifest_version(&self) -> Option<u64> {
-        self.shared.manifest.read().as_ref().map(|m| m.version)
+        self.shared.serve.with(|s| s.manifest.as_ref().map(|m| m.version))
     }
 
     /// Per-key circuit breakers currently open.
@@ -1170,10 +1243,10 @@ impl RcClient {
 
     /// Blocks until the pull worker has drained its queue (test helper).
     pub fn drain_pull_queue(&self) {
-        loop {
-            if self.shared.in_flight.lock().is_empty() {
-                return;
-            }
+        let Some(q) = &self.shared.admission else {
+            return;
+        };
+        while !q.is_idle() {
             std::thread::sleep(StdDuration::from_millis(1));
         }
     }
@@ -1193,7 +1266,7 @@ impl Drop for WorkerGuard {
 impl Clone for RcClient {
     fn clone(&self) -> Self {
         self.shared.facades.fetch_add(1, Ordering::SeqCst);
-        RcClient { shared: self.shared.clone(), pull_tx: self.pull_tx.clone() }
+        RcClient { shared: self.shared.clone() }
     }
 }
 
@@ -1205,8 +1278,8 @@ impl Drop for RcClient {
             return;
         }
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(tx) = &self.pull_tx {
-            tx.close();
+        if let Some(q) = &self.shared.admission {
+            q.close();
         }
         // Join the workers so "drop the last facade" deterministically
         // means "no client threads remain". Workers never own a facade,
@@ -1264,32 +1337,34 @@ fn push_watcher(shared: Arc<Shared>, interval: StdDuration) {
     }
 }
 
-/// The pull-mode background worker: fetches model/feature data, executes
-/// the model, and fills the result cache.
-fn pull_worker(shared: Arc<Shared>, rx: crossbeam_channel_shim::Receiver<(String, ClientInputs)>) {
-    while let Some((model_name, inputs)) = rx.recv() {
-        let key = inputs.cache_key(&model_name);
-        // Ensure the model is cached.
-        let model = {
-            let cached = shared.models.read().get(&model_name).cloned();
-            match cached {
-                Some(m) => Some(m),
-                None => resilient_fetch_model(&shared, &model_name),
+/// The pull-mode background worker: drains the admission queue, fetches
+/// model/feature data, executes the model, and fills the result cache.
+fn pull_worker(shared: Arc<Shared>) {
+    let Some(q) = shared.admission.as_ref() else {
+        return;
+    };
+    loop {
+        let Some((model_name, inputs, key)) = q.pop() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
             }
+            q.park(StdDuration::from_millis(5));
+            continue;
         };
-        // Ensure the subscription's feature data is cached.
-        let have_features = {
-            if shared.features.read().get(inputs.subscription).is_some() {
-                true
-            } else {
-                resilient_fetch_features(&shared, inputs.subscription)
-            }
+        // Ensure the model is resident.
+        let model = match shared.serve.with(|s| s.models.get(&model_name).cloned()) {
+            Some(m) => Some(m),
+            None => resilient_fetch_model(&shared, &model_name),
         };
+        // Ensure the subscription's feature data is resident.
+        let have_features = shared.serve.with(|s| s.features.contains_key(&inputs.subscription))
+            || resilient_fetch_features(&shared, inputs.subscription);
         if let (Some(model), true) = (model, have_features) {
-            let features = {
-                let cache = shared.features.read();
-                cache.get(inputs.subscription).map(|sub| model.spec.features(&inputs, sub))
-            };
+            let features = shared.serve.with(|s| {
+                s.features
+                    .get(&inputs.subscription)
+                    .map(|sub| model.spec.features(&inputs, sub.as_ref()))
+            });
             if let Some(features) = features {
                 shared.model_execs.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.model_execs.increment();
@@ -1301,7 +1376,7 @@ fn pull_worker(shared: Arc<Shared>, rx: crossbeam_channel_shim::Receiver<(String
                 }
             }
         }
-        shared.in_flight.lock().remove(&key);
+        q.complete(key);
     }
 }
 
@@ -1378,12 +1453,12 @@ fn resilient_get<T>(
 /// record. `None` on legacy stores (no manifest) or when the store is
 /// unreachable — callers then use the flat logical keys directly.
 fn cached_manifest(shared: &Shared) -> Option<Manifest> {
-    if let Some(m) = shared.manifest.read().as_ref() {
-        return Some(m.clone());
+    if let Some(m) = shared.serve.with(|s| s.manifest.clone()) {
+        return Some(m);
     }
     match resilient_get(shared, MANIFEST_KEY, Manifest::from_bytes) {
         FetchOutcome::Data(m) => {
-            *shared.manifest.write() = Some(m.clone());
+            publish_serve(shared, |s| s.manifest = Some(m.clone()));
             Some(m)
         }
         FetchOutcome::NotFound | FetchOutcome::Failed => None,
@@ -1419,8 +1494,10 @@ fn resilient_fetch_model(shared: &Shared, model_name: &str) -> Option<Arc<Traine
     match resilient_get(shared, &key, decode) {
         FetchOutcome::Data((model, bytes)) => {
             let model = Arc::new(model);
-            shared.models.write().insert(model_name.to_string(), model.clone());
-            shared.stale_models.lock().remove(model_name);
+            publish_serve(shared, |s| {
+                s.models.insert(model_name.to_string(), model.clone());
+                s.stale_models.remove(model_name);
+            });
             if shared.config.disk_write_through {
                 if let Some(disk) = &shared.disk {
                     // Disk entries key by the *logical* name so a cached
@@ -1459,14 +1536,14 @@ fn install_disk_model(
             return None;
         }
     };
-    shared.models.write().insert(model_name.to_string(), model.clone());
-    let mut stale_models = shared.stale_models.lock();
-    if stale {
-        stale_models.insert(model_name.to_string());
-    } else {
-        stale_models.remove(model_name);
-    }
-    drop(stale_models);
+    publish_serve(shared, |s| {
+        s.models.insert(model_name.to_string(), model.clone());
+        if stale {
+            s.stale_models.insert(model_name.to_string());
+        } else {
+            s.stale_models.remove(model_name);
+        }
+    });
     let mut span = rc_obs::global_tracer().span("client.disk_cache_recovery");
     span.record("model", model_name);
     span.finish();
@@ -1500,8 +1577,11 @@ fn resilient_fetch_features(shared: &Shared, sub: SubscriptionId) -> bool {
                     }
                 }
             }
-            shared.features.write().insert(features);
-            shared.stale_subs.lock().remove(&sub);
+            let features = Arc::new(features);
+            publish_serve(shared, |s| {
+                s.features.insert(sub, features);
+                s.stale_subs.remove(&sub);
+            });
             true
         }
         FetchOutcome::NotFound => false,
@@ -1515,13 +1595,15 @@ fn resilient_fetch_features(shared: &Shared, sub: SubscriptionId) -> bool {
                 note_corrupt(shared);
                 return false;
             };
-            shared.features.write().insert(features);
-            let mut stale_subs = shared.stale_subs.lock();
-            if stale {
-                stale_subs.insert(sub);
-            } else {
-                stale_subs.remove(&sub);
-            }
+            let features = Arc::new(features);
+            publish_serve(shared, |s| {
+                s.features.insert(sub, features);
+                if stale {
+                    s.stale_subs.insert(sub);
+                } else {
+                    s.stale_subs.remove(&sub);
+                }
+            });
             true
         }
     }

@@ -17,6 +17,7 @@
 //!   model, and feature caches, push/pull modes, and a local disk cache
 //!   consulted when the store is unavailable.
 
+pub(crate) mod admission;
 pub mod cache;
 pub mod cleanup;
 pub mod client;

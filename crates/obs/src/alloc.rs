@@ -1,0 +1,62 @@
+//! A counting global allocator for zero-allocation assertions.
+//!
+//! The serve path promises zero heap allocations on a cache hit; a
+//! promise like that rots silently unless a test can observe every
+//! allocation. [`CountingAllocator`] wraps [`std::alloc::System`] and
+//! counts `alloc`/`realloc` calls in a per-thread counter, so a test (or
+//! the `saturate` bench) installs it as the `#[global_allocator]`,
+//! samples [`thread_allocations`] around the section under scrutiny, and
+//! asserts the delta is zero.
+//!
+//! The counter is per-thread — concurrent allocations on *other* threads
+//! (background workers, the test harness) don't pollute the measurement
+//! — and lives in a `const`-initialized `thread_local` `Cell`, which is
+//! guaranteed not to allocate on first access (a lazily-initialized TLS
+//! slot could recurse into the allocator it is counting).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A drop-in `#[global_allocator]` that counts allocations per thread.
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: rc_obs::CountingAllocator = rc_obs::CountingAllocator;
+///
+/// let before = rc_obs::thread_allocations();
+/// hot_path();
+/// assert_eq!(rc_obs::thread_allocations() - before, 0);
+/// ```
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Heap allocations performed by the *calling thread* since it started,
+/// as counted by [`CountingAllocator`]. Always 0 unless the allocator is
+/// installed as the `#[global_allocator]`.
+pub fn thread_allocations() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}

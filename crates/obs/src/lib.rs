@@ -30,6 +30,7 @@
 //! write to, which is what lets them drop their hand-rolled accounting.
 
 mod accuracy;
+mod alloc;
 mod metrics;
 mod names;
 pub mod report;
@@ -40,6 +41,7 @@ mod window;
 pub use accuracy::{
     acc_confusion_name, acc_gauge_name, AccuracyTracker, CalibrationRow, DriftConfig, DriftSignal,
 };
+pub use alloc::{thread_allocations, CountingAllocator};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use names::*;
 pub use report::BenchReport;

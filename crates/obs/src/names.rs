@@ -70,6 +70,27 @@ pub const CLIENT_LOOKUPS_WINDOWED: &str = "rc_client_lookups_windowed";
 /// together (windowed histogram, ns).
 pub const CLIENT_PREDICT_LATENCY_WINDOWED_NS: &str = "rc_client_predict_latency_windowed_ns";
 
+// --- rc-core client (lock-free serve path) ---
+
+/// Serve-snapshot publishes: each model/manifest/feature/stale-set
+/// change builds a new immutable snapshot and stores it with one atomic
+/// swap (counter).
+pub const CLIENT_SERVE_SNAPSHOT_PUBLISHES: &str = "rc_client_serve_snapshot_publishes";
+/// Generation number of the currently published serve snapshot (gauge).
+pub const CLIENT_SERVE_SNAPSHOT_GENERATION: &str = "rc_client_serve_snapshot_generation";
+/// Retired serve snapshots awaiting their epoch grace period before
+/// reclamation (gauge).
+pub const CLIENT_SERVE_SNAPSHOT_RETIRED: &str = "rc_client_serve_snapshot_retired";
+/// Pull-mode refresh keys admitted into the bounded admission queue
+/// (counter).
+pub const CLIENT_ADMISSION_ENQUEUED: &str = "rc_client_serve_admission_enqueued";
+/// Refresh keys coalesced because an identical key was already in
+/// flight — the thundering-herd dedup (counter).
+pub const CLIENT_ADMISSION_COALESCED: &str = "rc_client_serve_admission_coalesced";
+/// Refresh keys dropped because the admission queue was full —
+/// backpressure; the caller still gets its degraded answer (counter).
+pub const CLIENT_ADMISSION_REJECTED: &str = "rc_client_serve_admission_rejected";
+
 // --- rc-core client (resilience layer) ---
 
 /// Predict lookups — every `predict_single` call and every element of a

@@ -1,0 +1,242 @@
+//! Lock-free serve-path regressions: model swap-in racing
+//! `predict_single`, zero heap allocations on the cache-hit path, and a
+//! seeded concurrency stress of the RCU result cache with full-scan
+//! oracle reconciliation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use rc_core::labels::vm_inputs;
+use rc_core::{Prediction, ShardedResultCache};
+use rc_types::vm::VmId;
+use resource_central::prelude::*;
+
+// Every allocation in this test binary goes through the counting
+// allocator, so `hit_path_is_allocation_free` can observe the hot path
+// exactly. The counter is per-thread: the other tests running
+// concurrently in this binary never pollute the measurement.
+#[global_allocator]
+static ALLOC: rc_obs::CountingAllocator = rc_obs::CountingAllocator;
+
+fn world() -> (Trace, Store, rc_core::PipelineOutput) {
+    let trace = Trace::generate(&TraceConfig {
+        target_vms: 5_000,
+        n_subscriptions: 200,
+        days: 24,
+        ..TraceConfig::small()
+    });
+    let output = rc_core::run_pipeline(&trace, &rc_core::PipelineConfig::fast(24)).unwrap();
+    let store = Store::in_memory();
+    output.publish(&store, 0.5).unwrap();
+    (trace, store, output)
+}
+
+/// Regression: the serve state used to live in four separately locked
+/// structures (models, features, staleness sets, manifest), so a reload
+/// racing `predict_single` could observe version N models against
+/// version N+1 features. The epoch-swapped [`ServeSnapshot`] publishes
+/// them as one immutable value: while a writer flips manifest versions
+/// as fast as it can, every concurrent prediction must still resolve —
+/// no torn intermediate state ever answers `NoPrediction` — and must
+/// attribute to a fully published generation, observed monotonically.
+#[test]
+fn model_swap_racing_predict_single_never_tears() {
+    let (trace, store, output) = world();
+    let client = RcClient::new(store.clone(), ClientConfig::default());
+    assert!(client.initialize());
+    let first_version = client.manifest_version().expect("manifest published");
+
+    // Pre-pass: keep only inputs the initial version answers, so a
+    // `NoPrediction` during the race can only mean torn serve state.
+    let inputs: Vec<_> = (0..trace.n_vms() as u64)
+        .map(|i| vm_inputs(&trace, VmId(i)))
+        .filter(|inp| client.predict_single("VM_P95UTIL", inp).prediction().is_some())
+        .take(512)
+        .collect();
+    assert!(inputs.len() >= 64, "world must answer a healthy share of inputs");
+    let base_lookups = client.lookup_count();
+    let base_defaults = client.no_prediction_count();
+
+    const READERS: usize = 4;
+    const FLIPS: usize = 25;
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(READERS + 1));
+    let readers: Vec<_> = (0..READERS)
+        .map(|t| {
+            let client = client.clone();
+            let inputs = inputs.clone();
+            let stop = stop.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut last_generation = 0;
+                let mut calls = 0u64;
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    i = (i + 1) % inputs.len();
+                    let (response, _, generation) =
+                        client.predict_single_attributed("VM_P95UTIL", &inputs[i]);
+                    assert!(
+                        response.prediction().is_some(),
+                        "reader saw NoPrediction mid-swap: torn serve state"
+                    );
+                    assert!(generation >= 1, "responses attribute to a published generation");
+                    assert!(
+                        generation >= last_generation,
+                        "snapshot generations must be observed monotonically \
+                         ({generation} after {last_generation})"
+                    );
+                    last_generation = generation;
+                    calls += 1;
+                }
+                calls
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    // Writer: republish (bumping the manifest version) and reload while
+    // the readers hammer the serve path.
+    for _ in 0..FLIPS {
+        output.publish(&store, 0.5).expect("republish");
+        client.force_reload_cache();
+    }
+    stop.store(true, Ordering::SeqCst);
+    let reader_calls: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+
+    let final_version = client.manifest_version().expect("manifest still published");
+    assert_eq!(final_version, first_version + FLIPS as u64, "every flip published");
+
+    // Degradation-ladder invariant across the whole race, from the
+    // client's own exact counters: every lookup landed on exactly one
+    // rung. (Defaults stay possible in general — just not in this test's
+    // pre-filtered input set.)
+    let lookups = client.lookup_count() - base_lookups;
+    let stats = client.result_cache_stats();
+    let answered = stats.hits
+        + client.fresh_fetch_count()
+        + client.stale_serve_count()
+        + client.no_prediction_count();
+    assert_eq!(lookups, reader_calls, "every reader call is one lookup");
+    assert_eq!(
+        answered,
+        client.lookup_count(),
+        "lookups == hits + fresh + stale + defaults, even racing swaps"
+    );
+    assert_eq!(
+        client.no_prediction_count(),
+        base_defaults,
+        "the race window never fell through to the default rung"
+    );
+}
+
+/// The headline hot-path claim, asserted by the counting allocator: once
+/// a thread is warmed up (epoch slot registered, metrics handles
+/// resolved), a cache-hit `predict_single` performs zero heap
+/// allocations — and zero mutex/rwlock acquisitions, which the epoch
+/// design guarantees structurally (the hit path only touches `ArcSwap`
+/// loads and atomics).
+#[test]
+fn hit_path_is_allocation_free() {
+    let (trace, store, _) = world();
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize());
+
+    let inp = vm_inputs(&trace, VmId(1));
+    assert!(
+        client.predict_single("VM_P95UTIL", &inp).prediction().is_some(),
+        "probe input must resolve so the follow-ups are cache hits"
+    );
+    // Warm-up: registers this thread's epoch slot and touches every lazy
+    // structure on the path; these calls may allocate.
+    for _ in 0..64 {
+        let _ = client.predict_single("VM_P95UTIL", &inp);
+    }
+
+    let before = rc_obs::thread_allocations();
+    for _ in 0..10_000 {
+        std::hint::black_box(client.predict_single("VM_P95UTIL", &inp));
+    }
+    let allocs = rc_obs::thread_allocations() - before;
+    assert_eq!(allocs, 0, "cache-hit predict_single allocated {allocs} times in 10k calls");
+}
+
+/// Deterministic value for a stress key; a torn chunk publish would
+/// surface as a key answering some other key's prediction.
+fn oracle_prediction(key: u64) -> Prediction {
+    Prediction { value: (key % 7) as usize, score: (key % 100) as f64 / 100.0 }
+}
+
+/// Seeded stress of the RCU result cache: concurrent get/insert/evict
+/// across shards, then full-scan oracle reconciliation — every cached
+/// value is the one its key deterministically maps to, the scan finds
+/// exactly `len()` entries, entries never exceed capacity, and the exact
+/// counters reconcile with the operations issued.
+#[test]
+fn rcu_cache_stress_reconciles_with_oracle() {
+    const THREADS: u64 = 4;
+    const OPS: u64 = 20_000;
+    const KEYSPACE: u64 = 4_096;
+    const CAPACITY: usize = 1_024;
+
+    for seed in [0x5059_2017u64, 0xDEAD_BEEF, 0x1234_5678] {
+        let cache = Arc::new(ShardedResultCache::new(CAPACITY, 8));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    // Thread-local xorshift stream; deterministic per
+                    // (seed, thread).
+                    let mut state = seed ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+                    let mut gets = 0u64;
+                    let mut inserts = 0u64;
+                    for _ in 0..OPS {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let key = state % KEYSPACE;
+                        if state % 3 == 0 {
+                            cache.insert(key, oracle_prediction(key));
+                            inserts += 1;
+                        } else {
+                            if let Some(p) = cache.get(key) {
+                                assert_eq!(
+                                    p,
+                                    oracle_prediction(key),
+                                    "key {key} answered another key's value: torn snapshot"
+                                );
+                            }
+                            gets += 1;
+                        }
+                    }
+                    (gets, inserts)
+                })
+            })
+            .collect();
+        let (mut gets, mut inserts) = (0u64, 0u64);
+        for handle in handles {
+            let (g, i) = handle.join().unwrap();
+            gets += g;
+            inserts += i;
+        }
+
+        // Exact-counter reconciliation: every operation accounted for.
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, gets, "seed {seed:#x}: every get hit or missed");
+        assert_eq!(stats.insertions, inserts, "seed {seed:#x}: every insert counted");
+        assert!(cache.len() <= CAPACITY, "seed {seed:#x}: eviction kept the capacity bound");
+        assert!(stats.evictions > 0, "seed {seed:#x}: keyspace 4x capacity must evict");
+
+        // Full-scan oracle: walking the whole keyspace finds exactly the
+        // entries the shards report live, each with its oracle value.
+        let live = cache.len();
+        let mut found = 0;
+        for key in 0..KEYSPACE {
+            if let Some(p) = cache.get(key) {
+                assert_eq!(p, oracle_prediction(key), "seed {seed:#x}: scan found a torn value");
+                found += 1;
+            }
+        }
+        assert_eq!(found, live, "seed {seed:#x}: scan count must equal the shards' len()");
+    }
+}
