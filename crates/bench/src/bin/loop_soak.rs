@@ -1,0 +1,193 @@
+//! Multi-day chaos soak of the continuous control loop (`rc-loop`).
+//!
+//! Drives a [`LoopController`] through a scripted multi-day schedule in
+//! which every lifecycle transition the loop supports fires at least
+//! once:
+//!
+//! - tick 0: bootstrap training promotes the first model set;
+//! - tick 6: a cadence retrain meets a heavily corrupted telemetry
+//!   window and fails cleanly (one degraded tick, nothing published);
+//! - tick 8: a permanent workload surge begins — the drift monitor
+//!   trips at tick 9, the loop retrains on the shifted window and
+//!   recovers;
+//! - tick 15: one metric's trainer faults; the pipeline isolates it and
+//!   promotes the surviving models;
+//! - ticks 20–21: a transient anomaly tricks the loop into promoting a
+//!   model fitted to the anomaly; the post-flip watchdog catches the
+//!   regression at tick 23, rolls back, quarantines the bad content
+//!   digest, and retrains back out of the drift;
+//! - tick 29: a degraded candidate (trained on garbled telemetry) is
+//!   rejected in shadow with the store byte-untouched;
+//! - ticks 31–32: the anomaly repeats identically — the deterministic
+//!   retrain reproduces the quarantined bytes and is blocked before any
+//!   write (`rc_loop_quarantine_blocked`);
+//! - tick 39: the store fails mid-publish; the flip aborts with the
+//!   manifest consistent and the loop keeps running.
+//!
+//! The run is a pure function of `RC_LOOP_SEED`: stdout, the journal
+//! digest, the store fingerprint, and the deterministic sections of
+//! `BENCH_loop.json` are byte-identical across same-seed runs (CI
+//! double-runs this binary and diffs the report).
+//!
+//! Environment: `RC_LOOP_SEED` (default `0xC0FFEE`) selects the fleet;
+//! `RC_SCALE` scales the per-window VM count (floored to keep the
+//! training pipeline viable); `RC_REPORT_DIR` redirects the report.
+
+use std::io::Write as _;
+
+use rc_loop::{ChaosPlan, LoopConfig, LoopController, LoopEvent, RetrainReason, WorkloadShift};
+use rc_obs::BenchReport;
+use rc_types::PredictionMetric;
+
+/// Default soak seed; override with `RC_LOOP_SEED`.
+const DEFAULT_SEED: u64 = 0xC0_FFEE;
+
+/// A transient downward anomaly layered on top of the surge: utilization
+/// collapses for the window(s) it covers, then snaps back. Both episodes
+/// use the same transform so the drift-triggered retrain reproduces
+/// byte-identical models — which is what exercises the quarantine block.
+fn anomaly(from_tick: u32, until_tick: u32) -> WorkloadShift {
+    WorkloadShift {
+        from_tick,
+        until_tick,
+        base_mul: 0.35,
+        base_add: 0.05,
+        p95_mul: 0.4,
+        p95_add: 0.08,
+    }
+}
+
+/// The scripted soak schedule. Every chaos entry is keyed to a tick
+/// where the cadence or the drift monitor forces a retrain, so each
+/// fault lands on the code path it is meant to exercise.
+fn soak_config(seed: u64) -> LoopConfig {
+    let window_vms = ((2_600.0 * rc_bench::scale()) as usize).max(2_200);
+    LoopConfig {
+        seed,
+        ticks: 40,
+        window_vms,
+        retrain_every: 6,
+        shifts: vec![WorkloadShift::surge(8), anomaly(20, 22), anomaly(31, 33)],
+        chaos: ChaosPlan {
+            dirty_at: vec![(6, 0.9)],
+            fail_train_at: vec![
+                // Every trainer faults at tick 6: the whole retrain fails
+                // (the dirty window is the story; the fault guarantees it).
+                (6, PredictionMetric::ALL.to_vec()),
+                (15, vec![PredictionMetric::WorkloadClass]),
+            ],
+            outage_after_puts: vec![(39, 2)],
+            degrade_candidate_at: vec![29],
+        },
+        ..LoopConfig::default()
+    }
+}
+
+/// One deterministic line per journal event.
+fn describe(event: &LoopEvent) -> String {
+    match event {
+        LoopEvent::WindowIngested { vms, quarantined } => {
+            format!("window ingested: {vms} VMs ({quarantined} quarantined)")
+        }
+        LoopEvent::DriftDetected { metric } => format!("drift detected: {metric}"),
+        LoopEvent::RetrainScheduled { reason } => match reason {
+            RetrainReason::Bootstrap => "retrain scheduled: bootstrap".to_string(),
+            RetrainReason::Drift { metrics } => {
+                format!("retrain scheduled: drift on {}", metrics.join(", "))
+            }
+            RetrainReason::Cadence => "retrain scheduled: cadence".to_string(),
+        },
+        LoopEvent::RetrainFailed { error } => format!("retrain failed: {error}"),
+        LoopEvent::MetricQuarantined { metric } => format!("metric quarantined: {metric}"),
+        LoopEvent::ShadowEvaluated { serving_mean, candidate_mean } => {
+            format!("shadow evaluated: serving {serving_mean:.4} vs candidate {candidate_mean:.4}")
+        }
+        LoopEvent::ShadowRejected { reason } => format!("shadow rejected: {reason}"),
+        LoopEvent::QuarantineBlocked { digest } => {
+            format!("quarantine blocked promotion: digest {digest:#018x}")
+        }
+        LoopEvent::Promoted { version } => format!("promoted: manifest v{version}"),
+        LoopEvent::PublishFailed { error } => format!("publish failed: {error}"),
+        LoopEvent::RolledBack { to_version, quarantined_digest } => {
+            format!("rolled back to v{to_version}, quarantined digest {quarantined_digest:#018x}")
+        }
+        LoopEvent::RollbackUnavailable => "rollback unavailable: no earlier good version".into(),
+    }
+}
+
+fn main() {
+    let seed = std::env::var("RC_LOOP_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            s.strip_prefix("0x")
+                .map(|hex| u64::from_str_radix(hex, 16).ok())
+                .unwrap_or_else(|| s.parse().ok())
+        })
+        .unwrap_or(DEFAULT_SEED);
+    let config = soak_config(seed);
+    let ticks = config.ticks;
+
+    eprintln!("loop_soak: seed {seed:#x}, {ticks} ticks, {} VMs/window", config.window_vms);
+    let mut controller = LoopController::new(config.clone());
+    let before = controller.registry().snapshot();
+    for tick in 0..ticks {
+        controller.run_tick();
+        eprint!("\rtick {}/{ticks}", tick + 1);
+        std::io::stderr().flush().ok();
+    }
+    eprintln!();
+    let after = controller.registry().snapshot();
+
+    // Deterministic stdout: the full journal, then the summary.
+    println!("control-loop soak: seed {seed:#x}, {ticks} simulated days");
+    rc_bench::rule(72);
+    for entry in controller.journal() {
+        println!("day {:>2}  {}", entry.tick, describe(&entry.event));
+    }
+    rc_bench::rule(72);
+    let summary = controller.summary();
+    println!(
+        "retrains {} (failures {}), shadow evals {} (rejections {}), promotions {}",
+        summary.retrains,
+        summary.retrain_failures,
+        summary.shadow_evals,
+        summary.shadow_rejections,
+        summary.promotions,
+    );
+    println!(
+        "rollbacks {}, quarantine-blocked {}, degraded ticks {}, final manifest v{}",
+        summary.rollbacks,
+        summary.quarantine_blocked,
+        summary.degraded_ticks,
+        summary.final_version,
+    );
+    println!(
+        "end-to-end accuracy: loop {:.4} vs frozen-first-model baseline {:.4}",
+        summary.live_accuracy, summary.frozen_accuracy,
+    );
+    for row in &summary.per_metric {
+        println!("  {:<22} loop {:.4}  frozen {:.4}", row.metric, row.live, row.frozen);
+    }
+    println!(
+        "journal digest {:#018x}, store fingerprint {:#018x}",
+        summary.journal_digest, summary.store_fingerprint,
+    );
+
+    let mut report = BenchReport::new("loop");
+    report
+        .set_config("seed", seed)
+        .set_config("ticks", ticks)
+        .set_config("window_days", config.window_days)
+        .set_config("window_vms", config.window_vms as u64)
+        .set_config("n_subscriptions", config.n_subscriptions as u64)
+        .set_config("retrain_every", config.retrain_every)
+        .set_config("watch_ticks", config.watch_ticks)
+        .set_result("summary", &summary)
+        .set_result("accuracy_gain", summary.live_accuracy - summary.frozen_accuracy)
+        .set_counter_deltas(&after, &before);
+    match report.write_default("BENCH_loop.json") {
+        Ok(path) => eprintln!("report: {}", path.display()),
+        Err(e) => eprintln!("report write failed: {e}"),
+    }
+}

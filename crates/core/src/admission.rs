@@ -322,6 +322,122 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_under_backpressure_accounts_exactly() {
+        // The client-drop sequence against a saturated queue: submit past
+        // capacity, close, then drain the way the pull worker's shutdown
+        // path does. Single-threaded, so every count is exact and the
+        // outcome of every submit is deterministic.
+        let q = AdmissionQueue::new(4);
+        let mut enqueued = 0u64;
+        let mut coalesced = 0u64;
+        let mut rejected = 0u64;
+        let mut submits = 0u64;
+        let mut tally = |outcome: SubmitOutcome| {
+            submits += 1;
+            match outcome {
+                SubmitOutcome::Enqueued => enqueued += 1,
+                SubmitOutcome::Coalesced => coalesced += 1,
+                SubmitOutcome::Rejected => rejected += 1,
+            }
+        };
+        for k in 1..=4u64 {
+            tally(q.submit("m", &inputs(k), k + 100));
+        }
+        tally(q.submit("m", &inputs(1), 101)); // duplicate: coalesces
+        tally(q.submit("m", &inputs(5), 105)); // full: backpressure
+        tally(q.submit("m", &inputs(6), 106)); // still full
+        assert_eq!((enqueued, coalesced, rejected), (4, 1, 2));
+        assert_eq!(submits, enqueued + coalesced + rejected, "every submit resolves one way");
+        assert!(!q.is_idle());
+
+        // Drop-the-client: close, then the worker drains what was
+        // admitted. Nothing new may slip in after close has begun
+        // rejecting producers' view of the world (the queue itself stays
+        // pop-able so admitted work is never stranded).
+        q.close();
+        let mut executed = 0u64;
+        while let Some((_, _, key)) = q.pop() {
+            executed += 1;
+            q.complete(key);
+        }
+        assert_eq!(executed, enqueued, "every admitted request drains exactly once");
+        assert!(q.is_idle(), "drain leaves no pending work");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn concurrent_saturation_then_close_drains_exactly() {
+        // Many producers hammer a tiny queue while a worker drains it,
+        // then the client drops (close + join). Whatever the
+        // interleaving, the accounting identities must hold exactly:
+        // submits == enqueued + coalesced + rejected, and every enqueued
+        // request is executed exactly once — by the steady-state worker
+        // or by its shutdown drain.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let q = std::sync::Arc::new(AdmissionQueue::new(8));
+        let executed = std::sync::Arc::new(AtomicU64::new(0));
+
+        let worker = {
+            let q = q.clone();
+            let executed = executed.clone();
+            std::thread::spawn(move || loop {
+                match q.pop() {
+                    Some((_, _, key)) => {
+                        executed.fetch_add(1, Ordering::SeqCst);
+                        q.complete(key);
+                    }
+                    None => {
+                        if q.closed.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        q.park(Duration::from_millis(1));
+                    }
+                }
+            })
+        };
+
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 500;
+        let totals: Vec<(u64, u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        let (mut e, mut c, mut r) = (0u64, 0u64, 0u64);
+                        for i in 0..PER_THREAD {
+                            // Distinct keys spread over a small range so
+                            // coalescing genuinely happens under load.
+                            let key = 200 + (t * PER_THREAD + i) % 64;
+                            match q.submit("m", &inputs(key), key) {
+                                SubmitOutcome::Enqueued => e += 1,
+                                SubmitOutcome::Coalesced => c += 1,
+                                SubmitOutcome::Rejected => r += 1,
+                            }
+                        }
+                        (e, c, r)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let enqueued: u64 = totals.iter().map(|t| t.0).sum();
+        let coalesced: u64 = totals.iter().map(|t| t.1).sum();
+        let rejected: u64 = totals.iter().map(|t| t.2).sum();
+        assert_eq!(enqueued + coalesced + rejected, THREADS * PER_THREAD);
+        assert!(rejected > 0, "a capacity-8 queue under 2000 submits must shed load");
+
+        // Drop the client: close wakes the worker; joining it proves the
+        // shutdown drain terminates. The worker exits only once the
+        // queue is empty, so executed == enqueued exactly.
+        q.close();
+        worker.join().unwrap();
+        assert_eq!(executed.load(Ordering::SeqCst), enqueued);
+        assert!(q.is_idle(), "all claims released after the drain");
+        // And released means re-admittable: no key is stranded.
+        assert_eq!(q.submit("m", &inputs(1), 200), SubmitOutcome::Enqueued);
+    }
+
+    #[test]
     fn park_returns_on_notify_and_close() {
         let q = std::sync::Arc::new(AdmissionQueue::new(8));
         let qc = q.clone();

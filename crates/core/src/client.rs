@@ -39,7 +39,7 @@ use crate::cache::{DiskCache, DiskLoadResult, ShardedResultCache};
 use crate::features::SubscriptionFeatures;
 use crate::inputs::ClientInputs;
 use crate::models::{feature_store_key, TrainedModel};
-use crate::prediction::{Prediction, PredictionResponse, Served};
+use crate::prediction::{Prediction, PredictionResponse, Served, ShadowPrediction};
 use crate::resilience::{
     Admission, BreakerConfig, CircuitBreakers, ClientHealth, DegradedReason, RetryJitter,
     RetryPolicy,
@@ -611,7 +611,7 @@ fn load_from_store_shared(shared: &Shared) -> bool {
                 rc_obs::global_accuracy().set_baseline(name, entry.accuracy);
             }
         }
-        shared.store_fingerprint.store(store_fingerprint(store), Ordering::SeqCst);
+        shared.store_fingerprint.store(rc_store::fingerprint(store), Ordering::SeqCst);
         true
     }
 }
@@ -1122,6 +1122,41 @@ impl RcClient {
         Some(Executed { prediction: Prediction { value, score }, generation, stale })
     }
 
+    /// Shadow-evaluates a candidate model side-by-side with the serving
+    /// one — the control loop's pre-promotion check. Both models see the
+    /// feature vector assembled from the *same* pinned serve snapshot, so
+    /// a concurrent publish can never make the comparison lopsided.
+    ///
+    /// This path is deliberately invisible to clients: no counter moves,
+    /// no cache is read or written, no degradation is noted. The serving
+    /// side is `None` when the model or the subscription's feature record
+    /// is not resident; the candidate side is `None` only when the
+    /// feature record is missing (it needs no resident model).
+    pub fn shadow_predict(
+        &self,
+        model_name: &str,
+        inputs: &ClientInputs,
+        candidate: &TrainedModel,
+    ) -> ShadowPrediction {
+        let resolved = self.shared.serve.with(|snap| {
+            let sub = snap.features.get(&inputs.subscription).cloned();
+            let model = snap.models.get(model_name).cloned();
+            (model, sub)
+        });
+        let (model, sub) = resolved;
+        let Some(sub) = sub else {
+            return ShadowPrediction { serving: None, candidate: None };
+        };
+        let serving = model.map(|m| {
+            let features = m.spec.features(inputs, sub.as_ref());
+            let (value, score) = rc_ml::Classifier::predict(m.as_ref(), &features);
+            Prediction { value, score }
+        });
+        let features = candidate.spec.features(inputs, sub.as_ref());
+        let (value, score) = rc_ml::Classifier::predict(candidate, &features);
+        ShadowPrediction { serving, candidate: Some(Prediction { value, score }) }
+    }
+
     fn no_prediction(&self) -> PredictionResponse {
         self.shared.no_predictions.fetch_add(1, Ordering::Relaxed);
         self.shared.metrics.no_predictions.increment();
@@ -1291,23 +1326,6 @@ impl Drop for RcClient {
     }
 }
 
-/// FNV fingerprint over every (key, latest version) pair in the store.
-fn store_fingerprint(store: &dyn StoreBackend) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for key in store.keys() {
-        for b in key.as_bytes() {
-            h = (h ^ *b as u64).wrapping_mul(PRIME);
-        }
-        let v = store.latest_version(&key).unwrap_or(0);
-        for b in v.to_le_bytes() {
-            h = (h ^ b as u64).wrapping_mul(PRIME);
-        }
-    }
-    h
-}
-
 /// The push watcher: polls the store's version fingerprint and refreshes
 /// the caches when RC publishes something new.
 fn push_watcher(shared: Arc<Shared>, interval: StdDuration) {
@@ -1326,7 +1344,7 @@ fn push_watcher(shared: Arc<Shared>, interval: StdDuration) {
         if !shared.initialized.load(Ordering::SeqCst) || !shared.backend.is_available() {
             continue;
         }
-        let current = store_fingerprint(shared.backend.as_ref());
+        let current = rc_store::fingerprint(shared.backend.as_ref());
         if current != shared.store_fingerprint.load(Ordering::SeqCst)
             && load_from_store_shared(&shared)
         {

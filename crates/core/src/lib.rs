@@ -40,5 +40,5 @@ pub use pipeline::{
     run_pipeline, BucketStats, MetricReport, PipelineConfig, PipelineError, PipelineOutput,
     PublishGate,
 };
-pub use prediction::{Prediction, PredictionResponse, Served};
+pub use prediction::{Prediction, PredictionResponse, Served, ShadowPrediction};
 pub use resilience::{BreakerConfig, BreakerState, ClientHealth, DegradedReason, RetryPolicy};

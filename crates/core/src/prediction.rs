@@ -14,6 +14,20 @@ pub struct Prediction {
     pub score: f64,
 }
 
+/// A shadow evaluation's paired result: what the serving model answered
+/// and what a not-yet-promoted candidate would have answered for the same
+/// inputs, both resolved against one pinned serve snapshot. Produced by
+/// `RcClient::shadow_predict`; never visible to prediction clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowPrediction {
+    /// The serving model's answer; `None` when the model or the
+    /// subscription's feature record is not resident.
+    pub serving: Option<Prediction>,
+    /// The candidate's answer; `None` only when the feature record is
+    /// missing.
+    pub candidate: Option<Prediction>,
+}
+
 /// The client's reply: a prediction, or the no-prediction flag the caller
 /// must be prepared to handle (§4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

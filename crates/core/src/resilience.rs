@@ -7,6 +7,7 @@
 //! breaker cooldowns are counted in *calls*, not wall-clock time.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration as StdDuration, SystemTime};
 
 use parking_lot::Mutex;
@@ -125,6 +126,11 @@ pub struct CircuitBreakers {
     config: BreakerConfig,
     states: Mutex<HashMap<String, State>>,
     transitions: Counter,
+    half_open_probes: Counter,
+    /// Per-instance mirror of `half_open_probes`: the registry counter
+    /// is shared by every breaker set in the process, so a client's own
+    /// probe count needs its own cell.
+    local_probes: AtomicU64,
     open_gauge: Gauge,
     open_count: Mutex<i64>,
 }
@@ -137,9 +143,16 @@ impl CircuitBreakers {
             config,
             states: Mutex::new(HashMap::new()),
             transitions: reg.counter(rc_obs::CLIENT_BREAKER_TRANSITIONS),
+            half_open_probes: reg.counter(rc_obs::CLIENT_BREAKER_HALF_OPEN_PROBES),
+            local_probes: AtomicU64::new(0),
             open_gauge: reg.gauge(rc_obs::CLIENT_BREAKER_OPEN),
             open_count: Mutex::new(0),
         }
+    }
+
+    fn note_probe(&self) {
+        self.half_open_probes.increment();
+        self.local_probes.fetch_add(1, Ordering::Relaxed);
     }
 
     fn note_transition(&self, delta_open: i64) {
@@ -156,13 +169,18 @@ impl CircuitBreakers {
             states.entry(key.to_string()).or_insert(State::Closed { consecutive_failures: 0 });
         match state {
             State::Closed { .. } => Admission::Allow,
-            State::HalfOpen { .. } => Admission::Probe,
+            State::HalfOpen { .. } => {
+                drop(states);
+                self.note_probe();
+                Admission::Probe
+            }
             State::Open { rejected } => {
                 *rejected += 1;
                 if *rejected >= self.config.probe_after {
                     *state = State::HalfOpen { successes: 0 };
                     drop(states);
                     self.note_transition(-1);
+                    self.note_probe();
                     Admission::Probe
                 } else {
                     Admission::Reject
@@ -224,6 +242,15 @@ impl CircuitBreakers {
     /// Number of breakers currently Open.
     pub fn open_count(&self) -> usize {
         *self.open_count.lock() as usize
+    }
+
+    /// HalfOpen probe admissions so far, across all keys — every call
+    /// [`CircuitBreakers::admit`] answered with [`Admission::Probe`].
+    /// Mirrored on the `rc_client_breaker_half_open_probes` counter so
+    /// probe traffic is visible in registry snapshots next to
+    /// transitions and the open gauge.
+    pub fn half_open_probe_count(&self) -> u64 {
+        self.local_probes.load(Ordering::Relaxed)
     }
 
     /// Resets every breaker to Closed (used by `flush_cache`). Not a
@@ -356,6 +383,53 @@ mod tests {
         assert_eq!(breakers.state("model/B"), BreakerState::Closed);
         assert_eq!(breakers.admit("model/B"), Admission::Allow);
         assert_eq!(breakers.open_count(), 1);
+    }
+
+    #[test]
+    fn half_open_probes_are_counted_and_reconcile() {
+        let registry_before =
+            rc_obs::global().counter(rc_obs::CLIENT_BREAKER_HALF_OPEN_PROBES).get();
+        let breakers = CircuitBreakers::new(config());
+        let key = "model/P";
+        assert_eq!(breakers.half_open_probe_count(), 0);
+
+        // Trip the breaker open: Allow admissions are not probes.
+        for _ in 0..3 {
+            assert_eq!(breakers.admit(key), Admission::Allow);
+            breakers.record(key, false);
+        }
+        assert_eq!(breakers.half_open_probe_count(), 0, "Allow/Reject never count");
+
+        // Open absorbs one Reject, then grants the Open→HalfOpen probe.
+        assert_eq!(breakers.admit(key), Admission::Reject);
+        assert_eq!(breakers.admit(key), Admission::Probe);
+        assert_eq!(breakers.half_open_probe_count(), 1);
+
+        // A failed probe re-opens; the next recovery grants probe #2,
+        // and each HalfOpen admission before closing is a probe too.
+        breakers.record(key, false);
+        assert_eq!(breakers.admit(key), Admission::Reject);
+        assert_eq!(breakers.admit(key), Admission::Probe); // #2
+        breakers.record(key, true);
+        assert_eq!(breakers.admit(key), Admission::Probe); // #3: still HalfOpen
+        breakers.record(key, true); // success_threshold reached: Closed
+        assert_eq!(breakers.state(key), BreakerState::Closed);
+        assert_eq!(breakers.admit(key), Admission::Allow);
+        assert_eq!(breakers.half_open_probe_count(), 3);
+
+        // Exact reconciliation: every Probe admission — and nothing else
+        // — landed on the shared registry counter.
+        let registry_after =
+            rc_obs::global().counter(rc_obs::CLIENT_BREAKER_HALF_OPEN_PROBES).get();
+        assert!(registry_after - registry_before >= 3, "snapshot-visible probe counter");
+        // Per-key isolation: another key's probes accumulate on the same
+        // instance count.
+        for _ in 0..3 {
+            breakers.record("model/Q", false);
+        }
+        breakers.admit("model/Q");
+        assert_eq!(breakers.admit("model/Q"), Admission::Probe);
+        assert_eq!(breakers.half_open_probe_count(), 4);
     }
 
     #[test]

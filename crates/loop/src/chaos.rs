@@ -1,0 +1,164 @@
+//! Deterministic chaos injection for the control loop.
+//!
+//! Two pieces: a [`ChaosPlan`] describing *when* each fault fires on the
+//! simulated clock, and a [`ChaosStore`] — a [`StoreBackend`] wrapper
+//! whose write path can be armed to fail partway through a multi-put
+//! publication, which is exactly the window the two-phase protocol must
+//! survive (phase-one payloads may land; the manifest pointer must not
+//! move).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use rc_store::{Store, StoreBackend, StoreError, VersionedRecord};
+use rc_types::metrics::PredictionMetric;
+
+/// When each chaos fault fires, keyed by loop tick. Empty plan = no
+/// chaos. All schedules are data, so a soak is reproducible: the same
+/// plan against the same seed produces the same journal.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    /// `(tick, rate)`: the window ingested at `tick` streams through the
+    /// dirty-telemetry injector at `rate` (see
+    /// [`rc_trace::DirtyPlan::uniform`]). A rate near 1.0 starves the
+    /// trainer and must cost exactly one degraded tick.
+    pub dirty_at: Vec<(u32, f64)>,
+    /// `(tick, metrics)`: training panics injected into the pipeline for
+    /// those metrics at `tick`; the pipeline's per-metric isolation
+    /// quarantines them while the others train on.
+    pub fail_train_at: Vec<(u32, Vec<PredictionMetric>)>,
+    /// `(tick, n)`: at `tick`, the store starts refusing writes after `n`
+    /// more successful puts — armed before the publish attempt, healed at
+    /// tick end, so an outage strikes mid-flip.
+    pub outage_after_puts: Vec<(u32, u64)>,
+    /// Ticks whose retrain sees a garbled copy of the window (utilization
+    /// inverted): the candidate trains "successfully" but is wrong about
+    /// the real workload, and only the shadow comparison can catch it.
+    pub degrade_candidate_at: Vec<u32>,
+}
+
+impl ChaosPlan {
+    /// Dirty rate scheduled for `tick`, if any.
+    pub fn dirty_rate(&self, tick: u32) -> Option<f64> {
+        self.dirty_at.iter().find(|(t, _)| *t == tick).map(|(_, r)| *r)
+    }
+
+    /// Training faults scheduled for `tick`.
+    pub fn train_faults(&self, tick: u32) -> Vec<PredictionMetric> {
+        self.fail_train_at
+            .iter()
+            .find(|(t, _)| *t == tick)
+            .map(|(_, m)| m.clone())
+            .unwrap_or_default()
+    }
+
+    /// Put budget before the store outage scheduled for `tick`, if any.
+    pub fn outage_budget(&self, tick: u32) -> Option<u64> {
+        self.outage_after_puts.iter().find(|(t, _)| *t == tick).map(|(_, n)| *n)
+    }
+
+    /// Whether the candidate trained at `tick` is sabotaged.
+    pub fn degrades_candidate(&self, tick: u32) -> bool {
+        self.degrade_candidate_at.contains(&tick)
+    }
+}
+
+const NO_FAULT: u64 = u64::MAX;
+
+/// A [`StoreBackend`] wrapper with an armable write-path fault: after the
+/// configured number of further successful puts, every put fails with
+/// [`StoreError::Unavailable`] until [`ChaosStore::heal`]. Reads always
+/// pass through — the outage models losing write quorum, the failure
+/// mode a mid-publish crash exposes.
+pub struct ChaosStore {
+    inner: Store,
+    /// Remaining successful puts before writes fail; [`NO_FAULT`] means
+    /// the fault is disarmed.
+    puts_until_fail: AtomicU64,
+}
+
+impl ChaosStore {
+    /// Wraps a store with the fault disarmed.
+    pub fn new(inner: Store) -> Self {
+        ChaosStore { inner, puts_until_fail: AtomicU64::new(NO_FAULT) }
+    }
+
+    /// Arms the write fault: the next `budget` puts succeed, everything
+    /// after fails until [`ChaosStore::heal`].
+    pub fn arm_put_outage(&self, budget: u64) {
+        self.puts_until_fail.store(budget, Ordering::SeqCst);
+    }
+
+    /// Disarms the write fault.
+    pub fn heal(&self) {
+        self.puts_until_fail.store(NO_FAULT, Ordering::SeqCst);
+    }
+
+    /// The wrapped store, for direct inspection in tests.
+    pub fn inner(&self) -> &Store {
+        &self.inner
+    }
+}
+
+impl StoreBackend for ChaosStore {
+    fn is_available(&self) -> bool {
+        self.inner.is_available()
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.inner.keys()
+    }
+
+    fn get_latest(&self, key: &str) -> Result<VersionedRecord, StoreError> {
+        self.inner.get_latest(key)
+    }
+
+    fn get_version(&self, key: &str, version: u64) -> Result<VersionedRecord, StoreError> {
+        self.inner.get_version(key, version)
+    }
+
+    fn latest_version(&self, key: &str) -> Option<u64> {
+        self.inner.latest_version(key)
+    }
+
+    fn put(&self, key: &str, data: Bytes) -> Result<u64, StoreError> {
+        let mut remaining = self.puts_until_fail.load(Ordering::SeqCst);
+        loop {
+            if remaining == NO_FAULT {
+                return self.inner.put(key, data);
+            }
+            if remaining == 0 {
+                return Err(StoreError::Unavailable);
+            }
+            match self.puts_until_fail.compare_exchange(
+                remaining,
+                remaining - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return self.inner.put(key, data),
+                Err(actual) => remaining = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_fires_after_budget_and_heals() {
+        let store = ChaosStore::new(Store::in_memory());
+        store.arm_put_outage(2);
+        assert!(store.put("a", Bytes::from(vec![1])).is_ok());
+        assert!(store.put("b", Bytes::from(vec![2])).is_ok());
+        assert_eq!(store.put("c", Bytes::from(vec![3])).unwrap_err(), StoreError::Unavailable);
+        assert_eq!(store.put("d", Bytes::from(vec![4])).unwrap_err(), StoreError::Unavailable);
+        // Reads keep working through the outage.
+        assert!(store.get_latest("a").is_ok());
+        store.heal();
+        assert!(store.put("c", Bytes::from(vec![3])).is_ok());
+        assert_eq!(store.keys(), vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+    }
+}

@@ -1,0 +1,1102 @@
+//! The lifecycle controller: one struct owning the whole
+//! retrain/shadow/promote/watch/rollback state machine on a simulated
+//! clock.
+//!
+//! Determinism is the design constraint everything else bends around:
+//! the controller owns a private [`rc_obs::Registry`] and
+//! [`AccuracyTracker`] (no process-global state in any decision), every
+//! window trace is a pure function of `(seed, tick)`, metrics iterate in
+//! [`PredictionMetric::ALL`] order, and training runs single-threaded.
+//! Two soaks with the same [`LoopConfig`] produce bit-identical event
+//! journals and summaries.
+
+use std::collections::HashMap;
+
+use rc_core::{
+    cleanup, label_deployments, label_vms, run_pipeline, ClientInputs, LabeledDeployment,
+    LabeledVm, PipelineConfig, PublishGate, SubscriptionFeatures, TrainedModel,
+};
+use rc_ml::Classifier;
+use rc_obs::{acc_gauge_name, AccuracyTracker, Counter, DriftConfig, DriftSignal, Registry};
+use rc_store::{
+    checksum, manifest_models_digest, models_digest, rollback, Manifest, QuarantineSet, Store,
+    StoreBackend,
+};
+use rc_trace::{DirtyPlan, DirtyVmStream, Trace, TraceConfig, VmStream};
+use rc_types::metrics::PredictionMetric;
+use rc_types::vm::SubscriptionId;
+use serde::Serialize;
+
+use crate::chaos::{ChaosPlan, ChaosStore};
+
+/// A deterministic workload-distribution shift: every window ingested in
+/// `[from_tick, until_tick)` has its per-VM utilization parameters
+/// rescaled, which moves both the live ground truth and what a retrain
+/// on that window learns. A model trained before the shift mispredicts
+/// after it — the drift episode the loop must detect and retrain out of.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadShift {
+    /// First tick (inclusive) whose window sees the shift.
+    pub from_tick: u32,
+    /// First tick past the shift (`u32::MAX` = permanent).
+    pub until_tick: u32,
+    /// Multiplier on the mean-utilization parameter.
+    pub base_mul: f64,
+    /// Additive offset on the mean-utilization parameter.
+    pub base_add: f64,
+    /// Multiplier on the P95-of-max spike level.
+    pub p95_mul: f64,
+    /// Additive offset on the P95-of-max spike level.
+    pub p95_add: f64,
+}
+
+impl WorkloadShift {
+    /// A strong permanent upward shift starting at `from_tick` — enough
+    /// to drag a pre-shift model's accuracy through the drift threshold.
+    pub fn surge(from_tick: u32) -> Self {
+        WorkloadShift {
+            from_tick,
+            until_tick: u32::MAX,
+            base_mul: 0.4,
+            base_add: 0.55,
+            p95_mul: 0.3,
+            p95_add: 0.65,
+        }
+    }
+
+    fn active(&self, tick: u32) -> bool {
+        tick >= self.from_tick && tick < self.until_tick
+    }
+}
+
+/// Everything a soak needs: clock length, window shape, cadences,
+/// promotion thresholds, drift hysteresis, scripted workload shifts, and
+/// the chaos schedule. The soak is a pure function of this struct.
+#[derive(Debug, Clone)]
+pub struct LoopConfig {
+    /// Master seed; every window trace derives from `(seed, tick)`.
+    pub seed: u64,
+    /// Simulated ticks to run (one tick ≈ one retrain-cadence epoch).
+    pub ticks: u32,
+    /// Days of telemetry per rolling window.
+    pub window_days: u32,
+    /// Subscriptions per window (a stable id space across windows, so
+    /// published feature records stay addressable).
+    pub n_subscriptions: usize,
+    /// Approximate VMs per window.
+    pub window_vms: usize,
+    /// Telemetry-archive length in ticks: the soak replays a finite
+    /// archive, so window content repeats every `window_period` ticks.
+    /// `1` (the default) replays one window — the same tenant fleet every
+    /// tick, which is what keeps published per-subscription feature data
+    /// addressable across the whole soak. `0` generates a fresh fleet
+    /// every tick (every window statistically alike but disjoint tenants;
+    /// useful for generalization experiments, hostile to drift
+    /// monitoring).
+    pub window_period: u32,
+    /// Retrain cadence in ticks even without drift (`0` = drift-only).
+    pub retrain_every: u32,
+    /// Post-promotion watch period: ticks during which a drift trip
+    /// triggers rollback instead of retrain.
+    pub watch_ticks: u32,
+    /// Labelled VM examples replayed through the serving models per tick.
+    pub eval_per_tick: usize,
+    /// Replay-slice size for shadow evaluation.
+    pub shadow_slice: usize,
+    /// Shadow pass requires candidate mean accuracy within this of the
+    /// serving mean (and better when the margin is negative).
+    pub promote_margin: f64,
+    /// Shadow pass requires no single metric to regress by more.
+    pub shadow_margin: f64,
+    /// Drift hysteresis for the live accuracy monitor.
+    pub drift: DriftConfig,
+    /// The publish gate candidates must still clear (the loop's shadow
+    /// comparison is the sharper filter, so the regression tolerance
+    /// here is looser than the gate's own default).
+    pub gate: PublishGate,
+    /// Scripted workload shifts.
+    pub shifts: Vec<WorkloadShift>,
+    /// Scripted faults.
+    pub chaos: ChaosPlan,
+}
+
+impl Default for LoopConfig {
+    fn default() -> Self {
+        LoopConfig {
+            seed: 0xC0_FFEE,
+            ticks: 24,
+            window_days: 18,
+            n_subscriptions: 100,
+            window_vms: 2_600,
+            window_period: 1,
+            retrain_every: 8,
+            watch_ticks: 4,
+            eval_per_tick: 400,
+            shadow_slice: 300,
+            promote_margin: 0.03,
+            shadow_margin: 0.15,
+            drift: DriftConfig {
+                window: 2,
+                tolerance: 0.12,
+                clear_margin: 0.05,
+                trip_ticks: 2,
+                clear_ticks: 2,
+                min_samples: 30,
+            },
+            gate: PublishGate { min_accuracy: 0.40, max_regression: 0.30 },
+            shifts: Vec::new(),
+            chaos: ChaosPlan::default(),
+        }
+    }
+}
+
+/// Why a retrain was scheduled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum RetrainReason {
+    /// No model has ever been published.
+    Bootstrap,
+    /// The drift monitor tripped on the named metrics.
+    Drift { metrics: Vec<String> },
+    /// The refresh cadence expired.
+    Cadence,
+}
+
+/// One journal entry. The journal is the soak's full audit trail and its
+/// reproducibility witness: the summary digests it, and the acceptance
+/// tests compare it bit-for-bit across same-seed runs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum LoopEvent {
+    /// A telemetry window was ingested (post-cleanup sizes).
+    WindowIngested { vms: u64, quarantined: u64 },
+    /// The drift monitor tripped for a metric.
+    DriftDetected { metric: String },
+    /// A retrain was scheduled.
+    RetrainScheduled { reason: RetrainReason },
+    /// The training pipeline failed outright; the tick degrades and the
+    /// previously published version keeps serving.
+    RetrainFailed { error: String },
+    /// One metric's trainer faulted; the pipeline isolated it and the
+    /// remaining models continued.
+    MetricQuarantined { metric: String },
+    /// Shadow comparison of candidate vs serving on the replay slice.
+    ShadowEvaluated { serving_mean: f64, candidate_mean: f64 },
+    /// The candidate lost the shadow comparison; nothing was written.
+    ShadowRejected { reason: String },
+    /// The candidate's content digest is quarantined from an earlier
+    /// rollback; promotion refused before any write.
+    QuarantineBlocked { digest: u64 },
+    /// Two-phase publish completed; the new version is serving.
+    Promoted { version: u64 },
+    /// Publish failed (gate or store); the manifest did not move.
+    PublishFailed { error: String },
+    /// Post-flip regression: rolled back to `to_version` and quarantined
+    /// the regressing content digest.
+    RolledBack { to_version: u64, quarantined_digest: u64 },
+    /// A rollback was needed but no earlier good version exists; the
+    /// loop degrades the tick and keeps serving.
+    RollbackUnavailable,
+}
+
+/// A journal entry pinned to its tick.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TickEvent {
+    /// Simulated tick the event occurred on.
+    pub tick: u32,
+    /// What happened.
+    pub event: LoopEvent,
+}
+
+/// Cumulative live-vs-frozen accuracy for one metric.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricAccuracy {
+    /// Model name (`VM_AVGUTIL`, ...).
+    pub metric: String,
+    /// Accuracy of whatever the loop kept serving, over the whole soak.
+    pub live: f64,
+    /// Accuracy of the never-retrained first model over the same
+    /// examples.
+    pub frozen: f64,
+}
+
+/// End-of-soak accounting, serializable into `BENCH_loop.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoopSummary {
+    /// Seed the soak ran under.
+    pub seed: u64,
+    /// Ticks simulated.
+    pub ticks: u32,
+    /// Windows ingested (== ticks: ingestion never skips).
+    pub windows_ingested: u64,
+    /// Retrains attempted.
+    pub retrains: u64,
+    /// Retrains that failed outright.
+    pub retrain_failures: u64,
+    /// Shadow comparisons run.
+    pub shadow_evals: u64,
+    /// Candidates rejected in shadow.
+    pub shadow_rejections: u64,
+    /// Successful promotions (including bootstrap).
+    pub promotions: u64,
+    /// Automatic rollbacks.
+    pub rollbacks: u64,
+    /// Candidate promotions refused because their content digest was
+    /// quarantined by an earlier rollback.
+    pub quarantine_blocked: u64,
+    /// Ticks on which a scheduled action failed and the loop degraded.
+    pub degraded_ticks: u64,
+    /// Manifest version serving when the soak ended.
+    pub final_version: u64,
+    /// End-to-end prediction accuracy of the managed (retraining) loop.
+    pub live_accuracy: f64,
+    /// Accuracy the first model alone would have scored (no-retrain
+    /// baseline) over the identical examples.
+    pub frozen_accuracy: f64,
+    /// Per-metric live vs frozen accuracy.
+    pub per_metric: Vec<MetricAccuracy>,
+    /// FNV digest of the serialized event journal — the cheap
+    /// reproducibility witness two same-seed runs must agree on.
+    pub journal_digest: u64,
+    /// Fingerprint of the store's final (key, version) state.
+    pub store_fingerprint: u64,
+}
+
+/// One resident model/feature set, decoded out of a published version.
+#[derive(Clone)]
+struct ModelSet {
+    /// `(model_name, model)` in manifest order.
+    models: Vec<(String, TrainedModel)>,
+    features: HashMap<SubscriptionId, SubscriptionFeatures>,
+    version: u64,
+    digest: u64,
+}
+
+impl ModelSet {
+    fn model(&self, name: &str) -> Option<&TrainedModel> {
+        self.models.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    fn predict(&self, name: &str, inputs: &ClientInputs) -> Option<usize> {
+        let model = self.model(name)?;
+        let sub = self.features.get(&inputs.subscription)?;
+        let features = model.spec.features(inputs, sub);
+        Some(model.predict(&features).0)
+    }
+}
+
+/// Where the loop is in its promote/watch cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Normal operation: drift or cadence schedules a retrain.
+    Steady,
+    /// Recently flipped: a drift trip rolls back instead.
+    Watching { remaining: u32 },
+}
+
+struct LoopCounters {
+    ticks: Counter,
+    windows: Counter,
+    retrains: Counter,
+    retrain_failures: Counter,
+    shadow_evals: Counter,
+    shadow_rejections: Counter,
+    promotions: Counter,
+    rollbacks: Counter,
+    quarantine_blocked: Counter,
+    degraded_ticks: Counter,
+}
+
+impl LoopCounters {
+    fn new(registry: &Registry) -> Self {
+        LoopCounters {
+            ticks: registry.counter(rc_obs::LOOP_TICKS),
+            windows: registry.counter(rc_obs::LOOP_WINDOWS_INGESTED),
+            retrains: registry.counter(rc_obs::LOOP_RETRAINS),
+            retrain_failures: registry.counter(rc_obs::LOOP_RETRAIN_FAILURES),
+            shadow_evals: registry.counter(rc_obs::LOOP_SHADOW_EVALS),
+            shadow_rejections: registry.counter(rc_obs::LOOP_SHADOW_REJECTIONS),
+            promotions: registry.counter(rc_obs::LOOP_PROMOTIONS),
+            rollbacks: registry.counter(rc_obs::LOOP_ROLLBACKS),
+            quarantine_blocked: registry.counter(rc_obs::LOOP_QUARANTINE_BLOCKED),
+            degraded_ticks: registry.counter(rc_obs::LOOP_DEGRADED_TICKS),
+        }
+    }
+}
+
+/// Per-metric correct/total tallies over the whole soak, indexed by
+/// [`PredictionMetric::index`].
+#[derive(Default, Clone)]
+struct Tally {
+    correct: [u64; 6],
+    total: [u64; 6],
+}
+
+impl Tally {
+    fn record(&mut self, metric: PredictionMetric, correct: bool) {
+        let i = metric.index();
+        self.total[i] += 1;
+        if correct {
+            self.correct[i] += 1;
+        }
+    }
+
+    fn accuracy(&self) -> f64 {
+        let total: u64 = self.total.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.correct.iter().sum::<u64>() as f64 / total as f64
+    }
+
+    fn metric_accuracy(&self, metric: PredictionMetric) -> f64 {
+        let i = metric.index();
+        if self.total[i] == 0 {
+            return 0.0;
+        }
+        self.correct[i] as f64 / self.total[i] as f64
+    }
+}
+
+/// The controller. Construct with [`LoopController::new`], then either
+/// [`run`](LoopController::run) the whole soak or step it one
+/// [`run_tick`](LoopController::run_tick) at a time (the acceptance
+/// tests do, to inspect mid-soak state).
+pub struct LoopController {
+    config: LoopConfig,
+    store: ChaosStore,
+    registry: Registry,
+    tracker: AccuracyTracker,
+    counters: LoopCounters,
+    serving: Option<ModelSet>,
+    /// The first promoted set, frozen, for the no-retrain baseline.
+    frozen: Option<ModelSet>,
+    quarantine: QuarantineSet,
+    phase: Phase,
+    tick: u32,
+    last_retrain_tick: Option<u32>,
+    /// Shadow-measured per-metric accuracy recorded at each promotion,
+    /// keyed by version — restored as drift baselines after a rollback.
+    promoted_baselines: HashMap<u64, Vec<(String, f64)>>,
+    journal: Vec<TickEvent>,
+    live: Tally,
+    frozen_tally: Tally,
+}
+
+impl LoopController {
+    /// A controller over a fresh in-memory store.
+    pub fn new(config: LoopConfig) -> Self {
+        Self::with_store(config, Store::in_memory())
+    }
+
+    /// A controller over a caller-supplied store (tests pre-seed or
+    /// inspect it).
+    pub fn with_store(config: LoopConfig, store: Store) -> Self {
+        let registry = Registry::new();
+        let tracker = AccuracyTracker::with_registry(registry.clone(), config.drift.clone());
+        let counters = LoopCounters::new(&registry);
+        LoopController {
+            config,
+            store: ChaosStore::new(store),
+            registry,
+            tracker,
+            counters,
+            serving: None,
+            frozen: None,
+            quarantine: QuarantineSet::default(),
+            phase: Phase::Steady,
+            tick: 0,
+            last_retrain_tick: None,
+            promoted_baselines: HashMap::new(),
+            journal: Vec::new(),
+            live: Tally::default(),
+            frozen_tally: Tally::default(),
+        }
+    }
+
+    /// The controller's private metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The live-accuracy tracker.
+    pub fn tracker(&self) -> &AccuracyTracker {
+        &self.tracker
+    }
+
+    /// The chaos-wrapped store the loop publishes through.
+    pub fn store(&self) -> &ChaosStore {
+        &self.store
+    }
+
+    /// The event journal so far.
+    pub fn journal(&self) -> &[TickEvent] {
+        &self.journal
+    }
+
+    /// Manifest version currently serving (`0` before bootstrap).
+    pub fn serving_version(&self) -> u64 {
+        self.serving.as_ref().map_or(0, |s| s.version)
+    }
+
+    /// Content digests quarantined from re-promotion.
+    pub fn quarantined_digests(&self) -> &[u64] {
+        self.quarantine.digests()
+    }
+
+    /// Runs the remaining ticks and returns the summary.
+    pub fn run(mut self) -> LoopSummary {
+        while self.tick < self.config.ticks {
+            self.run_tick();
+        }
+        self.summary()
+    }
+
+    /// Advances the simulated clock by one tick. Every failure mode
+    /// lands back here: nothing a tick does can prevent the next one.
+    pub fn run_tick(&mut self) {
+        let tick = self.tick;
+        self.counters.ticks.increment();
+        let mut degraded = false;
+
+        // 1. Ingest the next rolling window.
+        let window = self.ingest_window(tick);
+        let vms = label_vms(&window, 120);
+        let deployments = label_deployments(&window);
+        let eval_vms = &vms[..vms.len().min(self.config.eval_per_tick)];
+        let eval_deps = &deployments[..deployments.len().min(self.config.eval_per_tick)];
+
+        // 2. Serve the window through the published models and score it.
+        self.evaluate_live(tick, eval_vms, eval_deps);
+        self.tracker.tick();
+        self.registry.tick();
+
+        // 3. Consult the drift monitor.
+        let drifting = self.drifting_metrics();
+        for metric in &drifting {
+            self.journal.push(TickEvent {
+                tick,
+                event: LoopEvent::DriftDetected { metric: metric.clone() },
+            });
+        }
+
+        // 4. React: rollback while watching, retrain otherwise.
+        if let Phase::Watching { remaining } = self.phase {
+            if !drifting.is_empty() {
+                self.do_rollback(tick, &mut degraded);
+            } else if remaining <= 1 {
+                self.phase = Phase::Steady;
+            } else {
+                self.phase = Phase::Watching { remaining: remaining - 1 };
+            }
+        }
+        if self.phase == Phase::Steady {
+            if let Some(reason) = self.retrain_reason(tick, &drifting) {
+                self.do_retrain(tick, reason, &window, eval_vms, eval_deps, &mut degraded);
+            }
+        }
+
+        // 5. Close the tick: heal chaos, refresh gauges.
+        self.store.heal();
+        if degraded {
+            self.counters.degraded_ticks.increment();
+        }
+        self.registry.gauge(rc_obs::LOOP_SERVING_VERSION).set(self.serving_version() as f64);
+        self.tick += 1;
+    }
+
+    /// Final accounting. Callable at any point; [`run`](Self::run) calls
+    /// it after the last tick.
+    pub fn summary(&self) -> LoopSummary {
+        let per_metric = PredictionMetric::ALL
+            .iter()
+            .map(|&m| MetricAccuracy {
+                metric: m.model_name().to_string(),
+                live: self.live.metric_accuracy(m),
+                frozen: self.frozen_tally.metric_accuracy(m),
+            })
+            .collect();
+        LoopSummary {
+            seed: self.config.seed,
+            ticks: self.tick,
+            windows_ingested: self.counters.windows.get(),
+            retrains: self.counters.retrains.get(),
+            retrain_failures: self.counters.retrain_failures.get(),
+            shadow_evals: self.counters.shadow_evals.get(),
+            shadow_rejections: self.counters.shadow_rejections.get(),
+            promotions: self.counters.promotions.get(),
+            rollbacks: self.counters.rollbacks.get(),
+            quarantine_blocked: self.counters.quarantine_blocked.get(),
+            degraded_ticks: self.counters.degraded_ticks.get(),
+            final_version: self.serving_version(),
+            live_accuracy: self.live.accuracy(),
+            frozen_accuracy: self.frozen_tally.accuracy(),
+            per_metric,
+            journal_digest: journal_digest(&self.journal),
+            store_fingerprint: rc_store::fingerprint(&self.store),
+        }
+    }
+
+    // --- Tick stages ---
+
+    /// Generates (and, on dirty ticks, corrupts), shifts, and cleans the
+    /// tick's telemetry window.
+    fn ingest_window(&mut self, tick: u32) -> Trace {
+        // With a finite archive, window content cycles; chaos and shifts
+        // still key off the absolute tick.
+        let window_index = match self.config.window_period {
+            0 => tick,
+            period => tick % period,
+        };
+        let trace_config = TraceConfig {
+            seed: self
+                .config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(window_index as u64 + 1),
+            days: self.config.window_days,
+            n_subscriptions: self.config.n_subscriptions,
+            target_vms: self.config.window_vms,
+            n_regions: 2,
+        };
+        let (mut trace, quarantined_stream) = match self.config.chaos.dirty_rate(tick) {
+            Some(rate) => {
+                let plan = DirtyPlan::uniform(trace_config.seed ^ (0xD1127 + tick as u64), rate);
+                let (trace, report) = DirtyVmStream::new(&trace_config, plan).collect_trace();
+                (trace, report.total())
+            }
+            None => (VmStream::new(&trace_config).collect_trace(), 0),
+        };
+        for shift in &self.config.shifts {
+            if shift.active(tick) {
+                apply_shift(&mut trace, shift);
+            }
+        }
+        let (cleaned, report) = cleanup(&trace);
+        let cleaned = cleaned.into_owned();
+        self.counters.windows.increment();
+        self.journal.push(TickEvent {
+            tick,
+            event: LoopEvent::WindowIngested {
+                vms: cleaned.vms.len() as u64,
+                quarantined: report.quarantined() + quarantined_stream,
+            },
+        });
+        cleaned
+    }
+
+    /// Replays the evaluation slice through the serving and frozen sets,
+    /// feeding the drift monitor with the serving side's outcomes.
+    fn evaluate_live(&mut self, tick: u32, vms: &[LabeledVm], deployments: &[LabeledDeployment]) {
+        let Some(serving) = self.serving.clone() else { return };
+        let frozen = self.frozen.clone();
+        let mut next_id = (tick as u64) << 32;
+        let mut score = |set_live: &ModelSet,
+                         metric: PredictionMetric,
+                         inputs: &ClientInputs,
+                         truth: usize,
+                         live: &mut Tally,
+                         tracker: &AccuracyTracker| {
+            if let Some(predicted) = set_live.predict(metric.model_name(), inputs) {
+                let id = next_id;
+                next_id += 1;
+                tracker.record_prediction(metric.model_name(), id, predicted);
+                tracker.record_outcome(metric.model_name(), id, truth);
+                live.record(metric, predicted == truth);
+            }
+        };
+        for vm in vms {
+            for metric in vm_metrics() {
+                let Some(truth) = vm_truth(metric, vm) else { continue };
+                score(&serving, metric, &vm.inputs, truth, &mut self.live, &self.tracker);
+                if let Some(frozen) = &frozen {
+                    if let Some(predicted) = frozen.predict(metric.model_name(), &vm.inputs) {
+                        self.frozen_tally.record(metric, predicted == truth);
+                    }
+                }
+            }
+        }
+        for dep in deployments {
+            for metric in deployment_metrics() {
+                let Some(truth) = deployment_truth(metric, dep) else { continue };
+                score(&serving, metric, &dep.inputs, truth, &mut self.live, &self.tracker);
+                if let Some(frozen) = &frozen {
+                    if let Some(predicted) = frozen.predict(metric.model_name(), &dep.inputs) {
+                        self.frozen_tally.record(metric, predicted == truth);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serving metrics whose drift signal currently reads `Drifting`.
+    fn drifting_metrics(&self) -> Vec<String> {
+        let Some(serving) = &self.serving else { return Vec::new() };
+        PredictionMetric::ALL
+            .iter()
+            .map(|m| m.model_name())
+            .filter(|name| serving.model(name).is_some())
+            .filter(|name| self.tracker.drift(name) == DriftSignal::Drifting)
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn retrain_reason(&self, tick: u32, drifting: &[String]) -> Option<RetrainReason> {
+        if self.serving.is_none() {
+            return Some(RetrainReason::Bootstrap);
+        }
+        if !drifting.is_empty() {
+            return Some(RetrainReason::Drift { metrics: drifting.to_vec() });
+        }
+        if self.config.retrain_every > 0 {
+            let since = tick - self.last_retrain_tick.unwrap_or(0);
+            if since >= self.config.retrain_every {
+                return Some(RetrainReason::Cadence);
+            }
+        }
+        None
+    }
+
+    /// Train → shadow-evaluate → (maybe) promote. Every early return is
+    /// a contained failure: the store's manifest has not moved.
+    fn do_retrain(
+        &mut self,
+        tick: u32,
+        reason: RetrainReason,
+        window: &Trace,
+        eval_vms: &[LabeledVm],
+        eval_deps: &[LabeledDeployment],
+        degraded: &mut bool,
+    ) {
+        self.counters.retrains.increment();
+        self.last_retrain_tick = Some(tick);
+        self.journal.push(TickEvent { tick, event: LoopEvent::RetrainScheduled { reason } });
+
+        // Train — on a sabotaged copy of the window when chaos says so.
+        let train_trace;
+        let train_on: &Trace = if self.config.chaos.degrades_candidate(tick) {
+            train_trace = garble(window);
+            &train_trace
+        } else {
+            window
+        };
+        let mut pipeline_config = PipelineConfig::fast(self.config.window_days);
+        pipeline_config.fail_train = self.config.chaos.train_faults(tick);
+        let output = match run_pipeline(train_on, &pipeline_config) {
+            Ok(output) => output,
+            Err(e) => {
+                self.counters.retrain_failures.increment();
+                self.journal.push(TickEvent {
+                    tick,
+                    event: LoopEvent::RetrainFailed { error: format!("{e:?}") },
+                });
+                *degraded = true;
+                return;
+            }
+        };
+        for (metric, _) in &output.quarantined_metrics {
+            self.journal.push(TickEvent {
+                tick,
+                event: LoopEvent::MetricQuarantined { metric: metric.model_name().to_string() },
+            });
+        }
+
+        // Shadow-evaluate the candidate against the serving set on the
+        // replay slice. No store write, no tracker write: invisible.
+        let candidate = ModelSet {
+            models: output
+                .models
+                .iter()
+                .map(|m| (m.spec.metric.model_name().to_string(), m.clone()))
+                .collect(),
+            features: output.feature_data.clone(),
+            version: 0,
+            digest: 0,
+        };
+        self.counters.shadow_evals.increment();
+        let comparison = shadow_compare(
+            self.serving.as_ref(),
+            &candidate,
+            &eval_vms[..eval_vms.len().min(self.config.shadow_slice)],
+            &eval_deps[..eval_deps.len().min(self.config.shadow_slice)],
+        );
+        for row in &comparison.rows {
+            self.registry
+                .gauge(&acc_gauge_name(rc_obs::LOOP_SHADOW_ACCURACY, &row.metric))
+                .set(row.candidate);
+        }
+        self.journal.push(TickEvent {
+            tick,
+            event: LoopEvent::ShadowEvaluated {
+                serving_mean: comparison.serving_mean,
+                candidate_mean: comparison.candidate_mean,
+            },
+        });
+        if self.serving.is_some() {
+            if let Some(reason) = comparison.rejection(&self.config) {
+                self.counters.shadow_rejections.increment();
+                self.journal.push(TickEvent { tick, event: LoopEvent::ShadowRejected { reason } });
+                return;
+            }
+        }
+
+        // Quarantine check on the candidate's *content*: a version number
+        // is never reused, but the same bad bytes can be retrained — the
+        // digest is what must never serve again.
+        let digest = models_digest(
+            output.models.iter().map(|m| (m.spec.store_key(), checksum(&rc_ml::to_bytes(m)))),
+        );
+        if self.quarantine.contains_digest(digest) {
+            self.counters.quarantine_blocked.increment();
+            self.journal.push(TickEvent { tick, event: LoopEvent::QuarantineBlocked { digest } });
+            return;
+        }
+
+        // Promote: gate + two-phase atomic publish. A scheduled store
+        // outage arms here so it strikes mid-flip.
+        if let Some(budget) = self.config.chaos.outage_budget(tick) {
+            self.store.arm_put_outage(budget);
+        }
+        match output.publish_gated(&self.store, self.config.gate) {
+            Ok(version) => {
+                self.counters.promotions.increment();
+                self.journal.push(TickEvent { tick, event: LoopEvent::Promoted { version } });
+                self.reload_serving();
+                // A flip invalidates the rolling comparison window: old
+                // outcomes judge a model that is no longer serving. Start
+                // the drift monitor fresh, with the held-out validation
+                // accuracies as this version's expectation.
+                let baselines: Vec<(String, f64)> = output
+                    .reports
+                    .iter()
+                    .map(|r| (r.metric.model_name().to_string(), r.accuracy))
+                    .collect();
+                self.reset_tracker(&baselines);
+                self.promoted_baselines.insert(version, baselines);
+                if self.frozen.is_none() {
+                    self.frozen = self.serving.clone();
+                }
+                self.phase = Phase::Watching { remaining: self.config.watch_ticks };
+            }
+            Err(e) => {
+                self.journal.push(TickEvent {
+                    tick,
+                    event: LoopEvent::PublishFailed { error: format!("{e:?}") },
+                });
+                *degraded = true;
+            }
+        }
+    }
+
+    /// Post-flip regression: quarantine the serving content digest, then
+    /// roll the manifest pointer back to `last_good`.
+    fn do_rollback(&mut self, tick: u32, degraded: &mut bool) {
+        self.phase = Phase::Steady;
+        let Some(serving) = self.serving.clone() else { return };
+        let manifest = match Manifest::read_current(&self.store) {
+            Ok(Some(m)) => m,
+            _ => {
+                *degraded = true;
+                return;
+            }
+        };
+        if !manifest.can_rollback() {
+            // Satellite: nothing to roll back *to*. Degrade the tick,
+            // keep serving, never wedge.
+            self.journal.push(TickEvent { tick, event: LoopEvent::RollbackUnavailable });
+            *degraded = true;
+            return;
+        }
+        self.quarantine.insert(serving.version, serving.digest);
+        if self.quarantine.save(&self.store).is_err() {
+            *degraded = true;
+        }
+        match rollback(&self.store) {
+            Ok(to_version) => {
+                self.counters.rollbacks.increment();
+                self.journal.push(TickEvent {
+                    tick,
+                    event: LoopEvent::RolledBack { to_version, quarantined_digest: serving.digest },
+                });
+                self.reload_serving();
+                // Same reasoning as promotion: the bad model's outcomes
+                // must not be held against the restored one. Fresh
+                // monitor, restored version's own expectations.
+                let baselines =
+                    self.promoted_baselines.get(&to_version).cloned().unwrap_or_default();
+                self.reset_tracker(&baselines);
+            }
+            Err(e) => {
+                self.journal.push(TickEvent {
+                    tick,
+                    event: LoopEvent::PublishFailed { error: format!("rollback: {e:?}") },
+                });
+                *degraded = true;
+            }
+        }
+    }
+
+    /// Re-decodes the serving set from the store's current manifest.
+    fn reload_serving(&mut self) {
+        self.serving = load_model_set(&self.store);
+        self.registry.gauge(rc_obs::LOOP_SERVING_VERSION).set(self.serving_version() as f64);
+    }
+
+    /// Replaces the drift monitor with a fresh one carrying the given
+    /// baselines — called on every model flip (promotion or rollback) so
+    /// the rolling window never mixes outcomes across serving versions.
+    fn reset_tracker(&mut self, baselines: &[(String, f64)]) {
+        self.tracker =
+            AccuracyTracker::with_registry(self.registry.clone(), self.config.drift.clone());
+        for (metric, accuracy) in baselines {
+            self.tracker.set_baseline(metric, *accuracy);
+        }
+    }
+}
+
+// --- Shadow comparison ---
+
+struct ShadowRow {
+    metric: String,
+    serving: f64,
+    candidate: f64,
+}
+
+struct ShadowComparison {
+    rows: Vec<ShadowRow>,
+    serving_mean: f64,
+    candidate_mean: f64,
+}
+
+impl ShadowComparison {
+    /// `Some(reason)` when the candidate must not be promoted.
+    fn rejection(&self, config: &LoopConfig) -> Option<String> {
+        if self.candidate_mean + config.promote_margin < self.serving_mean {
+            return Some(format!(
+                "candidate mean {:.3} below serving mean {:.3}",
+                self.candidate_mean, self.serving_mean
+            ));
+        }
+        for row in &self.rows {
+            if row.candidate < row.serving - config.shadow_margin {
+                return Some(format!(
+                    "{} regressed {:.3} -> {:.3}",
+                    row.metric, row.serving, row.candidate
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Scores both sets on the replay slice. Metrics are compared only where
+/// the candidate has a model and at least one example scored.
+fn shadow_compare(
+    serving: Option<&ModelSet>,
+    candidate: &ModelSet,
+    vms: &[LabeledVm],
+    deployments: &[LabeledDeployment],
+) -> ShadowComparison {
+    let mut rows = Vec::new();
+    for metric in PredictionMetric::ALL {
+        let name = metric.model_name();
+        if candidate.model(name).is_none() {
+            continue;
+        }
+        let (mut s_correct, mut c_correct, mut n) = (0u64, 0u64, 0u64);
+        let mut score = |inputs: &ClientInputs, truth: usize| {
+            let Some(c) = candidate.predict(name, inputs) else { return };
+            n += 1;
+            if c == truth {
+                c_correct += 1;
+            }
+            if let Some(s) = serving.and_then(|s| s.predict(name, inputs)) {
+                if s == truth {
+                    s_correct += 1;
+                }
+            }
+        };
+        match metric {
+            PredictionMetric::DeploymentSizeVms | PredictionMetric::DeploymentSizeCores => {
+                for dep in deployments {
+                    if let Some(truth) = deployment_truth(metric, dep) {
+                        score(&dep.inputs, truth);
+                    }
+                }
+            }
+            _ => {
+                for vm in vms {
+                    if let Some(truth) = vm_truth(metric, vm) {
+                        score(&vm.inputs, truth);
+                    }
+                }
+            }
+        }
+        if n > 0 {
+            rows.push(ShadowRow {
+                metric: name.to_string(),
+                serving: s_correct as f64 / n as f64,
+                candidate: c_correct as f64 / n as f64,
+            });
+        }
+    }
+    let mean = |f: fn(&ShadowRow) -> f64, rows: &[ShadowRow]| {
+        if rows.is_empty() {
+            0.0
+        } else {
+            rows.iter().map(f).sum::<f64>() / rows.len() as f64
+        }
+    };
+    ShadowComparison {
+        serving_mean: mean(|r| r.serving, &rows),
+        candidate_mean: mean(|r| r.candidate, &rows),
+        rows,
+    }
+}
+
+// --- Helpers ---
+
+fn vm_metrics() -> [PredictionMetric; 4] {
+    [
+        PredictionMetric::AvgCpuUtil,
+        PredictionMetric::P95MaxCpuUtil,
+        PredictionMetric::Lifetime,
+        PredictionMetric::WorkloadClass,
+    ]
+}
+
+fn deployment_metrics() -> [PredictionMetric; 2] {
+    [PredictionMetric::DeploymentSizeVms, PredictionMetric::DeploymentSizeCores]
+}
+
+fn vm_truth(metric: PredictionMetric, vm: &LabeledVm) -> Option<usize> {
+    match metric {
+        PredictionMetric::AvgCpuUtil => Some(vm.obs.avg_bucket),
+        PredictionMetric::P95MaxCpuUtil => Some(vm.obs.p95_bucket),
+        PredictionMetric::Lifetime => Some(vm.obs.lifetime_bucket),
+        PredictionMetric::WorkloadClass => vm.obs.class,
+        _ => None,
+    }
+}
+
+fn deployment_truth(metric: PredictionMetric, dep: &LabeledDeployment) -> Option<usize> {
+    match metric {
+        PredictionMetric::DeploymentSizeVms => Some(dep.obs.vms_bucket),
+        PredictionMetric::DeploymentSizeCores => Some(dep.obs.cores_bucket),
+        _ => None,
+    }
+}
+
+/// Applies a workload shift in place.
+fn apply_shift(trace: &mut Trace, shift: &WorkloadShift) {
+    for util in &mut trace.util {
+        util.base = (util.base * shift.base_mul + shift.base_add).clamp(0.01, 0.98);
+        util.p95_level = (util.p95_level * shift.p95_mul + shift.p95_add).clamp(util.base, 0.99);
+    }
+}
+
+/// A sabotaged copy of the window: utilization inverted, so a model
+/// trained on it fits the garbled labels (its own test split looks fine)
+/// while being systematically wrong about the real workload.
+fn garble(trace: &Trace) -> Trace {
+    let mut garbled = trace.clone();
+    for util in &mut garbled.util {
+        util.base = (0.95 - util.base).clamp(0.01, 0.95);
+        util.p95_level = (0.99 - util.p95_level).clamp(util.base, 0.99);
+    }
+    garbled
+}
+
+/// Decodes the store's current manifest into a resident [`ModelSet`].
+/// Any missing or checksum-mismatched payload voids the load — a
+/// half-published version must never partially serve.
+fn load_model_set<B: StoreBackend + ?Sized>(store: &B) -> Option<ModelSet> {
+    let manifest = Manifest::read_current(store).ok()??;
+    let prefix = Manifest::version_prefix(manifest.version);
+    let mut models = Vec::with_capacity(manifest.models.len());
+    for entry in &manifest.models {
+        let record = store.get_latest(&format!("{prefix}{}", entry.key)).ok()?;
+        if checksum(&record.data) != entry.checksum {
+            return None;
+        }
+        let model: TrainedModel = rc_ml::from_bytes(&record.data).ok()?;
+        let name = entry.key.trim_start_matches("model/").to_string();
+        models.push((name, model));
+    }
+    let mut features = HashMap::with_capacity(manifest.features.len());
+    for entry in &manifest.features {
+        let record = store.get_latest(&format!("{prefix}{}", entry.key)).ok()?;
+        if checksum(&record.data) != entry.checksum {
+            return None;
+        }
+        let sub: u32 = entry.key.strip_prefix("features/")?.parse().ok()?;
+        let decoded: SubscriptionFeatures = serde_json::from_slice(&record.data).ok()?;
+        features.insert(SubscriptionId(sub), decoded);
+    }
+    let digest = manifest_models_digest(&manifest);
+    Some(ModelSet { models, features, version: manifest.version, digest })
+}
+
+/// FNV-1a over the serialized journal: the reproducibility witness.
+pub(crate) fn journal_digest(journal: &[TickEvent]) -> u64 {
+    let bytes = serde_json::to_vec(&journal.to_vec()).unwrap_or_default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(seed: u64, ticks: u32) -> LoopConfig {
+        LoopConfig {
+            seed,
+            ticks,
+            window_days: 16,
+            n_subscriptions: 80,
+            window_vms: 2_200,
+            retrain_every: 6,
+            eval_per_tick: 250,
+            shadow_slice: 200,
+            ..LoopConfig::default()
+        }
+    }
+
+    #[test]
+    fn bootstrap_promotes_and_loop_settles() {
+        let mut controller = LoopController::new(tiny_config(11, 3));
+        controller.run_tick();
+        assert_eq!(controller.serving_version(), 1, "bootstrap publishes v1 on the first tick");
+        controller.run_tick();
+        controller.run_tick();
+        let summary = controller.summary();
+        assert_eq!(summary.promotions, 1);
+        assert_eq!(summary.rollbacks, 0);
+        assert_eq!(summary.windows_ingested, 3);
+        assert!(summary.live_accuracy > 0.5, "live accuracy {}", summary.live_accuracy);
+    }
+
+    #[test]
+    fn same_seed_same_journal_digest() {
+        let a = LoopController::new(tiny_config(7, 4)).run();
+        let b = LoopController::new(tiny_config(7, 4)).run();
+        assert_eq!(a.journal_digest, b.journal_digest);
+        assert_eq!(a.store_fingerprint, b.store_fingerprint);
+        assert_eq!(serde_json::to_vec(&a).unwrap(), serde_json::to_vec(&b).unwrap());
+        let c = LoopController::new(tiny_config(8, 4)).run();
+        assert_ne!(a.journal_digest, c.journal_digest, "different seed, different soak");
+    }
+
+    #[test]
+    fn garbled_window_trains_a_plausible_but_wrong_candidate() {
+        let config = tiny_config(13, 1);
+        let mut controller = LoopController::new(config);
+        let window = controller.ingest_window(0);
+        let garbled = garble(&window);
+        // The garbled trace still trains fine — the sabotage is only
+        // visible against the *real* window's labels.
+        let output = run_pipeline(&garbled, &PipelineConfig::fast(16)).expect("trains");
+        assert!(!output.models.is_empty());
+    }
+}

@@ -114,6 +114,10 @@ pub const CLIENT_RETRIES: &str = "rc_client_retries";
 pub const CLIENT_BREAKER_TRANSITIONS: &str = "rc_client_breaker_transitions";
 /// Per-key circuit breakers currently in the Open state (gauge).
 pub const CLIENT_BREAKER_OPEN: &str = "rc_client_breaker_open";
+/// HalfOpen probe admissions — calls let through an Open or HalfOpen
+/// breaker to test recovery; their outcomes drive HalfOpen→Closed /
+/// HalfOpen→Open transitions (counter).
+pub const CLIENT_BREAKER_HALF_OPEN_PROBES: &str = "rc_client_breaker_half_open_probes";
 /// Payloads (store pulls or disk-cache entries) that failed checksum or
 /// decode validation and were skipped instead of served (counter).
 pub const CLIENT_CORRUPT_PAYLOADS: &str = "rc_client_corrupt_payloads";
@@ -230,6 +234,44 @@ pub const SCHED_PLACEMENTS_WINDOWED: &str = "rc_sched_placements_windowed";
 /// Overloaded (≥100%) readings over the rolling window (windowed
 /// counter).
 pub const SCHED_OVERLOADED_WINDOWED: &str = "rc_sched_overloaded_readings_windowed";
+
+// --- rc-loop lifecycle controller ---
+
+/// Controller ticks completed (counter).
+pub const LOOP_TICKS: &str = "rc_loop_ticks";
+/// Telemetry windows ingested, clean or dirty (counter).
+pub const LOOP_WINDOWS_INGESTED: &str = "rc_loop_windows_ingested";
+/// Retrains started — drift-triggered, cadence-triggered, or bootstrap
+/// (counter).
+pub const LOOP_RETRAINS: &str = "rc_loop_retrains";
+/// Retrains that failed outright (insufficient surviving data, store
+/// down) and degraded their tick (counter).
+pub const LOOP_RETRAIN_FAILURES: &str = "rc_loop_retrain_failures";
+/// Shadow evaluations of a candidate against the serving model
+/// (counter).
+pub const LOOP_SHADOW_EVALS: &str = "rc_loop_shadow_evals";
+/// Candidates the shadow evaluation rejected — the store stays
+/// byte-untouched (counter).
+pub const LOOP_SHADOW_REJECTIONS: &str = "rc_loop_shadow_rejections";
+/// Manifest flips: candidates that won shadow and passed the publish
+/// gate (counter).
+pub const LOOP_PROMOTIONS: &str = "rc_loop_promotions";
+/// Post-flip regressions that auto-rolled the manifest back to
+/// `last_good` (counter).
+pub const LOOP_ROLLBACKS: &str = "rc_loop_rollbacks";
+/// Promotions refused because the candidate's model set matched a
+/// quarantined publication (counter).
+pub const LOOP_QUARANTINE_BLOCKED: &str = "rc_loop_quarantine_blocked";
+/// Ticks degraded by chaos — dirty windows starving the pipeline, store
+/// outages mid-flip, failed serving reloads. Each costs exactly its own
+/// tick (counter).
+pub const LOOP_DEGRADED_TICKS: &str = "rc_loop_degraded_ticks";
+/// Manifest version currently serving, 0 before the first publication
+/// (gauge).
+pub const LOOP_SERVING_VERSION: &str = "rc_loop_serving_version";
+/// Shadow accuracy of the latest candidate, per metric (gauge family;
+/// names built with `rc_obs::acc_gauge_name`).
+pub const LOOP_SHADOW_ACCURACY: &str = "rc_loop_shadow_accuracy";
 
 // --- prediction accuracy (AccuracyTracker gauge families) ---
 //

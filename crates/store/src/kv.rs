@@ -301,6 +301,27 @@ impl Store {
     }
 }
 
+/// FNV-1a fingerprint over every `(key, latest version)` pair in the
+/// store. [`Store::keys`] returns keys sorted, so the fingerprint is
+/// stable for a given store state; any publish, rollback, or new key
+/// changes it. Clients poll this to notice publications; tests use it to
+/// prove a blocked operation left the store untouched.
+pub fn fingerprint<B: StoreBackend + ?Sized>(store: &B) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for key in store.keys() {
+        for b in key.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(PRIME);
+        }
+        let v = store.latest_version(&key).unwrap_or(0);
+        for b in v.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,10 +20,12 @@ pub mod fault;
 pub mod kv;
 pub mod latency;
 pub mod manifest;
+pub mod quarantine;
 
 pub use fault::{corrupt_payload, FaultDecision, FaultInjector, FaultPlan, FaultyStore};
-pub use kv::{Store, StoreBackend, StoreError, VersionedRecord};
+pub use kv::{fingerprint, Store, StoreBackend, StoreError, VersionedRecord};
 pub use latency::LatencyModel;
 pub use manifest::{
     checksum, rollback, FeatureEntry, Manifest, ModelEntry, RollbackError, MANIFEST_KEY,
 };
+pub use quarantine::{manifest_models_digest, models_digest, QuarantineSet, QUARANTINE_KEY};

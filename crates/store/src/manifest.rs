@@ -139,6 +139,16 @@ impl Manifest {
         self.checksum == self.digest()
     }
 
+    /// Whether this manifest records a version to roll back to. The
+    /// first publication stores `last_good == 0` (there was nothing
+    /// serving before it), so [`rollback`] on it fails with
+    /// [`RollbackError::NoLastGood`] instead of chasing the sentinel;
+    /// callers that want to avoid the error path entirely check here
+    /// first.
+    pub fn can_rollback(&self) -> bool {
+        self.last_good != 0
+    }
+
     /// Serializes for a store `put`.
     ///
     /// # Panics

@@ -1,0 +1,202 @@
+//! Version quarantine: the control loop's memory of bad publications.
+//!
+//! When live accuracy regresses after a manifest flip, the lifecycle
+//! controller rolls back to `last_good` and must never promote the bad
+//! publication again — not by version number (versions only count up)
+//! and not by *content*: a deterministic retrain over the same window
+//! reproduces the same model bytes, and without a content check the loop
+//! would re-promote the exact model it just rolled back from, forever.
+//!
+//! [`QuarantineSet`] records both: the quarantined manifest versions and
+//! a content digest over each version's model payload checksums. It
+//! persists in the store itself (key [`QUARANTINE_KEY`], versioned like
+//! everything else) so a restarted controller inherits the quarantine,
+//! and it is checksummed like the manifest so a corrupt record is
+//! ignored rather than followed.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::kv::{StoreBackend, StoreError};
+use crate::manifest::{checksum, Manifest};
+
+/// The store key the quarantine record lives at.
+pub const QUARANTINE_KEY: &str = "quarantine/current";
+
+/// Content digest of a publication: FNV-1a over the model entries'
+/// `(key, checksum)` pairs, in manifest order. Two publications with
+/// byte-identical model payloads share a digest even though their
+/// manifest versions differ — which is exactly what re-promotion
+/// detection needs. Feature data is excluded: the models are what
+/// regressed, and feature records legitimately change every window.
+pub fn models_digest(entries: impl IntoIterator<Item = (String, u64)>) -> u64 {
+    let mut bytes = Vec::with_capacity(64);
+    for (key, sum) in entries {
+        bytes.push(0x1d);
+        bytes.extend_from_slice(key.as_bytes());
+        bytes.extend_from_slice(&sum.to_le_bytes());
+    }
+    checksum(&bytes)
+}
+
+/// The digest of a published manifest's model set.
+pub fn manifest_models_digest(manifest: &Manifest) -> u64 {
+    models_digest(manifest.models.iter().map(|e| (e.key.clone(), e.checksum)))
+}
+
+/// The persisted set of quarantined publications.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineSet {
+    /// Quarantined manifest versions, ascending.
+    versions: Vec<u64>,
+    /// Content digests of the quarantined model sets, parallel to
+    /// `versions`.
+    digests: Vec<u64>,
+    /// Self-checksum over the two vectors.
+    checksum: u64,
+}
+
+impl QuarantineSet {
+    fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(16 * self.versions.len());
+        for (v, d) in self.versions.iter().zip(&self.digests) {
+            bytes.extend_from_slice(&v.to_le_bytes());
+            bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        checksum(&bytes)
+    }
+
+    /// Reads the current quarantine from the store. A missing or corrupt
+    /// record is an empty quarantine; store outages propagate so callers
+    /// can distinguish "nothing quarantined" from "store down".
+    pub fn load<B: StoreBackend + ?Sized>(store: &B) -> Result<QuarantineSet, StoreError> {
+        match store.get_latest(QUARANTINE_KEY) {
+            Ok(rec) => Ok(serde_json::from_slice::<QuarantineSet>(&rec.data)
+                .ok()
+                .filter(|q| q.checksum == q.digest() && q.versions.len() == q.digests.len())
+                .unwrap_or_default()),
+            Err(StoreError::NotFound) => Ok(QuarantineSet::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Persists the quarantine as the newest version of
+    /// [`QUARANTINE_KEY`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures; the in-memory set is unchanged either
+    /// way, so the caller can retry the save on a later tick.
+    pub fn save<B: StoreBackend + ?Sized>(&self, store: &B) -> Result<u64, StoreError> {
+        let bytes = serde_json::to_vec(self).expect("quarantine serialization");
+        store.put(QUARANTINE_KEY, Bytes::from(bytes))
+    }
+
+    /// Quarantines a publication by version and model-set digest.
+    /// Idempotent: re-quarantining an already-listed version is a no-op.
+    pub fn insert(&mut self, version: u64, models_digest: u64) {
+        if self.versions.contains(&version) {
+            return;
+        }
+        self.versions.push(version);
+        self.digests.push(models_digest);
+        self.checksum = self.digest();
+    }
+
+    /// Whether a manifest version is quarantined.
+    pub fn contains_version(&self, version: u64) -> bool {
+        self.versions.contains(&version)
+    }
+
+    /// Whether a candidate model set's content digest matches any
+    /// quarantined publication — the re-promotion check.
+    pub fn contains_digest(&self, digest: u64) -> bool {
+        self.digests.contains(&digest)
+    }
+
+    /// Number of quarantined publications.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when nothing is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// The quarantined versions, ascending by insertion.
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    /// The quarantined content digests, parallel to
+    /// [`QuarantineSet::versions`].
+    pub fn digests(&self) -> &[u64] {
+        &self.digests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::Store;
+    use crate::manifest::{FeatureEntry, ModelEntry};
+
+    #[test]
+    fn round_trips_through_the_store() {
+        let store = Store::in_memory();
+        assert!(QuarantineSet::load(&store).unwrap().is_empty(), "missing record = empty");
+        let mut q = QuarantineSet::default();
+        q.insert(3, 0xabcd);
+        q.insert(5, 0x1234);
+        q.insert(3, 0xffff); // idempotent: version 3 already listed
+        q.save(&store).unwrap();
+        let loaded = QuarantineSet::load(&store).unwrap();
+        assert_eq!(loaded, q);
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.contains_version(3) && loaded.contains_version(5));
+        assert!(loaded.contains_digest(0xabcd) && loaded.contains_digest(0x1234));
+        assert!(!loaded.contains_digest(0xffff), "idempotent insert kept the original digest");
+        assert_eq!(loaded.versions(), &[3, 5]);
+    }
+
+    #[test]
+    fn corrupt_record_reads_as_empty_but_outage_propagates() {
+        let store = Store::in_memory();
+        store.put(QUARANTINE_KEY, Bytes::from_static(b"garbage")).unwrap();
+        assert!(QuarantineSet::load(&store).unwrap().is_empty());
+        // A tampered checksum is also unusable.
+        let mut q = QuarantineSet::default();
+        q.insert(9, 42);
+        q.checksum ^= 1;
+        store.put(QUARANTINE_KEY, Bytes::from(serde_json::to_vec(&q).unwrap())).unwrap();
+        assert!(QuarantineSet::load(&store).unwrap().is_empty());
+        store.set_available(false);
+        assert_eq!(QuarantineSet::load(&store), Err(StoreError::Unavailable));
+    }
+
+    #[test]
+    fn digest_tracks_model_content_not_version() {
+        let entries = vec![
+            ModelEntry { key: "model/A".into(), checksum: 11, accuracy: 0.9 },
+            ModelEntry { key: "model/B".into(), checksum: 22, accuracy: 0.8 },
+        ];
+        let m1 = Manifest::new(1, 0, "t1".into(), entries.clone(), vec![]);
+        let m2 = Manifest::new(
+            7,
+            3,
+            "t7".into(),
+            entries.clone(),
+            vec![FeatureEntry { key: "features/1".into(), checksum: 5 }],
+        );
+        assert_eq!(
+            manifest_models_digest(&m1),
+            manifest_models_digest(&m2),
+            "same model bytes, same digest, regardless of version/features"
+        );
+        let mut changed = entries;
+        changed[1].checksum = 23;
+        let m3 = Manifest::new(1, 0, "t1".into(), changed, vec![]);
+        assert_ne!(manifest_models_digest(&m1), manifest_models_digest(&m3));
+    }
+}

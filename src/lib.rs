@@ -15,6 +15,8 @@
 //! - [`ml`]: the learning substrate.
 //! - [`store`]: the simulated highly-available versioned store.
 //! - [`core`]: Resource Central itself (pipeline + client library).
+//! - [`lifecycle`]: the continuous control loop (rolling retrain, shadow
+//!   validation, auto-promote/rollback).
 //! - [`scheduler`]: Algorithm 1 and the cluster simulator.
 //! - [`analysis`]: §3 characterization (Figures 1–8).
 //!
@@ -42,6 +44,7 @@
 
 pub use rc_analysis as analysis;
 pub use rc_core as core;
+pub use rc_loop as lifecycle;
 pub use rc_ml as ml;
 pub use rc_scheduler as scheduler;
 pub use rc_store as store;
@@ -56,6 +59,7 @@ pub mod prelude {
         DegradedReason, PipelineConfig, PipelineError, PipelineOutput, Prediction,
         PredictionResponse, PublishGate, QuarantineReport, RcClient, RetryPolicy, Served,
     };
+    pub use rc_loop::{ChaosPlan, LoopConfig, LoopController, LoopSummary, WorkloadShift};
     pub use rc_ml::Classifier;
     pub use rc_obs::{AccuracyTracker, BenchReport, DriftConfig, DriftSignal};
     pub use rc_scheduler::{

@@ -1,0 +1,241 @@
+//! Acceptance tests for the continuous control loop (`rc-loop`).
+//!
+//! Each test scripts one lifecycle episode from the soak schedule and
+//! asserts the loop's exact reaction through its journal, its counters,
+//! and the store it manages:
+//!
+//! (a) a drift episode leads to retrain → shadow pass → promotion, and
+//!     end-to-end accuracy recovers past the frozen no-retrain baseline;
+//! (b) a degraded candidate is rejected in shadow with the store
+//!     byte-untouched;
+//! (c) a post-flip regression auto-rolls-back, and the quarantined
+//!     content digest is blocked from ever re-promoting — bit-identical
+//!     across two same-seed runs;
+//! (d) a store outage mid-flip degrades exactly that tick, leaves the
+//!     manifest consistent, and the loop keeps running.
+
+use resource_central::lifecycle::{
+    ChaosPlan, LoopConfig, LoopController, LoopEvent, RetrainReason, TickEvent, WorkloadShift,
+};
+use resource_central::prelude::*;
+use resource_central::store::fingerprint;
+
+/// The soak shape shrunk to integration-test size: drift-only retrains
+/// (no cadence) unless a test opts back in, and windows just big enough
+/// for the training pipeline.
+fn base_config(seed: u64, ticks: u32) -> LoopConfig {
+    LoopConfig {
+        seed,
+        ticks,
+        window_days: 16,
+        n_subscriptions: 80,
+        window_vms: 2_200,
+        eval_per_tick: 250,
+        shadow_slice: 200,
+        retrain_every: 0,
+        watch_ticks: 3,
+        ..LoopConfig::default()
+    }
+}
+
+/// A transient repeat of the surge shift: same transform every episode,
+/// so a drift-triggered retrain during any episode reproduces the same
+/// model bytes — the property the quarantine check keys on.
+fn episode(from_tick: u32, until_tick: u32) -> WorkloadShift {
+    WorkloadShift { until_tick, ..WorkloadShift::surge(from_tick) }
+}
+
+fn events(journal: &[TickEvent]) -> Vec<(u32, &LoopEvent)> {
+    journal.iter().map(|e| (e.tick, &e.event)).collect()
+}
+
+/// (a) Drift → retrain → shadow pass → promotion → recovery.
+#[test]
+fn drift_episode_retrains_and_accuracy_recovers() {
+    let mut config = base_config(0xA11CE, 9);
+    config.shifts = vec![WorkloadShift::surge(4)];
+    let mut controller = LoopController::new(config);
+    for _ in 0..9 {
+        controller.run_tick();
+    }
+    let summary = controller.summary();
+
+    // Bootstrap plus exactly one drift-triggered promotion; the watchdog
+    // never fired.
+    assert_eq!(summary.promotions, 2, "journal: {:?}", controller.journal());
+    assert_eq!(summary.rollbacks, 0);
+    assert_eq!(summary.windows_ingested, 9);
+
+    // The journal tells the story in order: drift detected, a retrain
+    // scheduled *because of* drift, then a promotion.
+    let journal = events(controller.journal());
+    let drift_at = journal
+        .iter()
+        .position(|(_, e)| matches!(e, LoopEvent::DriftDetected { .. }))
+        .expect("the surge must trip the drift monitor");
+    let retrain_at = journal[drift_at..]
+        .iter()
+        .position(|(_, e)| {
+            matches!(e, LoopEvent::RetrainScheduled { reason: RetrainReason::Drift { .. } })
+        })
+        .expect("drift must schedule a retrain");
+    assert!(
+        journal[drift_at + retrain_at..]
+            .iter()
+            .any(|(_, e)| matches!(e, LoopEvent::Promoted { .. })),
+        "the retrained candidate must win shadow and promote"
+    );
+
+    // Recovery within the remaining ticks: the drift signal cleared and
+    // the loop beats the frozen first model end to end.
+    let avg = rc_types::PredictionMetric::AvgCpuUtil.model_name();
+    assert_ne!(controller.tracker().drift(avg), DriftSignal::Drifting);
+    assert!(
+        summary.live_accuracy > summary.frozen_accuracy,
+        "loop {:.4} must beat frozen baseline {:.4}",
+        summary.live_accuracy,
+        summary.frozen_accuracy
+    );
+}
+
+/// (b) A degraded candidate loses the shadow comparison and nothing —
+/// not one byte — reaches the store.
+#[test]
+fn degraded_candidate_is_rejected_in_shadow_with_store_untouched() {
+    let mut config = base_config(0xB0B, 5);
+    config.retrain_every = 4;
+    config.watch_ticks = 2;
+    config.chaos = ChaosPlan { degrade_candidate_at: vec![4], ..ChaosPlan::default() };
+    let mut controller = LoopController::new(config);
+    for _ in 0..4 {
+        controller.run_tick();
+    }
+    assert_eq!(controller.serving_version(), 1, "only the bootstrap promotion so far");
+
+    let fp_before = fingerprint(controller.store());
+    controller.run_tick(); // tick 4: cadence retrain on garbled telemetry
+    let fp_after = fingerprint(controller.store());
+
+    let journal = events(controller.journal());
+    assert!(
+        journal.iter().any(|(t, e)| *t == 4 && matches!(e, LoopEvent::ShadowRejected { .. })),
+        "shadow must reject the degraded candidate: {journal:?}"
+    );
+    assert!(
+        !journal.iter().any(|(t, e)| *t == 4 && matches!(e, LoopEvent::Promoted { .. })),
+        "a rejected candidate must not promote"
+    );
+    assert_eq!(fp_before, fp_after, "shadow rejection must leave the store byte-untouched");
+    assert_eq!(controller.serving_version(), 1);
+    assert_eq!(controller.summary().shadow_rejections, 1);
+}
+
+/// (c) Post-flip regression: rollback, quarantine, and the quarantined
+/// bytes never re-promote. The whole scenario is bit-identical across
+/// two same-seed runs.
+#[test]
+fn regression_rolls_back_and_quarantine_blocks_repromotion() {
+    let config = || {
+        // Not every seed's fleet supports class labelling at this window
+        // size; seed 7 does (see rc-loop's unit suite).
+        let mut c = base_config(7, 14);
+        // Two identical transient episodes. The first tricks the loop
+        // into promoting an episode-fitted model that regresses when the
+        // episode ends; the second forces a retrain that reproduces the
+        // exact quarantined bytes.
+        c.shifts = vec![episode(4, 6), episode(12, 14)];
+        c
+    };
+
+    let run = || {
+        let controller = {
+            let mut c = LoopController::new(config());
+            for _ in 0..14 {
+                c.run_tick();
+            }
+            c
+        };
+        let journal: Vec<TickEvent> = controller.journal().to_vec();
+        let summary = controller.summary();
+        let digests = controller.quarantined_digests().to_vec();
+        (journal, summary, digests)
+    };
+
+    let (journal, summary, digests) = run();
+    let rolled = journal
+        .iter()
+        .find_map(|e| match &e.event {
+            LoopEvent::RolledBack { quarantined_digest, .. } => Some(*quarantined_digest),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("the watchdog must roll the regressing promotion back: {journal:?}")
+        });
+    let blocked = journal
+        .iter()
+        .find_map(|e| match &e.event {
+            LoopEvent::QuarantineBlocked { digest } => Some(*digest),
+            _ => None,
+        })
+        .expect("the second episode must reproduce the quarantined bytes");
+    assert_eq!(
+        rolled, blocked,
+        "the blocked candidate must be the exact content that was rolled back"
+    );
+    assert_eq!(digests, vec![rolled]);
+    assert_eq!(summary.rollbacks, 1);
+    assert_eq!(summary.quarantine_blocked, 1, "rc_loop_quarantine_blocked must fire");
+
+    // Bit-identical reproducibility: journal, summary, and store.
+    let (journal2, summary2, _) = run();
+    assert_eq!(journal, journal2, "same seed must replay the same journal");
+    assert_eq!(
+        serde_json::to_vec(&summary).unwrap(),
+        serde_json::to_vec(&summary2).unwrap(),
+        "same seed must serialize the same summary, byte for byte"
+    );
+    assert_eq!(summary.store_fingerprint, summary2.store_fingerprint);
+}
+
+/// (d) The store dies mid-flip: the tick degrades, the manifest stays
+/// consistent, and the very next tick publishes normally.
+#[test]
+fn store_outage_mid_flip_degrades_one_tick_and_manifest_stays_consistent() {
+    let mut config = base_config(0xD00D, 3);
+    // Allow three payload writes, then fail every put for the rest of
+    // the tick — the flip dies before the manifest write.
+    config.chaos = ChaosPlan { outage_after_puts: vec![(0, 3)], ..ChaosPlan::default() };
+    let mut controller = LoopController::new(config);
+
+    controller.run_tick();
+    let journal = events(controller.journal());
+    assert!(
+        journal.iter().any(|(t, e)| *t == 0 && matches!(e, LoopEvent::PublishFailed { .. })),
+        "the outage must abort the bootstrap flip: {journal:?}"
+    );
+    assert_eq!(
+        Manifest::read_current(controller.store()).unwrap(),
+        None,
+        "an aborted first flip must not leave a manifest behind"
+    );
+    assert_eq!(controller.serving_version(), 0);
+
+    // The loop is not wedged: the outage healed at tick end and the next
+    // bootstrap attempt publishes a fully consistent version.
+    controller.run_tick();
+    controller.run_tick();
+    let manifest = Manifest::read_current(controller.store())
+        .unwrap()
+        .expect("the retried bootstrap must publish");
+    assert_eq!(manifest.version, 1);
+    assert!(manifest.verify());
+    for entry in &manifest.models {
+        let key = format!("v{}/{}", manifest.version, entry.key);
+        let rec = controller.store().get_latest(&key).expect("published payload present");
+        assert_eq!(rc_store::checksum(&rec.data), entry.checksum, "payload matches manifest");
+    }
+    let summary = controller.summary();
+    assert_eq!(summary.degraded_ticks, 1, "exactly the outage tick degrades");
+    assert_eq!(summary.promotions, 1);
+    assert_eq!(summary.windows_ingested, 3, "every tick ran to completion");
+}

@@ -290,6 +290,40 @@ fn rollback_restores_last_good_and_the_client_serves_it() {
 }
 
 #[test]
+fn rollback_chain_walks_history_and_bottoms_out_with_a_typed_error() {
+    let _gate = gate();
+    let (_, output) = world();
+
+    // Three publications: v3 serves, last_good chains 3 → 2 → 1 → ∅.
+    let store = Store::in_memory();
+    for version in 1..=3u64 {
+        output.publish(&store, 0.5).expect("publish");
+        let m = Manifest::read_current(&store).unwrap().expect("manifest");
+        assert_eq!((m.version, m.last_good), (version, version - 1));
+    }
+
+    // Each rollback steps one link down the chain, re-serving the
+    // retained manifest for that version.
+    assert_eq!(rollback(&store).expect("v3 -> v2"), 2);
+    let m = Manifest::read_current(&store).unwrap().expect("manifest");
+    assert_eq!((m.version, m.last_good), (2, 1));
+    assert!(m.can_rollback());
+    assert_eq!(rollback(&store).expect("v2 -> v1"), 1);
+    let m = Manifest::read_current(&store).unwrap().expect("manifest");
+    assert_eq!((m.version, m.last_good), (1, 0));
+
+    // The chain bottom: a typed refusal, not a panic or a sentinel
+    // chase, and the store is byte-untouched by the failed attempt.
+    assert!(!m.can_rollback(), "the first publication advertises no fallback");
+    let fp = rc_store::fingerprint(&store);
+    assert_eq!(rollback(&store), Err(rc_store::RollbackError::NoLastGood));
+    assert_eq!(rollback(&store), Err(rc_store::RollbackError::NoLastGood), "and again: stable");
+    assert_eq!(rc_store::fingerprint(&store), fp, "failed rollbacks must not write");
+    let m = Manifest::read_current(&store).unwrap().expect("manifest");
+    assert_eq!(m.version, 1, "v1 still serves");
+}
+
+#[test]
 fn dirty_telemetry_is_quarantined_with_exact_accounting() {
     let _gate = gate();
     let trace = Trace::generate(&TraceConfig {

@@ -240,3 +240,61 @@ fn rcu_cache_stress_reconciles_with_oracle() {
         assert_eq!(found, live, "seed {seed:#x}: scan count must equal the shards' len()");
     }
 }
+
+/// The control loop's shadow evaluation must be invisible to the serve
+/// path: `shadow_predict` scores a candidate against the live snapshot
+/// without touching the result cache, the prediction counters, or any
+/// client-visible state — and its serving-side answer agrees with what
+/// `predict_single` serves for the same inputs.
+#[test]
+fn shadow_predict_never_perturbs_the_serving_client() {
+    let (trace, store, output) = world();
+    let client = RcClient::new(store, ClientConfig::default());
+    assert!(client.initialize());
+    let name = "VM_P95UTIL";
+    let candidate = output
+        .models
+        .iter()
+        .find(|m| m.spec.store_key() == "model/VM_P95UTIL")
+        .expect("the published model set includes P95 util")
+        .clone();
+
+    // Resolve the serving answers first (these calls may count), then
+    // snapshot every externally visible counter. Only fresh executions
+    // are exact — the result cache is coarser than the feature vector
+    // (§4.2 keys on the client inputs), so a Hit may answer for a
+    // feature-similar sibling.
+    let inputs: Vec<_> = (0..256).map(|i| vm_inputs(&trace, VmId(i))).collect();
+    let served: Vec<_> = inputs.iter().map(|inp| client.predict_single_traced(name, inp)).collect();
+    let before = (
+        client.lookup_count(),
+        client.model_exec_count(),
+        client.no_prediction_count(),
+        client.store_fallback_count(),
+        client.stale_serve_count(),
+    );
+
+    let mut fresh = 0;
+    for (inp, (response, how)) in inputs.iter().zip(&served) {
+        let shadow = client.shadow_predict(name, inp, &candidate);
+        if *how == Served::Fresh {
+            fresh += 1;
+            // The serving side of the comparison is exactly what the
+            // serve path computed for these inputs.
+            assert_eq!(shadow.serving, response.prediction(), "shadow must mirror the serve path");
+            // The candidate here *is* the published model, so the two
+            // sides of the comparison must agree completely.
+            assert_eq!(shadow.candidate, shadow.serving);
+        }
+    }
+    assert!(fresh >= 64, "enough fresh executions to make the comparison meaningful: {fresh}");
+
+    let after = (
+        client.lookup_count(),
+        client.model_exec_count(),
+        client.no_prediction_count(),
+        client.store_fallback_count(),
+        client.stale_serve_count(),
+    );
+    assert_eq!(before, after, "shadow evaluation must not move any client counter");
+}
