@@ -1,26 +1,37 @@
 //! Multi-day chaos soak of the continuous control loop (`rc-loop`).
 //!
 //! Drives a [`LoopController`] through a scripted multi-day schedule in
-//! which every lifecycle transition the loop supports fires at least
-//! once:
+//! which every lifecycle transition the loop supports — and every chaos
+//! fault kind the plan can inject — fires at least once:
 //!
 //! - tick 0: bootstrap training promotes the first model set;
 //! - tick 6: a cadence retrain meets a heavily corrupted telemetry
 //!   window and fails cleanly (one degraded tick, nothing published);
-//! - tick 8: a permanent workload surge begins — the drift monitor
-//!   trips at tick 9, the loop retrains on the shifted window and
-//!   recovers;
-//! - tick 15: one metric's trainer faults; the pipeline isolates it and
+//! - tick 8: a permanent workload surge begins — the *leading* monitor
+//!   trips on the input sketch the same tick, before a single label
+//!   resolves, and the loop retrains and recovers immediately;
+//! - tick 11: a correlated brownout takes out one store key shard;
+//!   tick 12: the collector's clock skews between windows — both are
+//!   journaled and neither perturbs the loop (blast radius held);
+//! - tick 14: one metric's trainer faults; the pipeline isolates it and
 //!   promotes the surviving models;
-//! - ticks 20–21: a transient anomaly tricks the loop into promoting a
+//! - ticks 17–21: telemetry quality ramps down slowly; leading drift
+//!   trips at tick 17 and retrains at 18 — three ticks before label
+//!   drift appears at 20 — then the label watchdog rolls the
+//!   degradation-fitted model back and the publish gate blocks
+//!   candidates trained on the worst windows;
+//! - tick 22: the recovery retrain's manifest flip races a concurrent
+//!   manual publish; the CAS backs off with a typed `PublishRace`
+//!   instead of overwriting, and the next tick carries on;
+//! - ticks 24–25: a transient anomaly tricks the loop into promoting a
 //!   model fitted to the anomaly; the post-flip watchdog catches the
-//!   regression at tick 23, rolls back, quarantines the bad content
+//!   regression at tick 27, rolls back, quarantines the bad content
 //!   digest, and retrains back out of the drift;
-//! - tick 29: a degraded candidate (trained on garbled telemetry) is
-//!   rejected in shadow with the store byte-untouched;
 //! - ticks 31–32: the anomaly repeats identically — the deterministic
 //!   retrain reproduces the quarantined bytes and is blocked before any
-//!   write (`rc_loop_quarantine_blocked`);
+//!   write (`rc_loop_quarantine_blocked`), twice;
+//! - tick 33: the recovery candidate (trained on garbled telemetry) is
+//!   rejected in shadow with the store byte-untouched;
 //! - tick 39: the store fails mid-publish; the flip aborts with the
 //!   manifest consistent and the loop keeps running.
 //!
@@ -54,6 +65,7 @@ fn anomaly(from_tick: u32, until_tick: u32) -> WorkloadShift {
         base_add: 0.05,
         p95_mul: 0.4,
         p95_add: 0.08,
+        ramp_ticks: 0,
     }
 }
 
@@ -64,20 +76,37 @@ fn soak_config(seed: u64) -> LoopConfig {
     let window_vms = ((2_600.0 * rc_bench::scale()) as usize).max(2_200);
     LoopConfig {
         seed,
-        ticks: 40,
+        ticks: 42,
         window_vms,
         retrain_every: 6,
-        shifts: vec![WorkloadShift::surge(8), anomaly(20, 22), anomaly(31, 33)],
+        shifts: vec![WorkloadShift::surge(8), anomaly(24, 26), anomaly(31, 33)],
         chaos: ChaosPlan {
             dirty_at: vec![(6, 0.9)],
             fail_train_at: vec![
                 // Every trainer faults at tick 6: the whole retrain fails
                 // (the dirty window is the story; the fault guarantees it).
                 (6, PredictionMetric::ALL.to_vec()),
-                (15, vec![PredictionMetric::WorkloadClass]),
+                (14, vec![PredictionMetric::WorkloadClass]),
             ],
             outage_after_puts: vec![(39, 2)],
-            degrade_candidate_at: vec![29],
+            degrade_candidate_at: vec![33],
+            // Tick 11: a correlated brownout of one key shard — no store
+            // traffic touches it this tick, so the only trace is the
+            // journal line; the tick-end heal bounds the blast radius.
+            brownout_at: vec![(11, 3)],
+            // Ticks 17–21: telemetry quality ramps down slowly; every
+            // reading stays valid, but the distribution creeps until the
+            // leading monitor trips — before label accuracy falls.
+            degrade_telemetry: vec![(17, 22)],
+            // Tick 12: the collector's clock jumps between windows.
+            // Lifetimes are unshifted, so the sketch — and the loop —
+            // shrug it off.
+            clock_skew_at: vec![12],
+            // Tick 22: a manual operator publish races the recovery
+            // retrain's manifest flip; the CAS backs off with a typed
+            // race instead of overwriting.
+            manual_publish_at: vec![22],
+            ..ChaosPlan::default()
         },
         ..LoopConfig::default()
     }
@@ -94,6 +123,9 @@ fn describe(event: &LoopEvent) -> String {
             RetrainReason::Bootstrap => "retrain scheduled: bootstrap".to_string(),
             RetrainReason::Drift { metrics } => {
                 format!("retrain scheduled: drift on {}", metrics.join(", "))
+            }
+            RetrainReason::LeadingDrift { features } => {
+                format!("retrain scheduled: leading drift on {}", features.join(", "))
             }
             RetrainReason::Cadence => "retrain scheduled: cadence".to_string(),
         },
@@ -112,6 +144,13 @@ fn describe(event: &LoopEvent) -> String {
             format!("rolled back to v{to_version}, quarantined digest {quarantined_digest:#018x}")
         }
         LoopEvent::RollbackUnavailable => "rollback unavailable: no earlier good version".into(),
+        LoopEvent::LeadingDriftDetected { feature, psi } => {
+            format!("leading drift detected: {feature} (psi {psi:.3})")
+        }
+        LoopEvent::ChaosInjected { kind } => format!("chaos injected: {kind}"),
+        LoopEvent::PublishRaceDetected { expected, actual } => {
+            format!("publish race detected: expected manifest v{expected}, found v{actual}")
+        }
     }
 }
 
@@ -161,6 +200,10 @@ fn main() {
         summary.quarantine_blocked,
         summary.degraded_ticks,
         summary.final_version,
+    );
+    println!(
+        "leading trips {}, publish races {}, chaos injections {}",
+        summary.leading_trips, summary.publish_races, summary.chaos_injected,
     );
     println!(
         "end-to-end accuracy: loop {:.4} vs frozen-first-model baseline {:.4}",

@@ -604,7 +604,10 @@ fn load_from_store_shared(shared: &Shared) -> bool {
             maybe_clear_degraded(shared);
         }
         // Seed the drift monitor's training-time baselines: the manifest
-        // records every model's validated accuracy at publish time.
+        // records every model's validated accuracy at publish time. A
+        // served metric with no manifest entry is still covered — the
+        // tracker falls back to `rc_obs::DEFAULT_BASELINE` at tick time
+        // rather than never evaluating its drift signal.
         if let Some(m) = &manifest {
             for entry in &m.models {
                 let name = entry.key.trim_start_matches("model/");

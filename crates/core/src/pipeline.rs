@@ -199,6 +199,11 @@ pub enum PipelineError {
     },
     /// The backing store rejected a publish write.
     StoreFailed(rc_store::StoreError),
+    /// A concurrent writer moved the manifest between this publication's
+    /// gate read and its pointer flip: the flip was abandoned (phase-one
+    /// payloads stay unreferenced) and the racing writer's manifest keeps
+    /// serving. The caller must re-read before deciding to republish.
+    PublishRaced(rc_store::PublishRace),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -221,6 +226,7 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "could not serialize {what}")
             }
             PipelineError::StoreFailed(e) => write!(f, "store failed: {e}"),
+            PipelineError::PublishRaced(race) => race.fmt(f),
         }
     }
 }
@@ -686,6 +692,10 @@ impl PipelineOutput {
         // (both finish on drop at the early return).
         let mut span = rc_obs::global_tracer().span("pipeline.publish");
         let previous = Manifest::read_current(store).map_err(PipelineError::StoreFailed)?;
+        // The store version of the manifest pointer at read time: the
+        // phase-two flip is conditional on it so a concurrent publisher
+        // surfaces as a typed race instead of silent last-writer-wins.
+        let expected_pointer = store.latest_version(MANIFEST_KEY).unwrap_or(0);
 
         // --- Validation gates, all before any write ---
         let mut gate_span = span.child("publish.gate");
@@ -769,7 +779,15 @@ impl PipelineOutput {
             model_entries,
             feature_entries,
         );
-        store.put(MANIFEST_KEY, manifest.to_bytes()).map_err(PipelineError::StoreFailed)?;
+        store.put_if_version(MANIFEST_KEY, manifest.to_bytes(), expected_pointer).map_err(|e| {
+            match e {
+                rc_store::StoreError::Race(race) => {
+                    registry.counter(rc_obs::PIPELINE_PUBLISH_RACES).increment();
+                    PipelineError::PublishRaced(race)
+                }
+                other => PipelineError::StoreFailed(other),
+            }
+        })?;
         flip_span.record("version", new_version);
         flip_span.finish();
 

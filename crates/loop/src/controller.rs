@@ -12,12 +12,16 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use rc_core::{
     cleanup, label_deployments, label_vms, run_pipeline, ClientInputs, LabeledDeployment,
     LabeledVm, PipelineConfig, PublishGate, SubscriptionFeatures, TrainedModel,
 };
 use rc_ml::Classifier;
-use rc_obs::{acc_gauge_name, AccuracyTracker, Counter, DriftConfig, DriftSignal, Registry};
+use rc_obs::{
+    acc_gauge_name, counts_psi, AccuracyTracker, Counter, DriftConfig, DriftSignal,
+    LeadingDriftConfig, LeadingDriftMonitor, Registry, WindowSketch,
+};
 use rc_store::{
     checksum, manifest_models_digest, models_digest, rollback, Manifest, QuarantineSet, Store,
     StoreBackend,
@@ -48,6 +52,11 @@ pub struct WorkloadShift {
     pub p95_mul: f64,
     /// Additive offset on the P95-of-max spike level.
     pub p95_add: f64,
+    /// Ticks over which the shift ramps in linearly (0 = a step). A
+    /// ramped shift moves the input distribution for several windows
+    /// before predictions are wrong enough to trip the label-based
+    /// monitor — the gap the leading indicator exists to exploit.
+    pub ramp_ticks: u32,
 }
 
 impl WorkloadShift {
@@ -61,11 +70,30 @@ impl WorkloadShift {
             base_add: 0.55,
             p95_mul: 0.3,
             p95_add: 0.65,
+            ramp_ticks: 0,
         }
+    }
+
+    /// The surge, ramped in over `ramp_ticks` windows instead of
+    /// arriving as a step.
+    pub fn ramped_surge(from_tick: u32, ramp_ticks: u32) -> Self {
+        WorkloadShift { ramp_ticks, ..WorkloadShift::surge(from_tick) }
     }
 
     fn active(&self, tick: u32) -> bool {
         tick >= self.from_tick && tick < self.until_tick
+    }
+
+    /// Shift intensity in `[0, 1]` at `tick`: 0 outside the episode,
+    /// ramping linearly over `ramp_ticks` windows, then full strength.
+    fn intensity(&self, tick: u32) -> f64 {
+        if !self.active(tick) {
+            return 0.0;
+        }
+        if self.ramp_ticks == 0 {
+            return 1.0;
+        }
+        (((tick - self.from_tick) as f64 + 1.0) / self.ramp_ticks as f64).min(1.0)
     }
 }
 
@@ -110,6 +138,17 @@ pub struct LoopConfig {
     pub shadow_margin: f64,
     /// Drift hysteresis for the live accuracy monitor.
     pub drift: DriftConfig,
+    /// Hysteresis for the leading (input-distribution) drift monitor.
+    pub leading: LeadingDriftConfig,
+    /// When true, leading drift is journaled and metered but never
+    /// schedules a retrain — the label-based monitor stays in charge.
+    pub leading_observe_only: bool,
+    /// Shadow-evaluation guard on prediction-distribution shift: reject
+    /// the candidate when any metric's serving-vs-candidate prediction
+    /// PSI exceeds this. Infinite by default (observe-only — the PSI is
+    /// always gauged), because a candidate retrained *for* drift is
+    /// supposed to predict differently.
+    pub shadow_psi_limit: f64,
     /// The publish gate candidates must still clear (the loop's shadow
     /// comparison is the sharper filter, so the regression tolerance
     /// here is looser than the gate's own default).
@@ -143,6 +182,9 @@ impl Default for LoopConfig {
                 clear_ticks: 2,
                 min_samples: 30,
             },
+            leading: LeadingDriftConfig::default(),
+            leading_observe_only: false,
+            shadow_psi_limit: f64::INFINITY,
             gate: PublishGate { min_accuracy: 0.40, max_regression: 0.30 },
             shifts: Vec::new(),
             chaos: ChaosPlan::default(),
@@ -157,6 +199,9 @@ pub enum RetrainReason {
     Bootstrap,
     /// The drift monitor tripped on the named metrics.
     Drift { metrics: Vec<String> },
+    /// The leading (input-distribution) monitor tripped on the named
+    /// features before label-based accuracy fell.
+    LeadingDrift { features: Vec<String> },
     /// The refresh cadence expired.
     Cadence,
 }
@@ -195,6 +240,17 @@ pub enum LoopEvent {
     /// A rollback was needed but no earlier good version exists; the
     /// loop degrades the tick and keeps serving.
     RollbackUnavailable,
+    /// The leading monitor flipped `Stable -> Drifting` for a feature:
+    /// the ingested window's distribution has walked away from the
+    /// serving model's training baseline.
+    LeadingDriftDetected { feature: String, psi: f64 },
+    /// A scheduled chaos fault was injected this tick (the new fault
+    /// kinds journal here; the original four are visible through the
+    /// events they cause).
+    ChaosInjected { kind: String },
+    /// The manifest flip's compare-and-swap lost to a concurrent
+    /// publish; the controller backed off without overwriting it.
+    PublishRaceDetected { expected: u64, actual: u64 },
 }
 
 /// A journal entry pinned to its tick.
@@ -244,6 +300,13 @@ pub struct LoopSummary {
     pub quarantine_blocked: u64,
     /// Ticks on which a scheduled action failed and the loop degraded.
     pub degraded_ticks: u64,
+    /// Leading-monitor `Stable -> Drifting` transitions over the soak.
+    pub leading_trips: u64,
+    /// Manifest flips lost to a concurrent publish.
+    pub publish_races: u64,
+    /// Chaos faults injected (new fault kinds only; see
+    /// [`LoopEvent::ChaosInjected`]).
+    pub chaos_injected: u64,
     /// Manifest version serving when the soak ended.
     pub final_version: u64,
     /// End-to-end prediction accuracy of the managed (retraining) loop.
@@ -303,6 +366,10 @@ struct LoopCounters {
     rollbacks: Counter,
     quarantine_blocked: Counter,
     degraded_ticks: Counter,
+    /// Same underlying counter the leading monitor increments.
+    leading_trips: Counter,
+    publish_races: Counter,
+    chaos_injected: Counter,
 }
 
 impl LoopCounters {
@@ -318,6 +385,9 @@ impl LoopCounters {
             rollbacks: registry.counter(rc_obs::LOOP_ROLLBACKS),
             quarantine_blocked: registry.counter(rc_obs::LOOP_QUARANTINE_BLOCKED),
             degraded_ticks: registry.counter(rc_obs::LOOP_DEGRADED_TICKS),
+            leading_trips: registry.counter(rc_obs::LOOP_LEADING_TRIPS),
+            publish_races: registry.counter(rc_obs::LOOP_PUBLISH_RACES),
+            chaos_injected: registry.counter(rc_obs::LOOP_CHAOS_INJECTED),
         }
     }
 }
@@ -365,6 +435,8 @@ pub struct LoopController {
     store: ChaosStore,
     registry: Registry,
     tracker: AccuracyTracker,
+    /// Input-distribution monitor; baseline installed at promotion.
+    leading: LeadingDriftMonitor,
     counters: LoopCounters,
     serving: Option<ModelSet>,
     /// The first promoted set, frozen, for the no-retrain baseline.
@@ -392,12 +464,14 @@ impl LoopController {
     pub fn with_store(config: LoopConfig, store: Store) -> Self {
         let registry = Registry::new();
         let tracker = AccuracyTracker::with_registry(registry.clone(), config.drift.clone());
+        let leading = LeadingDriftMonitor::with_registry(registry.clone(), config.leading.clone());
         let counters = LoopCounters::new(&registry);
         LoopController {
             config,
             store: ChaosStore::new(store),
             registry,
             tracker,
+            leading,
             counters,
             serving: None,
             frozen: None,
@@ -420,6 +494,11 @@ impl LoopController {
     /// The live-accuracy tracker.
     pub fn tracker(&self) -> &AccuracyTracker {
         &self.tracker
+    }
+
+    /// The leading (input-distribution) drift monitor.
+    pub fn leading(&self) -> &LeadingDriftMonitor {
+        &self.leading
     }
 
     /// The chaos-wrapped store the loop publishes through.
@@ -457,8 +536,21 @@ impl LoopController {
         self.counters.ticks.increment();
         let mut degraded = false;
 
-        // 1. Ingest the next rolling window.
+        // 0. Arm scheduled store-level chaos for the tick (healed at
+        // tick end — nothing here can outlive the tick).
+        if let Some(shard) = self.config.chaos.brownout_shard(tick) {
+            self.store.arm_brownout(shard);
+            self.journal_chaos(tick, format!("brownout:shard{shard}"));
+        }
+        if self.config.chaos.manual_publish(tick) {
+            self.store.arm_manifest_race();
+            self.journal_chaos(tick, "manual_publish".to_string());
+        }
+
+        // 1. Ingest the next rolling window and sketch its feature
+        // distributions.
         let window = self.ingest_window(tick);
+        let sketch = sketch_window(&window);
         let vms = label_vms(&window, 120);
         let deployments = label_deployments(&window);
         let eval_vms = &vms[..vms.len().min(self.config.eval_per_tick)];
@@ -469,7 +561,19 @@ impl LoopController {
         self.tracker.tick();
         self.registry.tick();
 
-        // 3. Consult the drift monitor.
+        // 3a. Consult the leading (input-distribution) monitor — this
+        // sees the shifted window immediately, before mispredictions
+        // have accumulated into the label-based signal.
+        for obs in self.leading.observe(&sketch) {
+            if obs.tripped {
+                self.journal.push(TickEvent {
+                    tick,
+                    event: LoopEvent::LeadingDriftDetected { feature: obs.feature, psi: obs.psi },
+                });
+            }
+        }
+
+        // 3b. Consult the label-based drift monitor.
         let drifting = self.drifting_metrics();
         for metric in &drifting {
             self.journal.push(TickEvent {
@@ -478,7 +582,10 @@ impl LoopController {
             });
         }
 
-        // 4. React: rollback while watching, retrain otherwise.
+        // 4. React: rollback while watching, retrain otherwise. Only
+        // the label-based signal can trigger a rollback — leading drift
+        // during the watch window says the *inputs* moved, not that the
+        // freshly promoted model regressed.
         if let Phase::Watching { remaining } = self.phase {
             if !drifting.is_empty() {
                 self.do_rollback(tick, &mut degraded);
@@ -490,7 +597,9 @@ impl LoopController {
         }
         if self.phase == Phase::Steady {
             if let Some(reason) = self.retrain_reason(tick, &drifting) {
-                self.do_retrain(tick, reason, &window, eval_vms, eval_deps, &mut degraded);
+                let ingested =
+                    IngestedWindow { window: &window, sketch: &sketch, eval_vms, eval_deps };
+                self.do_retrain(tick, reason, &ingested, &mut degraded);
             }
         }
 
@@ -526,6 +635,9 @@ impl LoopController {
             rollbacks: self.counters.rollbacks.get(),
             quarantine_blocked: self.counters.quarantine_blocked.get(),
             degraded_ticks: self.counters.degraded_ticks.get(),
+            leading_trips: self.counters.leading_trips.get(),
+            publish_races: self.counters.publish_races.get(),
+            chaos_injected: self.counters.chaos_injected.get(),
             final_version: self.serving_version(),
             live_accuracy: self.live.accuracy(),
             frozen_accuracy: self.frozen_tally.accuracy(),
@@ -567,8 +679,26 @@ impl LoopController {
         };
         for shift in &self.config.shifts {
             if shift.active(tick) {
-                apply_shift(&mut trace, shift);
+                apply_shift(&mut trace, shift, shift.intensity(tick));
             }
+        }
+        // Slow-degrading telemetry: every reading stays individually
+        // valid (cleanup keeps it), but the distribution creeps away
+        // from the training baseline as the episode's severity ramps.
+        let severity = self.config.chaos.degrade_severity(tick);
+        if severity > 0.0 {
+            let model = self.config.chaos.telemetry_degrade;
+            for (i, util) in trace.util.iter_mut().enumerate() {
+                model.degrade_util(i as u64, severity, util);
+            }
+            self.journal_chaos(tick, format!("degrade_telemetry:{severity:.2}"));
+        }
+        if self.config.chaos.skews_clock(tick) {
+            let model = self.config.chaos.telemetry_degrade;
+            for (i, vm) in trace.vms.iter_mut().enumerate() {
+                model.skew_clock(i as u64, 1.0, vm);
+            }
+            self.journal_chaos(tick, "clock_skew".to_string());
         }
         let (cleaned, report) = cleanup(&trace);
         let cleaned = cleaned.into_owned();
@@ -646,6 +776,15 @@ impl LoopController {
         if !drifting.is_empty() {
             return Some(RetrainReason::Drift { metrics: drifting.to_vec() });
         }
+        // The leading signal fires on input distributions alone — the
+        // whole point is to retrain before accuracy falls, so it ranks
+        // above cadence but below hard label-based evidence.
+        if !self.config.leading_observe_only {
+            let features = self.leading.drifting_features();
+            if !features.is_empty() {
+                return Some(RetrainReason::LeadingDrift { features });
+            }
+        }
         if self.config.retrain_every > 0 {
             let since = tick - self.last_retrain_tick.unwrap_or(0);
             if since >= self.config.retrain_every {
@@ -655,17 +794,34 @@ impl LoopController {
         None
     }
 
+    /// Journals a chaos injection and bumps its counter.
+    fn journal_chaos(&mut self, tick: u32, kind: String) {
+        self.counters.chaos_injected.increment();
+        self.journal.push(TickEvent { tick, event: LoopEvent::ChaosInjected { kind } });
+    }
+}
+
+/// One tick's ingested telemetry, bundled for the retrain path: the
+/// (possibly chaos-shifted) window, its distribution sketch, and the
+/// resolved-label slices used for shadow evaluation.
+struct IngestedWindow<'a> {
+    window: &'a Trace,
+    sketch: &'a WindowSketch,
+    eval_vms: &'a [LabeledVm],
+    eval_deps: &'a [LabeledDeployment],
+}
+
+impl LoopController {
     /// Train → shadow-evaluate → (maybe) promote. Every early return is
     /// a contained failure: the store's manifest has not moved.
     fn do_retrain(
         &mut self,
         tick: u32,
         reason: RetrainReason,
-        window: &Trace,
-        eval_vms: &[LabeledVm],
-        eval_deps: &[LabeledDeployment],
+        ingested: &IngestedWindow<'_>,
         degraded: &mut bool,
     ) {
+        let IngestedWindow { window, sketch, eval_vms, eval_deps } = *ingested;
         self.counters.retrains.increment();
         self.last_retrain_tick = Some(tick);
         self.journal.push(TickEvent { tick, event: LoopEvent::RetrainScheduled { reason } });
@@ -722,6 +878,9 @@ impl LoopController {
             self.registry
                 .gauge(&acc_gauge_name(rc_obs::LOOP_SHADOW_ACCURACY, &row.metric))
                 .set(row.candidate);
+            self.registry
+                .gauge(&acc_gauge_name(rc_obs::LOOP_SHADOW_PREDICTION_PSI, &row.metric))
+                .set(row.prediction_psi);
         }
         self.journal.push(TickEvent {
             tick,
@@ -738,9 +897,9 @@ impl LoopController {
             }
         }
 
-        // Quarantine check on the candidate's *content*: a version number
-        // is never reused, but the same bad bytes can be retrained — the
-        // digest is what must never serve again.
+        // Quarantine check on the candidate's *content*: version numbers
+        // recycle after a rollback and the same bad bytes can be
+        // retrained — the digest is what must never serve again.
         let digest = models_digest(
             output.models.iter().map(|m| (m.spec.store_key(), checksum(&rc_ml::to_bytes(m)))),
         );
@@ -760,6 +919,14 @@ impl LoopController {
                 self.counters.promotions.increment();
                 self.journal.push(TickEvent { tick, event: LoopEvent::Promoted { version } });
                 self.reload_serving();
+                // The promoted models trained on this window, so its
+                // sketch becomes the leading monitor's new reference
+                // frame — persisted next to the version so a rollback
+                // can restore the matching baseline. Best-effort: a
+                // store fault here costs only leading coverage, never
+                // the promotion.
+                let _ = self.store.put(&sketch_key(version), Bytes::from(sketch.to_bytes()));
+                self.leading.set_baseline(Some(sketch.clone()));
                 // A flip invalidates the rolling comparison window: old
                 // outcomes judge a model that is no longer serving. Start
                 // the drift monitor fresh, with the held-out validation
@@ -775,6 +942,22 @@ impl LoopController {
                     self.frozen = self.serving.clone();
                 }
                 self.phase = Phase::Watching { remaining: self.config.watch_ticks };
+            }
+            Err(rc_core::PipelineError::PublishRaced(race)) => {
+                // A concurrent publish moved the pointer between our
+                // read and our flip. Backing off (instead of blindly
+                // overwriting) is the whole contract: the racer's
+                // version keeps serving, and the next tick's drift
+                // evidence decides whether to retrain again.
+                self.counters.publish_races.increment();
+                self.journal.push(TickEvent {
+                    tick,
+                    event: LoopEvent::PublishRaceDetected {
+                        expected: race.expected,
+                        actual: race.actual,
+                    },
+                });
+                *degraded = true;
             }
             Err(e) => {
                 self.journal.push(TickEvent {
@@ -823,6 +1006,15 @@ impl LoopController {
                 let baselines =
                     self.promoted_baselines.get(&to_version).cloned().unwrap_or_default();
                 self.reset_tracker(&baselines);
+                // The restored version trained on a different window;
+                // re-seat the leading baseline to match (inert until
+                // the next promotion if the sketch is unreadable).
+                let restored = self
+                    .store
+                    .get_latest(&sketch_key(to_version))
+                    .ok()
+                    .and_then(|rec| WindowSketch::from_bytes(&rec.data));
+                self.leading.set_baseline(restored);
             }
             Err(e) => {
                 self.journal.push(TickEvent {
@@ -858,6 +1050,12 @@ struct ShadowRow {
     metric: String,
     serving: f64,
     candidate: f64,
+    /// PSI between the serving and candidate predicted-bucket
+    /// distributions on the replay slice (0 with no serving set) — the
+    /// shadow-side leading indicator: a candidate that predicts a
+    /// wildly different bucket mix than the incumbent is suspect even
+    /// when its accuracy happens to look fine on the slice.
+    prediction_psi: f64,
 }
 
 struct ShadowComparison {
@@ -882,6 +1080,12 @@ impl ShadowComparison {
                     row.metric, row.serving, row.candidate
                 ));
             }
+            if row.prediction_psi > config.shadow_psi_limit {
+                return Some(format!(
+                    "{} prediction distribution shifted (psi {:.3} > {:.3})",
+                    row.metric, row.prediction_psi, config.shadow_psi_limit
+                ));
+            }
         }
         None
     }
@@ -902,16 +1106,25 @@ fn shadow_compare(
             continue;
         }
         let (mut s_correct, mut c_correct, mut n) = (0u64, 0u64, 0u64);
+        let (mut s_counts, mut c_counts) = (Vec::<u64>::new(), Vec::<u64>::new());
+        let bump = |counts: &mut Vec<u64>, bucket: usize| {
+            if bucket >= counts.len() {
+                counts.resize(bucket + 1, 0);
+            }
+            counts[bucket] += 1;
+        };
         let mut score = |inputs: &ClientInputs, truth: usize| {
             let Some(c) = candidate.predict(name, inputs) else { return };
             n += 1;
             if c == truth {
                 c_correct += 1;
             }
+            bump(&mut c_counts, c);
             if let Some(s) = serving.and_then(|s| s.predict(name, inputs)) {
                 if s == truth {
                     s_correct += 1;
                 }
+                bump(&mut s_counts, s);
             }
         };
         match metric {
@@ -931,10 +1144,13 @@ fn shadow_compare(
             }
         }
         if n > 0 {
+            let prediction_psi =
+                if s_counts.is_empty() { 0.0 } else { counts_psi(&s_counts, &c_counts) };
             rows.push(ShadowRow {
                 metric: name.to_string(),
                 serving: s_correct as f64 / n as f64,
                 candidate: c_correct as f64 / n as f64,
+                prediction_psi,
             });
         }
     }
@@ -985,12 +1201,39 @@ fn deployment_truth(metric: PredictionMetric, dep: &LabeledDeployment) -> Option
     }
 }
 
-/// Applies a workload shift in place.
-fn apply_shift(trace: &mut Trace, shift: &WorkloadShift) {
+/// Applies a workload shift in place at `intensity` ∈ [0, 1]: the
+/// multiplier and offset interpolate linearly from the identity (0) to
+/// their configured values (1), which is what lets a ramped shift move
+/// the distribution a little per window.
+fn apply_shift(trace: &mut Trace, shift: &WorkloadShift, intensity: f64) {
+    let base_mul = 1.0 + (shift.base_mul - 1.0) * intensity;
+    let base_add = shift.base_add * intensity;
+    let p95_mul = 1.0 + (shift.p95_mul - 1.0) * intensity;
+    let p95_add = shift.p95_add * intensity;
     for util in &mut trace.util {
-        util.base = (util.base * shift.base_mul + shift.base_add).clamp(0.01, 0.98);
-        util.p95_level = (util.p95_level * shift.p95_mul + shift.p95_add).clamp(util.base, 0.99);
+        util.base = (util.base * base_mul + base_add).clamp(0.01, 0.98);
+        util.p95_level = (util.p95_level * p95_mul + p95_add).clamp(util.base, 0.99);
     }
+}
+
+/// Store key the training-window sketch for `version` persists under.
+fn sketch_key(version: u64) -> String {
+    format!("sketch/v{version}")
+}
+
+/// Sketches the feature distributions the leading monitor watches: the
+/// cleaned window's utilization parameters, VM lifetimes, and SKU
+/// sizes, each over a fixed range so sketches from different windows
+/// share bin edges.
+fn sketch_window(trace: &Trace) -> WindowSketch {
+    let mut sketch = WindowSketch::new();
+    for (vm, util) in trace.vms.iter().zip(&trace.util) {
+        sketch.record("util_base", 0.0, 1.0, util.base);
+        sketch.record("util_p95", 0.0, 1.0, util.p95_level);
+        sketch.record("lifetime_hours", 0.0, 720.0, vm.lifetime().as_hours_f64());
+        sketch.record("cores", 0.0, 32.0, vm.sku.cores as f64);
+    }
+    sketch
 }
 
 /// A sabotaged copy of the window: utilization inverted, so a model

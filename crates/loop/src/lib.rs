@@ -35,7 +35,7 @@
 pub mod chaos;
 pub mod controller;
 
-pub use chaos::{ChaosPlan, ChaosStore};
+pub use chaos::{brownout_shard_of, ChaosPlan, ChaosStore, BROWNOUT_SHARDS};
 pub use controller::{
     LoopConfig, LoopController, LoopEvent, LoopSummary, MetricAccuracy, RetrainReason, TickEvent,
     WorkloadShift,

@@ -26,14 +26,26 @@ use std::sync::Mutex;
 
 use serde::Value;
 
-use crate::metrics::{Gauge, Registry};
-use crate::names::{ACC_BASELINE, ACC_CONFUSION, ACC_CUMULATIVE, ACC_DRIFT, ACC_ROLLING};
+use crate::metrics::{Counter, Gauge, Registry};
+use crate::names::{
+    ACC_BASELINE, ACC_CONFUSION, ACC_CUMULATIVE, ACC_DRIFT, ACC_DRIFT_TRANSITIONS, ACC_ROLLING,
+};
 use crate::window::WindowedCounter;
 
 /// Unresolved predictions retained per metric before new ones are shed.
 const MAX_PENDING: usize = 1 << 16;
 /// Hard cap on confusion-matrix dimensions (buckets).
 const MAX_BUCKETS: usize = 32;
+
+/// The baseline assumed for a metric whose training-time accuracy was
+/// never recorded (absent from the published manifest). Without this
+/// fallback such a metric could *never* trip the drift signal, however
+/// badly it served — a silent hole in the watchdog. The value sits just
+/// above the publish gate's default 0.5 accuracy floor: any model worth
+/// serving validated above it, so rolling accuracy far below is
+/// drift-worthy even with no manifest entry to compare against. An
+/// explicit [`AccuracyTracker::set_baseline`] always overrides it.
+pub const DEFAULT_BASELINE: f64 = 0.6;
 
 /// The drift verdict for one metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,6 +130,8 @@ struct MetricState {
     breach_ticks: u32,
     ok_ticks: u32,
     signal: DriftSignal,
+    /// Signal flips in either direction since this state was created.
+    transitions: u64,
     g_rolling: Gauge,
     g_cumulative: Gauge,
     g_drift: Gauge,
@@ -140,6 +154,7 @@ impl MetricState {
             breach_ticks: 0,
             ok_ticks: 0,
             signal: DriftSignal::Stable,
+            transitions: 0,
             g_rolling: registry.gauge(&acc_gauge_name(ACC_ROLLING, metric)),
             g_cumulative: registry.gauge(&acc_gauge_name(ACC_CUMULATIVE, metric)),
             g_drift: registry.gauge(&acc_gauge_name(ACC_DRIFT, metric)),
@@ -181,6 +196,7 @@ pub struct AccuracyTracker {
     registry: Registry,
     config: DriftConfig,
     metrics: Mutex<BTreeMap<String, MetricState>>,
+    c_transitions: Counter,
 }
 
 impl fmt::Debug for AccuracyTracker {
@@ -204,7 +220,8 @@ impl AccuracyTracker {
 
     /// A tracker exporting gauges into `registry`.
     pub fn with_registry(registry: Registry, config: DriftConfig) -> Self {
-        AccuracyTracker { registry, config, metrics: Mutex::new(BTreeMap::new()) }
+        let c_transitions = registry.counter(ACC_DRIFT_TRANSITIONS);
+        AccuracyTracker { registry, config, metrics: Mutex::new(BTreeMap::new()), c_transitions }
     }
 
     /// The registry the accuracy gauges live in.
@@ -286,7 +303,11 @@ impl AccuracyTracker {
             if let Some(r) = rolling {
                 state.g_rolling.set(r);
             }
-            if let (Some(rolling), Some(baseline)) = (rolling, state.baseline) {
+            if let Some(rolling) = rolling {
+                // A metric never seeded from a manifest still gets a
+                // verdict, against [`DEFAULT_BASELINE`] — "no baseline"
+                // must not mean "can never trip".
+                let baseline = state.baseline.unwrap_or(DEFAULT_BASELINE);
                 if window_outcomes >= self.config.min_samples {
                     if rolling < baseline - self.config.tolerance {
                         state.breach_ticks += 1;
@@ -299,19 +320,31 @@ impl AccuracyTracker {
                         state.breach_ticks = 0;
                         state.ok_ticks = 0;
                     }
-                    match state.signal {
+                    let next = match state.signal {
                         DriftSignal::Stable if state.breach_ticks >= self.config.trip_ticks => {
-                            state.signal = DriftSignal::Drifting;
+                            DriftSignal::Drifting
                         }
                         DriftSignal::Drifting if state.ok_ticks >= self.config.clear_ticks => {
-                            state.signal = DriftSignal::Stable;
+                            DriftSignal::Stable
                         }
-                        _ => {}
+                        same => same,
+                    };
+                    if next != state.signal {
+                        state.signal = next;
+                        state.transitions += 1;
+                        self.c_transitions.increment();
                     }
                 }
             }
             state.g_drift.set(if state.signal == DriftSignal::Drifting { 1.0 } else { 0.0 });
         }
+    }
+
+    /// Signal flips (`Stable` ⇄ `Drifting`, either direction) for
+    /// `metric` since the tracker first saw it. The sum across metrics
+    /// reconciles with the `rc_acc_drift_transitions` registry delta.
+    pub fn drift_transitions(&self, metric: &str) -> u64 {
+        self.metrics.lock().expect("accuracy lock").get(metric).map_or(0, |s| s.transitions)
     }
 
     /// The current drift verdict for `metric` (`Stable` when unknown).
@@ -535,6 +568,150 @@ mod tests {
             t.tick();
         }
         assert_eq!(t.drift("m"), DriftSignal::Stable);
+    }
+
+    /// Window 2 makes the rolling view exactly the previous epoch's
+    /// ratio after each `tick` (the fresh current bucket is empty), and
+    /// every threshold here is exact in binary (0.75 − 0.25 = 0.5,
+    /// 0.75 − 0.125 = 0.625), so the boundary comparisons are precise.
+    fn boundary_config(trip_ticks: u32, clear_ticks: u32) -> DriftConfig {
+        DriftConfig {
+            window: 2,
+            tolerance: 0.25,
+            clear_margin: 0.125,
+            trip_ticks,
+            clear_ticks,
+            min_samples: 5,
+        }
+    }
+
+    fn feed_epoch(t: &AccuracyTracker, id: &mut u64, hits: usize, misses: usize) {
+        for _ in 0..hits {
+            t.record_prediction("m", *id, 1);
+            t.record_outcome("m", *id, 1);
+            *id += 1;
+        }
+        for _ in 0..misses {
+            t.record_prediction("m", *id, 1);
+            t.record_outcome("m", *id, 2);
+            *id += 1;
+        }
+        t.tick();
+    }
+
+    /// Regression (the baseline-seeding hole): a metric that never got a
+    /// manifest baseline must still trip against [`DEFAULT_BASELINE`]
+    /// instead of silently never evaluating.
+    #[test]
+    fn metric_without_baseline_trips_against_the_default() {
+        let t = AccuracyTracker::new(boundary_config(2, 2));
+        let mut id = 0;
+        // No set_baseline call anywhere. Rolling 0.0 < 0.6 - 0.25.
+        feed_epoch(&t, &mut id, 0, 10);
+        assert_eq!(t.drift("m"), DriftSignal::Stable, "trip_ticks = 2 needs a second epoch");
+        feed_epoch(&t, &mut id, 0, 10);
+        assert_eq!(t.drift("m"), DriftSignal::Drifting);
+        assert_eq!(t.baseline("m"), None, "the fallback must not masquerade as a real baseline");
+        // Healthy epochs against the same default baseline clear it.
+        feed_epoch(&t, &mut id, 10, 0);
+        feed_epoch(&t, &mut id, 10, 0);
+        assert_eq!(t.drift("m"), DriftSignal::Stable);
+    }
+
+    /// Boundary: `trip_ticks = 1` trips on the very first breaching
+    /// epoch and clears on the very first recovered one.
+    #[test]
+    fn trip_after_one_tick_boundary() {
+        let t = AccuracyTracker::new(boundary_config(1, 1));
+        t.set_baseline("m", 0.75);
+        let mut id = 0;
+        // Exactly at the trip threshold (rolling 0.5 = baseline -
+        // tolerance): the breach comparison is strict, so no trip even
+        // with trip_ticks = 1.
+        feed_epoch(&t, &mut id, 5, 5);
+        assert_eq!(t.drift("m"), DriftSignal::Stable, "threshold itself is not a breach");
+        // Just below: one epoch suffices.
+        feed_epoch(&t, &mut id, 4, 6);
+        assert_eq!(t.drift("m"), DriftSignal::Drifting);
+        // At the clear threshold (rolling 0.625 = baseline -
+        // clear_margin, inclusive): one epoch clears.
+        feed_epoch(&t, &mut id, 5, 3);
+        assert_eq!(t.drift("m"), DriftSignal::Stable);
+        assert_eq!(t.drift_transitions("m"), 2);
+    }
+
+    /// Boundary: accuracy flapping around the threshold — alternating
+    /// breach/recover epochs, and epochs sitting exactly on the trip
+    /// threshold — never accumulates enough consecutive ticks to flip
+    /// the signal, so the transition count stays zero; a sustained
+    /// breach then counts exactly one transition however long it lasts.
+    #[test]
+    fn flapping_at_the_threshold_never_double_counts_transitions() {
+        let t = AccuracyTracker::new(boundary_config(2, 2));
+        t.set_baseline("m", 0.75);
+        let mut id = 0;
+        for _ in 0..10 {
+            feed_epoch(&t, &mut id, 4, 6); // 0.4: breach (1 tick)
+            feed_epoch(&t, &mut id, 8, 2); // 0.8: recovered (resets)
+        }
+        assert_eq!(t.drift("m"), DriftSignal::Stable);
+        assert_eq!(t.drift_transitions("m"), 0, "flapping must not flip the signal");
+        for _ in 0..10 {
+            feed_epoch(&t, &mut id, 5, 5); // exactly baseline - tolerance
+        }
+        assert_eq!(t.drift("m"), DriftSignal::Stable);
+        assert_eq!(t.drift_transitions("m"), 0, "the threshold itself is not a breach");
+        // Sustained breach: one Stable→Drifting transition, not one per
+        // breaching epoch.
+        for _ in 0..10 {
+            feed_epoch(&t, &mut id, 0, 10);
+        }
+        assert_eq!(t.drift("m"), DriftSignal::Drifting);
+        assert_eq!(t.drift_transitions("m"), 1);
+        // Sustained recovery: exactly one more.
+        for _ in 0..10 {
+            feed_epoch(&t, &mut id, 10, 0);
+        }
+        assert_eq!(t.drift("m"), DriftSignal::Stable);
+        assert_eq!(t.drift_transitions("m"), 2);
+    }
+
+    /// Per-metric transition counts reconcile with the
+    /// `rc_acc_drift_transitions` registry delta.
+    #[test]
+    fn transition_counts_reconcile_with_registry_deltas() {
+        let reg = Registry::new();
+        let before = reg.snapshot().counter(ACC_DRIFT_TRANSITIONS).unwrap_or(0);
+        let t = AccuracyTracker::with_registry(reg.clone(), boundary_config(1, 1));
+        t.set_baseline("a", 0.75);
+        t.set_baseline("b", 0.75);
+        let mut id = 0;
+        let mut feed = |metric: &str, hits: usize, misses: usize| {
+            for _ in 0..hits {
+                t.record_prediction(metric, id, 1);
+                t.record_outcome(metric, id, 1);
+                id += 1;
+            }
+            for _ in 0..misses {
+                t.record_prediction(metric, id, 1);
+                t.record_outcome(metric, id, 2);
+                id += 1;
+            }
+        };
+        // "a" trips and clears (2 transitions); "b" only trips (1).
+        feed("a", 0, 10);
+        feed("b", 10, 0);
+        t.tick();
+        feed("a", 10, 0);
+        feed("b", 0, 10);
+        t.tick();
+        t.tick();
+        assert_eq!(t.drift("a"), DriftSignal::Stable);
+        assert_eq!(t.drift("b"), DriftSignal::Drifting);
+        let per_metric = t.drift_transitions("a") + t.drift_transitions("b");
+        assert_eq!(per_metric, 3);
+        let after = reg.snapshot().counter(ACC_DRIFT_TRANSITIONS).unwrap_or(0);
+        assert_eq!(after - before, per_metric, "registry delta must reconcile");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 mod accuracy;
 mod alloc;
+mod distribution;
 mod metrics;
 mod names;
 pub mod report;
@@ -40,8 +41,13 @@ mod window;
 
 pub use accuracy::{
     acc_confusion_name, acc_gauge_name, AccuracyTracker, CalibrationRow, DriftConfig, DriftSignal,
+    DEFAULT_BASELINE,
 };
 pub use alloc::{thread_allocations, CountingAllocator};
+pub use distribution::{
+    counts_psi, feature_gauge_name, FeatureHistogram, LeadingDrift, LeadingDriftConfig,
+    LeadingDriftMonitor, LeadingObservation, WindowSketch, SKETCH_BINS,
+};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use names::*;
 pub use report::BenchReport;

@@ -173,6 +173,9 @@ pub const PIPELINE_METRIC_QUARANTINED: &str = "rc_pipeline_metric_quarantined";
 pub const PIPELINE_PUBLISH_BLOCKED: &str = "rc_pipeline_publish_blocked";
 /// Manifest rollbacks to `last_good` (counter).
 pub const PIPELINE_ROLLBACKS: &str = "rc_pipeline_rollbacks";
+/// Manifest flips abandoned because a concurrent writer moved the
+/// pointer between the gate read and the flip (counter).
+pub const PIPELINE_PUBLISH_RACES: &str = "rc_pipeline_publish_races";
 
 // --- rc-ml worker pool ---
 
@@ -272,6 +275,26 @@ pub const LOOP_SERVING_VERSION: &str = "rc_loop_serving_version";
 /// Shadow accuracy of the latest candidate, per metric (gauge family;
 /// names built with `rc_obs::acc_gauge_name`).
 pub const LOOP_SHADOW_ACCURACY: &str = "rc_loop_shadow_accuracy";
+/// PSI divergence of the latest ingested window's feature distribution
+/// versus the serving model's training baseline, per feature (gauge
+/// family; names built with `rc_obs::feature_gauge_name`).
+pub const LOOP_LEADING_PSI: &str = "rc_loop_leading_psi";
+/// Leading-drift signal: 1.0 while a feature's distribution is tripped,
+/// 0.0 while stable (gauge family; `rc_obs::feature_gauge_name`).
+pub const LOOP_LEADING_DRIFT: &str = "rc_loop_leading_drift";
+/// Leading-drift trips — Stable→Drifting transitions of any feature's
+/// distribution signal (counter).
+pub const LOOP_LEADING_TRIPS: &str = "rc_loop_leading_trips";
+/// PSI divergence between the serving and candidate models' predicted
+/// bucket distributions over the shadow slice, per metric (gauge
+/// family; names built with `rc_obs::acc_gauge_name`).
+pub const LOOP_SHADOW_PREDICTION_PSI: &str = "rc_loop_shadow_prediction_psi";
+/// Publishes abandoned because a concurrent manual publish raced the
+/// controller's manifest flip (counter).
+pub const LOOP_PUBLISH_RACES: &str = "rc_loop_publish_races";
+/// Chaos faults the controller observed landing on its tick — brownout,
+/// telemetry degradation, clock skew, manual publish (counter).
+pub const LOOP_CHAOS_INJECTED: &str = "rc_loop_chaos_injected";
 
 // --- prediction accuracy (AccuracyTracker gauge families) ---
 //
@@ -293,3 +316,7 @@ pub const ACC_BASELINE: &str = "rc_acc_baseline";
 /// Confusion-matrix cells, labelled `p` (predicted) and `o` (observed)
 /// (gauge family).
 pub const ACC_CONFUSION: &str = "rc_acc_confusion";
+/// Drift-signal transitions in either direction (Stable→Drifting and
+/// Drifting→Stable), across all metrics (counter). Each metric's
+/// per-direction counts reconcile against this total.
+pub const ACC_DRIFT_TRANSITIONS: &str = "rc_acc_drift_transitions";

@@ -289,6 +289,23 @@ impl FaultyStore {
         self.store.put(key, data)
     }
 
+    /// Conditional `put` with injection: the fault decision fires first,
+    /// then the compare-and-swap is delegated to the wrapped store so it
+    /// stays atomic across handles.
+    pub fn put_if_version(
+        &self,
+        key: &str,
+        data: Bytes,
+        expected_current: u64,
+    ) -> Result<u64, StoreError> {
+        let decision = self.injector.decide(false);
+        self.pay(&decision);
+        if let Some(err) = decision.error {
+            return Err(err);
+        }
+        self.store.put_if_version(key, data, expected_current)
+    }
+
     /// `get_latest` with injection.
     pub fn get_latest(&self, key: &str) -> Result<VersionedRecord, StoreError> {
         let decision = self.injector.decide(true);
@@ -362,6 +379,15 @@ impl StoreBackend for FaultyStore {
 
     fn put(&self, key: &str, data: Bytes) -> Result<u64, StoreError> {
         FaultyStore::put(self, key, data)
+    }
+
+    fn put_if_version(
+        &self,
+        key: &str,
+        data: Bytes,
+        expected_current: u64,
+    ) -> Result<u64, StoreError> {
+        FaultyStore::put_if_version(self, key, data, expected_current)
     }
 }
 

@@ -19,6 +19,26 @@ use rc_obs::{Counter, Histogram};
 
 use crate::latency::LatencyModel;
 
+/// A compare-and-swap write lost: the key moved past the version the
+/// writer read before composing its update. Carried by
+/// [`StoreError::Race`] so publishers can distinguish "another writer
+/// got there first" (re-read and re-decide) from infrastructure
+/// failures (retry blindly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishRace {
+    /// The latest version the writer expected to still be current
+    /// (0 = the key was expected to not exist yet).
+    pub expected: u64,
+    /// The latest version actually found at write time.
+    pub actual: u64,
+}
+
+impl std::fmt::Display for PublishRace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "publish race: expected current version {}, found {}", self.expected, self.actual)
+    }
+}
+
 /// Errors returned by store operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
@@ -29,11 +49,15 @@ pub enum StoreError {
     /// A transient error (timeout, throttle, connection reset): the store
     /// is up, but this particular access failed. Retryable.
     Transient,
+    /// A conditional write lost a race with a concurrent writer. Not
+    /// blindly retryable: the caller must re-read the current state and
+    /// decide whether its update still makes sense.
+    Race(PublishRace),
 }
 
 impl StoreError {
-    /// True for errors a client may reasonably retry; `NotFound` is an
-    /// authoritative answer, not a failure.
+    /// True for errors a client may reasonably retry; `NotFound` and
+    /// `Race` are authoritative answers, not failures.
     pub fn is_retryable(&self) -> bool {
         matches!(self, StoreError::Unavailable | StoreError::Transient)
     }
@@ -45,6 +69,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Unavailable => write!(f, "store unavailable"),
             StoreError::NotFound => write!(f, "record not found"),
             StoreError::Transient => write!(f, "transient store error"),
+            StoreError::Race(race) => race.fmt(f),
         }
     }
 }
@@ -73,6 +98,28 @@ pub trait StoreBackend: Send + Sync {
     fn latest_version(&self, key: &str) -> Option<u64>;
     /// Writes a new version of `key`, returning the version number.
     fn put(&self, key: &str, data: Bytes) -> Result<u64, StoreError>;
+    /// Conditional write: appends a new version of `key` only if the
+    /// key's latest version still equals `expected_current` (0 = the key
+    /// must not exist yet). A losing writer gets [`StoreError::Race`]
+    /// instead of silently becoming the last writer.
+    ///
+    /// The default implementation is check-then-put and therefore only
+    /// as atomic as the backend's individual operations; [`Store`]
+    /// overrides it to decide under its write lock, and fault-injecting
+    /// wrappers should delegate to the wrapped store's implementation
+    /// after their own fault decision.
+    fn put_if_version(
+        &self,
+        key: &str,
+        data: Bytes,
+        expected_current: u64,
+    ) -> Result<u64, StoreError> {
+        let actual = self.latest_version(key).unwrap_or(0);
+        if actual != expected_current {
+            return Err(StoreError::Race(PublishRace { expected: expected_current, actual }));
+        }
+        self.put(key, data)
+    }
 }
 
 impl StoreBackend for Store {
@@ -98,6 +145,15 @@ impl StoreBackend for Store {
 
     fn put(&self, key: &str, data: Bytes) -> Result<u64, StoreError> {
         Store::put(self, key, data)
+    }
+
+    fn put_if_version(
+        &self,
+        key: &str,
+        data: Bytes,
+        expected_current: u64,
+    ) -> Result<u64, StoreError> {
+        Store::put_if_version(self, key, data, expected_current)
     }
 }
 
@@ -225,6 +281,41 @@ impl Store {
         let mut records = self.inner.records.write();
         let versions = records.entry(key.to_owned()).or_default();
         let version = versions.last().map_or(1, |r| r.version + 1);
+        if version > 1 {
+            self.inner.metrics.version_bumps.increment();
+        }
+        versions.push(VersionedRecord { version, data });
+        self.inner.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.puts.increment();
+        self.inner.metrics.put_latency.record_duration(start.elapsed());
+        Ok(version)
+    }
+
+    /// Conditional write, decided atomically under the write lock: the
+    /// new version is appended only if the key's latest version still
+    /// equals `expected_current` (0 = key absent). Exactly one of two
+    /// racing writers that read the same current version wins; the other
+    /// gets [`StoreError::Race`] with the version that beat it.
+    pub fn put_if_version(
+        &self,
+        key: &str,
+        data: Bytes,
+        expected_current: u64,
+    ) -> Result<u64, StoreError> {
+        if !self.is_available() {
+            self.inner.stats.unavailable_errors.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.unavailable.increment();
+            return Err(StoreError::Unavailable);
+        }
+        let start = std::time::Instant::now();
+        self.pay_latency();
+        let mut records = self.inner.records.write();
+        let actual = records.get(key).and_then(|v| v.last()).map_or(0, |r| r.version);
+        if actual != expected_current {
+            return Err(StoreError::Race(PublishRace { expected: expected_current, actual }));
+        }
+        let versions = records.entry(key.to_owned()).or_default();
+        let version = actual + 1;
         if version > 1 {
             self.inner.metrics.version_bumps.increment();
         }
@@ -382,6 +473,64 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), 800, "versions must be unique");
         assert_eq!(store.latest_version("k"), Some(800));
+    }
+
+    #[test]
+    fn cas_put_enforces_expected_version() {
+        let store = Store::in_memory();
+        // 0 means "key absent": the first conditional write creates v1.
+        assert_eq!(store.put_if_version("k", Bytes::from_static(b"v1"), 0).unwrap(), 1);
+        // Stale expectation loses with the version that beat it.
+        assert_eq!(
+            store.put_if_version("k", Bytes::from_static(b"v2"), 0),
+            Err(StoreError::Race(PublishRace { expected: 0, actual: 1 }))
+        );
+        assert_eq!(store.put_if_version("k", Bytes::from_static(b"v2"), 1).unwrap(), 2);
+        assert_eq!(store.get_latest("k").unwrap().data.as_ref(), b"v2");
+        // A losing CAS on a missing key must not invent the key.
+        assert_eq!(
+            store.put_if_version("ghost", Bytes::from_static(b"x"), 7),
+            Err(StoreError::Race(PublishRace { expected: 7, actual: 0 }))
+        );
+        assert_eq!(store.latest_version("ghost"), None);
+        assert!(!store.keys().contains(&"ghost".to_string()));
+    }
+
+    #[test]
+    fn two_racing_writers_exactly_one_wins() {
+        // Both writers read the same current version, then race the
+        // conditional flip; for every round exactly one must win and the
+        // loser must see the winner's version in its Race error.
+        let store = Store::in_memory();
+        for round in 0..50u64 {
+            let expected = store.latest_version("manifest").unwrap_or(0);
+            assert_eq!(expected, round);
+            let barrier = Arc::new(std::sync::Barrier::new(2));
+            let handles: Vec<_> = (0..2)
+                .map(|writer| {
+                    let s = store.clone();
+                    let b = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        b.wait();
+                        s.put_if_version(
+                            "manifest",
+                            Bytes::from(format!("round {round} writer {writer}").into_bytes()),
+                            expected,
+                        )
+                    })
+                })
+                .collect();
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let wins = results.iter().filter(|r| r.is_ok()).count();
+            assert_eq!(wins, 1, "round {round}: exactly one writer must win: {results:?}");
+            let loser = results.iter().find(|r| r.is_err()).unwrap();
+            assert_eq!(
+                *loser,
+                Err(StoreError::Race(PublishRace { expected, actual: expected + 1 })),
+                "the loser must see the winner's version"
+            );
+        }
+        assert_eq!(store.latest_version("manifest"), Some(50));
     }
 
     #[test]

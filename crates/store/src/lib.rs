@@ -23,7 +23,7 @@ pub mod manifest;
 pub mod quarantine;
 
 pub use fault::{corrupt_payload, FaultDecision, FaultInjector, FaultPlan, FaultyStore};
-pub use kv::{fingerprint, Store, StoreBackend, StoreError, VersionedRecord};
+pub use kv::{fingerprint, PublishRace, Store, StoreBackend, StoreError, VersionedRecord};
 pub use latency::LatencyModel;
 pub use manifest::{
     checksum, rollback, FeatureEntry, Manifest, ModelEntry, RollbackError, MANIFEST_KEY,

@@ -244,7 +244,12 @@ pub fn rollback<B: StoreBackend + ?Sized>(store: &B) -> Result<u64, RollbackErro
         };
         if let Some(m) = Manifest::from_bytes(&rec.data) {
             if m.version == current.last_good {
-                store.put(MANIFEST_KEY, rec.data).map_err(RollbackError::Store)?;
+                // Conditional on the pointer version read above: a writer
+                // that flips the manifest mid-walk wins, and the rollback
+                // surfaces the race instead of clobbering the new publish.
+                store
+                    .put_if_version(MANIFEST_KEY, rec.data, newest)
+                    .map_err(RollbackError::Store)?;
                 rc_obs::global().counter(rc_obs::PIPELINE_ROLLBACKS).increment();
                 let mut span = rc_obs::global_tracer().span("store.rollback");
                 span.record("from", current.version).record("to", m.version);

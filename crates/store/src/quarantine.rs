@@ -24,14 +24,20 @@ use crate::manifest::{checksum, Manifest};
 pub const QUARANTINE_KEY: &str = "quarantine/current";
 
 /// Content digest of a publication: FNV-1a over the model entries'
-/// `(key, checksum)` pairs, in manifest order. Two publications with
+/// `(key, checksum)` pairs, sorted by key. Two publications with
 /// byte-identical model payloads share a digest even though their
 /// manifest versions differ — which is exactly what re-promotion
-/// detection needs. Feature data is excluded: the models are what
-/// regressed, and feature records legitimately change every window.
+/// detection needs. Sorting makes the digest a function of the *set*:
+/// a candidate assembled from trainer output and a manifest read back
+/// from the store list the same models in different orders, and an
+/// order-sensitive digest would let quarantined bytes re-promote.
+/// Feature data is excluded: the models are what regressed, and
+/// feature records legitimately change every window.
 pub fn models_digest(entries: impl IntoIterator<Item = (String, u64)>) -> u64 {
+    let mut sorted: Vec<(String, u64)> = entries.into_iter().collect();
+    sorted.sort();
     let mut bytes = Vec::with_capacity(64);
-    for (key, sum) in entries {
+    for (key, sum) in sorted {
         bytes.push(0x1d);
         bytes.extend_from_slice(key.as_bytes());
         bytes.extend_from_slice(&sum.to_le_bytes());
@@ -47,7 +53,10 @@ pub fn manifest_models_digest(manifest: &Manifest) -> u64 {
 /// The persisted set of quarantined publications.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QuarantineSet {
-    /// Quarantined manifest versions, ascending.
+    /// Quarantined manifest versions, in insertion order. A version
+    /// number can appear more than once: manifests renumber from
+    /// `last_good + 1` after a rollback, so one number can name
+    /// different content over time.
     versions: Vec<u64>,
     /// Content digests of the quarantined model sets, parallel to
     /// `versions`.
@@ -93,9 +102,19 @@ impl QuarantineSet {
     }
 
     /// Quarantines a publication by version and model-set digest.
-    /// Idempotent: re-quarantining an already-listed version is a no-op.
+    /// Idempotent on the *pair*: re-quarantining an already-listed
+    /// publication is a no-op, but a recurring version number with new
+    /// content gets its own entry — manifest versions restart from
+    /// `last_good + 1` after a rollback, so the same number can name
+    /// different bytes across the loop's lifetime, and deduplicating by
+    /// version alone would silently drop the newer digest.
     pub fn insert(&mut self, version: u64, models_digest: u64) {
-        if self.versions.contains(&version) {
+        let listed = self
+            .versions
+            .iter()
+            .zip(&self.digests)
+            .any(|(&v, &d)| v == version && d == models_digest);
+        if listed {
             return;
         }
         self.versions.push(version);
@@ -124,7 +143,7 @@ impl QuarantineSet {
         self.versions.is_empty()
     }
 
-    /// The quarantined versions, ascending by insertion.
+    /// The quarantined versions, in insertion order.
     pub fn versions(&self) -> &[u64] {
         &self.versions
     }
@@ -149,15 +168,19 @@ mod tests {
         let mut q = QuarantineSet::default();
         q.insert(3, 0xabcd);
         q.insert(5, 0x1234);
-        q.insert(3, 0xffff); // idempotent: version 3 already listed
+        q.insert(3, 0xabcd); // idempotent: exact pair already listed
+        q.insert(3, 0xffff); // reused version number, new content: listed
         q.save(&store).unwrap();
         let loaded = QuarantineSet::load(&store).unwrap();
         assert_eq!(loaded, q);
-        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.len(), 3);
         assert!(loaded.contains_version(3) && loaded.contains_version(5));
         assert!(loaded.contains_digest(0xabcd) && loaded.contains_digest(0x1234));
-        assert!(!loaded.contains_digest(0xffff), "idempotent insert kept the original digest");
-        assert_eq!(loaded.versions(), &[3, 5]);
+        assert!(
+            loaded.contains_digest(0xffff),
+            "a recycled version number must not shadow new bad content"
+        );
+        assert_eq!(loaded.versions(), &[3, 5, 3]);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Slow-degrading telemetry: gradual corruption that stays in-range.
+//!
+//! [`DirtyPlan`](crate::dirty::DirtyPlan) models telemetry that is
+//! *broken* — NaNs, impossible ranges, inverted timestamps — which the
+//! pipeline's cleanup stage catches and quarantines. Real collectors
+//! also fail the other way: a sensor drifts, a buffer under-samples, a
+//! clock creeps — and every reading stays individually plausible while
+//! the *distribution* walks away from what the model was trained on.
+//! That failure mode is invisible to record-level validation and to
+//! label-based accuracy tracking until predictions have already gone
+//! stale; it is exactly what leading-indicator drift detection exists
+//! to catch early.
+//!
+//! [`TelemetryDegrade`] applies that corruption deterministically: a
+//! severity in `[0, 1]` scales additive bias and extra noise on each
+//! VM's [`UtilParams`], plus a forward clock skew on its timestamps.
+//! Everything is a pure function of `(degrade, vm index, severity)` —
+//! re-applying at the same severity is idempotent on a fresh copy, and
+//! results are bit-reproducible across runs. Degraded parameters are
+//! re-sanitized, so the output is always a *valid* workload, just a
+//! shifted one: the blast radius is bounded by construction.
+
+use rc_types::telemetry::VmRecord;
+use rc_types::time::Timestamp;
+
+use crate::sampler::{hash_normal, hash_unit};
+use crate::utilization::UtilParams;
+
+/// A deterministic telemetry-degradation model.
+///
+/// The `*_ramp` fields are the corruption applied at severity 1.0;
+/// severity scales them linearly, so a ramped episode degrades
+/// gradually instead of garbling at once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryDegrade {
+    /// Seed decorrelating this degradation from every other random
+    /// stream; per-VM decisions hash `(seed, vm index)`.
+    pub seed: u64,
+    /// Additive shift applied to `base` and `p95_level` at severity
+    /// 1.0, in utilization units. Direction is per-VM (hash-chosen) so
+    /// the fleet mean moves but individual VMs move both ways, like a
+    /// miscalibrated sensor population.
+    pub bias_ramp: f64,
+    /// Extra noise amplitude added to [`UtilParams::noise`] at
+    /// severity 1.0 (the sanitizer caps total noise at 0.2).
+    pub noise_ramp: f64,
+    /// Forward clock skew, in seconds, applied to creation/deletion
+    /// timestamps at severity 1.0. Ordering (`deleted >= created`) is
+    /// preserved — this is drift, not the inversion `DirtyPlan`
+    /// injects.
+    pub skew_secs: u64,
+}
+
+impl Default for TelemetryDegrade {
+    fn default() -> Self {
+        TelemetryDegrade { seed: 0x0DE6_9ADE, bias_ramp: 0.25, noise_ramp: 0.1, skew_secs: 3_600 }
+    }
+}
+
+impl TelemetryDegrade {
+    /// Degrades one VM's utilization model in place at `severity`
+    /// (clamped to `[0, 1]`). Pure in `(self, vm_index, severity)`.
+    pub fn degrade_util(&self, vm_index: u64, severity: f64, util: &mut UtilParams) {
+        let severity = sat(severity);
+        if severity == 0.0 {
+            return;
+        }
+        // Per-VM direction and magnitude: most of the fleet drifts the
+        // hash-majority way, each VM by its own fraction of the ramp.
+        let direction =
+            if hash_unit(self.seed, vm_index.wrapping_mul(4) + 1) < 0.8 { 1.0 } else { -1.0 };
+        let magnitude = 0.5 + 0.5 * hash_unit(self.seed, vm_index.wrapping_mul(4) + 2);
+        let bias = direction * magnitude * self.bias_ramp * severity;
+        util.base += bias;
+        util.p95_level += bias;
+        util.noise +=
+            self.noise_ramp * severity * hash_unit(self.seed, vm_index.wrapping_mul(4) + 3);
+        // A slowly-failing sensor also wobbles: small zero-mean jitter
+        // on the base keeps the corruption from being a pure translate.
+        util.base += 0.02 * severity * hash_normal(self.seed, vm_index.wrapping_mul(4) + 4);
+        *util = util.sanitized();
+    }
+
+    /// Skews one VM record's clock forward at `severity`, preserving
+    /// `deleted >= created`. Pure in `(self, vm_index, severity)`.
+    pub fn skew_clock(&self, vm_index: u64, severity: f64, vm: &mut VmRecord) {
+        let severity = sat(severity);
+        let shift =
+            (self.skew_secs as f64 * severity * hash_unit(self.seed, vm_index ^ 0x5EED)) as u64;
+        if shift == 0 {
+            return;
+        }
+        vm.created = Timestamp::from_secs(vm.created.as_secs().saturating_add(shift));
+        vm.deleted = Timestamp::from_secs(
+            vm.deleted.as_secs().saturating_add(shift).max(vm.created.as_secs()),
+        );
+    }
+}
+
+/// Linear ramp severity for a degradation episode: 0 before
+/// `from_tick`, rising to 1.0 at `until_tick`, and 1.0 after. A
+/// zero-length episode (`until_tick <= from_tick`) is a step to 1.0.
+pub fn ramp_severity(tick: u64, from_tick: u64, until_tick: u64) -> f64 {
+    if tick < from_tick {
+        return 0.0;
+    }
+    if until_tick <= from_tick {
+        return 1.0;
+    }
+    sat((tick - from_tick) as f64 / (until_tick - from_tick) as f64)
+}
+
+fn sat(x: f64) -> f64 {
+    if x.is_finite() {
+        x.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn util() -> UtilParams {
+        UtilParams {
+            seed: 7,
+            burst_seed: 9,
+            base: 0.3,
+            p95_level: 0.6,
+            diurnal_amplitude: 0.0,
+            peak_hour: 0.0,
+            noise: 0.02,
+        }
+    }
+
+    #[test]
+    fn zero_severity_is_the_identity() {
+        let d = TelemetryDegrade::default();
+        for i in 0..50u64 {
+            let mut u = util();
+            d.degrade_util(i, 0.0, &mut u);
+            assert_eq!(u.base, util().base);
+            assert_eq!(u.noise, util().noise);
+        }
+    }
+
+    #[test]
+    fn degradation_is_deterministic_and_stays_valid() {
+        let d = TelemetryDegrade::default();
+        for i in 0..200u64 {
+            let mut a = util();
+            let mut b = util();
+            d.degrade_util(i, 0.7, &mut a);
+            d.degrade_util(i, 0.7, &mut b);
+            assert_eq!(a.base.to_bits(), b.base.to_bits(), "vm {i}");
+            assert_eq!(a.noise.to_bits(), b.noise.to_bits(), "vm {i}");
+            // Bounded blast radius: every degraded model is still a
+            // valid workload the sanitizer accepts unchanged.
+            assert!((0.0..=1.0).contains(&a.base), "vm {i}: base {}", a.base);
+            assert!(a.p95_level >= a.base, "vm {i}");
+            assert!(a.noise <= 0.2, "vm {i}");
+        }
+    }
+
+    #[test]
+    fn severity_scales_the_fleet_shift() {
+        let d = TelemetryDegrade::default();
+        let mean_shift = |severity: f64| {
+            let mut total = 0.0;
+            for i in 0..500u64 {
+                let mut u = util();
+                d.degrade_util(i, severity, &mut u);
+                total += u.base - util().base;
+            }
+            total / 500.0
+        };
+        let mild = mean_shift(0.2);
+        let severe = mean_shift(1.0);
+        // The hash-majority direction is positive, so the fleet mean
+        // rises — and rises further at higher severity.
+        assert!(mild > 0.01, "mild shift {mild}");
+        assert!(severe > mild * 2.0, "mild {mild} severe {severe}");
+    }
+
+    fn record(i: u64) -> VmRecord {
+        use rc_types::vm::{OsType, Party, ProdTag, VmRole, SKU_CATALOG};
+        VmRecord {
+            vm_id: rc_types::VmId(i),
+            subscription: rc_types::SubscriptionId(1),
+            deployment: rc_types::vm::DeploymentId(0),
+            region: rc_types::vm::RegionId(0),
+            party: Party::Third,
+            role: VmRole::Iaas,
+            prod: ProdTag::Production,
+            os: OsType::Linux,
+            sku: SKU_CATALOG[0],
+            created: Timestamp::from_secs(1_000_000),
+            deleted: Timestamp::from_secs(1_003_600),
+        }
+    }
+
+    #[test]
+    fn clock_skew_preserves_ordering() {
+        let d = TelemetryDegrade { skew_secs: 7_200, ..TelemetryDegrade::default() };
+        for i in 0..100u64 {
+            let mut vm = record(i);
+            let before = vm.created;
+            d.skew_clock(i, 1.0, &mut vm);
+            assert!(vm.created >= before, "skew is forward-only");
+            assert!(vm.deleted >= vm.created, "ordering preserved for vm {i}");
+            assert!(vm.created.as_secs() - before.as_secs() <= 7_200);
+        }
+    }
+
+    #[test]
+    fn ramp_severity_is_a_linear_ramp() {
+        assert_eq!(ramp_severity(3, 5, 10), 0.0);
+        assert_eq!(ramp_severity(5, 5, 10), 0.0);
+        assert!((ramp_severity(7, 5, 10) - 0.4).abs() < 1e-12);
+        assert_eq!(ramp_severity(10, 5, 10), 1.0);
+        assert_eq!(ramp_severity(99, 5, 10), 1.0);
+        // Degenerate episode: a step function.
+        assert_eq!(ramp_severity(5, 5, 5), 1.0);
+        assert_eq!(ramp_severity(4, 5, 5), 0.0);
+    }
+}

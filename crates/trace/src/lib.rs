@@ -22,6 +22,7 @@
 pub mod arrival;
 pub mod calibration;
 pub mod dataset;
+pub mod degrade;
 pub mod dirty;
 pub mod generator;
 pub mod profile;
@@ -36,6 +37,7 @@ pub use dataset::{read_vm_table, vm_table, write_cpu_readings, write_vm_table, V
 /// Minimum observed days before the dataset export assigns a workload
 /// category (mirrors §3.6's three-day requirement).
 pub const DATASET_CLASSIFY_MIN_DAYS: f64 = 3.0;
+pub use degrade::{ramp_severity, TelemetryDegrade};
 pub use dirty::{trace_fingerprint, DirtyPlan, DirtyReport};
 pub use generator::TraceConfig;
 pub use profile::{ProfileConfig, SubscriptionProfile};

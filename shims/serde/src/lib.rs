@@ -341,6 +341,28 @@ where
     }
 }
 
+/// Ordered maps use the same `[key, value]`-pair encoding as
+/// `HashMap`, but iteration — and therefore the serialized byte stream
+/// — is key-ordered and deterministic.
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter().map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()])).collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let pairs: Vec<(K, V)> = Vec::from_value(v)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()

@@ -17,6 +17,8 @@
 //! - [`core`]: Resource Central itself (pipeline + client library).
 //! - [`lifecycle`]: the continuous control loop (rolling retrain, shadow
 //!   validation, auto-promote/rollback).
+//! - [`obs`]: observability (metrics, drift monitors, distribution
+//!   sketches, bench reports).
 //! - [`scheduler`]: Algorithm 1 and the cluster simulator.
 //! - [`analysis`]: §3 characterization (Figures 1–8).
 //!
@@ -46,6 +48,7 @@ pub use rc_analysis as analysis;
 pub use rc_core as core;
 pub use rc_loop as lifecycle;
 pub use rc_ml as ml;
+pub use rc_obs as obs;
 pub use rc_scheduler as scheduler;
 pub use rc_store as store;
 pub use rc_trace as trace;
@@ -61,7 +64,10 @@ pub mod prelude {
     };
     pub use rc_loop::{ChaosPlan, LoopConfig, LoopController, LoopSummary, WorkloadShift};
     pub use rc_ml::Classifier;
-    pub use rc_obs::{AccuracyTracker, BenchReport, DriftConfig, DriftSignal};
+    pub use rc_obs::{
+        AccuracyTracker, BenchReport, DriftConfig, DriftSignal, LeadingDriftConfig,
+        LeadingDriftMonitor, WindowSketch,
+    };
     pub use rc_scheduler::{
         simulate, simulate_partitioned, simulate_stream, suggest_server_count,
         suggest_server_count_stream, PolicyKind, SchedulerConfig, SimConfig, SimReport,

@@ -12,7 +12,16 @@
 //!     content digest is blocked from ever re-promoting — bit-identical
 //!     across two same-seed runs;
 //! (d) a store outage mid-flip degrades exactly that tick, leaves the
-//!     manifest consistent, and the loop keeps running.
+//!     manifest consistent, and the loop keeps running;
+//! (e) on a slowly ramping workload shift, the leading (input-sketch)
+//!     monitor trips ticks before the label-based drift monitor can;
+//! (f) the widened chaos plan — correlated brownout, clock skew,
+//!     degrading telemetry, a racing manual publish — journals every
+//!     fault, bounds the damage, and never wedges the loop.
+//!
+//! Tests that script the *label* pathway pin `leading_observe_only` so
+//! the leading monitor (which otherwise reacts first, by design) records
+//! but does not preempt the episode.
 
 use resource_central::lifecycle::{
     ChaosPlan, LoopConfig, LoopController, LoopEvent, RetrainReason, TickEvent, WorkloadShift,
@@ -54,6 +63,10 @@ fn events(journal: &[TickEvent]) -> Vec<(u32, &LoopEvent)> {
 fn drift_episode_retrains_and_accuracy_recovers() {
     let mut config = base_config(0xA11CE, 9);
     config.shifts = vec![WorkloadShift::surge(4)];
+    // This test scripts the label pathway; the leading monitor watches
+    // but does not act, and must still see the shift no later than the
+    // label detector does.
+    config.leading_observe_only = true;
     let mut controller = LoopController::new(config);
     for _ in 0..9 {
         controller.run_tick();
@@ -73,6 +86,16 @@ fn drift_episode_retrains_and_accuracy_recovers() {
         .iter()
         .position(|(_, e)| matches!(e, LoopEvent::DriftDetected { .. }))
         .expect("the surge must trip the drift monitor");
+    let leading_at = journal
+        .iter()
+        .position(|(_, e)| matches!(e, LoopEvent::LeadingDriftDetected { .. }))
+        .expect("the input sketch must see the surge too");
+    assert!(
+        journal[leading_at].0 <= journal[drift_at].0,
+        "the leading signal must fire no later than label drift (leading t{}, label t{})",
+        journal[leading_at].0,
+        journal[drift_at].0
+    );
     let retrain_at = journal[drift_at..]
         .iter()
         .position(|(_, e)| {
@@ -142,7 +165,9 @@ fn regression_rolls_back_and_quarantine_blocks_repromotion() {
         // Two identical transient episodes. The first tricks the loop
         // into promoting an episode-fitted model that regresses when the
         // episode ends; the second forces a retrain that reproduces the
-        // exact quarantined bytes.
+        // exact quarantined bytes. Label pathway: the episode timing
+        // below is keyed to the label monitor's trip ticks.
+        c.leading_observe_only = true;
         c.shifts = vec![episode(4, 6), episode(12, 14)];
         c
     };
@@ -238,4 +263,141 @@ fn store_outage_mid_flip_degrades_one_tick_and_manifest_stays_consistent() {
     assert_eq!(summary.degraded_ticks, 1, "exactly the outage tick degrades");
     assert_eq!(summary.promotions, 1);
     assert_eq!(summary.windows_ingested, 3, "every tick ran to completion");
+}
+
+/// (e) On a slowly shifting workload, the input-distribution sketch
+/// trips ticks before the label-based monitor *can*: labels need
+/// predictions to regress past the accuracy tolerance, the sketch only
+/// needs the inputs to move. Observe-only keeps the race fair — the
+/// leading monitor is not allowed to repair the drift before the label
+/// monitor gets its chance.
+#[test]
+fn leading_drift_trips_ticks_before_label_drift_on_ramped_shift() {
+    // Seed 0xA11CE's label monitor is quiet on an unshifted fleet
+    // (test (a) above), so every detection below is of the shift itself.
+    let mut config = base_config(0xA11CE, 20);
+    // The workload distribution creeps via a slow telemetry-degradation
+    // ramp (severity ~0.03/tick): per-VM bias moves the utilization
+    // distribution immediately, but accuracy only erodes as the bias
+    // decorrelates same-subscription VMs — the regime where a leading
+    // indicator genuinely buys warning time. The monitor runs at a
+    // sensitive trip threshold (the default 0.25 is the conservative
+    // "moderate shift" setting); steady ticks sit below even this one.
+    config.chaos = ChaosPlan { degrade_telemetry: vec![(5, 35)], ..ChaosPlan::default() };
+    config.leading = rc_obs::LeadingDriftConfig {
+        psi_trip: 0.05,
+        psi_clear: 0.02,
+        ..rc_obs::LeadingDriftConfig::default()
+    };
+    config.leading_observe_only = true;
+    let mut controller = LoopController::new(config);
+    for _ in 0..20 {
+        controller.run_tick();
+    }
+
+    // Only detections from the shift onward count: label-noise blips
+    // before the ramp begins are not detections of *this* fault.
+    let journal = events(controller.journal());
+    let leading_tick = journal
+        .iter()
+        .find(|(t, e)| *t >= 5 && matches!(e, LoopEvent::LeadingDriftDetected { .. }))
+        .map(|(t, _)| *t)
+        .expect("the ramp must trip the leading monitor");
+    let label_tick = journal
+        .iter()
+        .find(|(t, e)| *t >= 5 && matches!(e, LoopEvent::DriftDetected { .. }))
+        .map(|(t, _)| *t)
+        .expect("the ramp must eventually trip label drift");
+    assert!(
+        label_tick >= leading_tick + 3,
+        "the leading signal must buy at least 3 ticks of warning \
+         (leading t{leading_tick}, label t{label_tick})"
+    );
+    assert!(controller.summary().leading_trips >= 1, "rc_loop_leading_trips must count");
+}
+
+/// (f) The widened chaos plan: every new fault kind — correlated
+/// brownout, collector clock skew, slow telemetry degradation, a manual
+/// publish racing the controller's flip — is journaled, bounded, and
+/// survivable, and the whole scenario replays bit-identically.
+#[test]
+fn widened_chaos_plan_journals_every_fault_and_never_wedges() {
+    let config = || {
+        // Seed 0xB0B's fleet is known to bootstrap at this window size
+        // (test (b) above) and cadence-retrains at tick 4.
+        let mut c = base_config(0xB0B, 8);
+        c.retrain_every = 4;
+        c.leading_observe_only = true;
+        c.chaos = ChaosPlan {
+            brownout_at: vec![(2, 5)],
+            clock_skew_at: vec![3],
+            // Tick 4 is a cadence retrain whose flip the manual publish
+            // races; the loop must back off, not overwrite.
+            manual_publish_at: vec![4],
+            degrade_telemetry: vec![(5, 8)],
+            ..ChaosPlan::default()
+        };
+        c
+    };
+
+    let run = || {
+        let mut controller = LoopController::new(config());
+        for _ in 0..8 {
+            controller.run_tick();
+        }
+        let journal: Vec<TickEvent> = controller.journal().to_vec();
+        let summary = controller.summary();
+        (journal, summary)
+    };
+    let (journal, summary) = run();
+
+    // Every fault kind left its journal line.
+    let chaos_kinds: Vec<(u32, &str)> = journal
+        .iter()
+        .filter_map(|e| match &e.event {
+            LoopEvent::ChaosInjected { kind } => Some((e.tick, kind.as_str())),
+            _ => None,
+        })
+        .collect();
+    assert!(chaos_kinds.contains(&(2, "brownout:shard5")), "kinds: {chaos_kinds:?}");
+    assert!(chaos_kinds.contains(&(3, "clock_skew")));
+    assert!(chaos_kinds.contains(&(4, "manual_publish")));
+    assert!(
+        chaos_kinds.iter().any(|(t, k)| *t >= 5 && k.starts_with("degrade_telemetry:")),
+        "kinds: {chaos_kinds:?}"
+    );
+
+    // The race is detected, typed, and backed off: the tick degrades,
+    // nothing promotes over the racer.
+    assert_eq!(summary.publish_races, 1, "journal: {journal:?}");
+    assert!(journal
+        .iter()
+        .any(|e| e.tick == 4 && matches!(e.event, LoopEvent::PublishRaceDetected { .. })));
+    assert!(
+        !journal.iter().any(|e| e.tick == 4 && matches!(e.event, LoopEvent::Promoted { .. })),
+        "a raced flip must not promote"
+    );
+
+    // Blast radius: quiet faults stay quiet, the loop runs every tick,
+    // and degradation is bounded to the ticks chaos actually touched.
+    assert_eq!(summary.windows_ingested, 8, "the loop must never wedge");
+    assert_eq!(summary.rollbacks, 0);
+    assert!(
+        summary.degraded_ticks <= 3,
+        "chaos must bound degradation, got {} degraded ticks",
+        summary.degraded_ticks
+    );
+    for tick in [2, 3] {
+        assert!(
+            journal.iter().any(|e| e.tick == tick
+                && matches!(e.event, LoopEvent::WindowIngested { vms, .. } if vms > 0)),
+            "brownout/skew ticks must still ingest"
+        );
+    }
+
+    // Bit-identical replay, chaos and all.
+    let (journal2, summary2) = run();
+    assert_eq!(journal, journal2, "same seed must replay the same chaos journal");
+    assert_eq!(summary.journal_digest, summary2.journal_digest);
+    assert_eq!(summary.store_fingerprint, summary2.store_fingerprint);
 }

@@ -173,6 +173,38 @@ proptest! {
             prop_assert!(store.get_version("k", i).is_ok());
         }
     }
+
+    // --- Quarantine content digest ---
+
+    // The re-promotion check compares a candidate digest (trainer output
+    // order) against a quarantined manifest digest (store read-back
+    // order). The digest must therefore be a function of the *set*:
+    // invariant under reordering, sensitive to any content change.
+    #[test]
+    fn models_digest_is_order_invariant_and_content_sensitive(
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..8),
+        shuffle_seed in any::<u64>(),
+        victim in any::<u64>(),
+    ) {
+        let entries: Vec<(String, u64)> =
+            raw.iter().map(|&(k, sum)| (format!("model/{k:016x}"), sum)).collect();
+        let baseline = rc_store::models_digest(entries.clone());
+
+        // Any permutation digests identically.
+        let mut shuffled = entries.clone();
+        let mut state = shuffle_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        prop_assert_eq!(rc_store::models_digest(shuffled), baseline);
+
+        // Flipping one bit of one checksum changes the digest.
+        let mut changed = entries;
+        let i = victim as usize % changed.len();
+        changed[i].1 ^= 1;
+        prop_assert!(rc_store::models_digest(changed) != baseline);
+    }
 }
 
 // Non-proptest invariants that still sweep a broad space.
